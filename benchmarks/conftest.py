@@ -1,0 +1,33 @@
+"""Benchmark fixtures.
+
+Benches run the scaled geometry by default so the whole suite
+completes in minutes.  Set ``REPRO_FULL=1`` to run the paper's exact
+AlexNet-conv1 geometry in the Table 1 bench (expect several minutes,
+matching the paper's 301.91 s / 648.87 s desktop measurements).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.workflows.training import train_sign_model
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def trained_model():
+    """One trained sign classifier shared by all benches."""
+    return train_sign_model(
+        arch="small", image_size=32, n_per_class=30, epochs=6, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

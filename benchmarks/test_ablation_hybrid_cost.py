@@ -1,0 +1,47 @@
+"""E8 -- ablation: hybrid compute cost vs whole-network duplication.
+
+Shape to verify (paper Section V): the hybrid needs only the
+partition's share of redundant execution plus the qualifier, saving
+close to half of the duplicated cost when the partition is small; the
+saving decays as the reliable partition grows (the sweep).
+"""
+
+from __future__ import annotations
+
+from repro.core import HybridPartition
+from repro.models import alexnet_full, alexnet_scaled, small_cnn
+from repro.workflows import run_cost_comparison
+
+
+def test_cost_report_scaled():
+    model = alexnet_scaled(n_classes=8, input_size=64)
+    result = run_cost_comparison(model, (3, 64, 64))
+    print()
+    print("== scaled AlexNet ==")
+    print(result.to_text())
+    assert result.hybrid_savings_vs_dmr > 0.30
+
+
+def test_cost_report_full_alexnet():
+    """Paper geometry: one-filter partition on 96-filter conv1."""
+    model = alexnet_full()
+    partition = HybridPartition(
+        reliable_filters={"conv1": (0, 1)}, bifurcation_layer="conv1"
+    )
+    result = run_cost_comparison(
+        model, (3, 227, 227), partition=partition, sweep_filters=False
+    )
+    print()
+    print("== full AlexNet ==")
+    print(result.to_text())
+    # With 2 of 96 conv1 filters reliable, the hybrid is within a few
+    # percent of native cost -- the "conserve computational power"
+    # claim at the paper's scale.
+    assert result.hybrid_ops < 1.05 * result.native_ops
+    assert result.hybrid_savings_vs_dmr > 0.45
+
+
+def test_benchmark_cost_model(benchmark):
+    model = small_cnn(32, 8)
+    result = benchmark(run_cost_comparison, model, (3, 32, 32))
+    assert result.native_ops > 0

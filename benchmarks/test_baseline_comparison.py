@@ -1,0 +1,54 @@
+"""E10 -- baseline comparison and the hybrid under injected faults.
+
+Shape to verify:
+
+* under weight corruption, the unprotected CNN produces false
+  "dependable stop" confirms; activation-range supervision reduces
+  but does not eliminate them; output caging and the hybrid's input
+  qualifier eliminate them -- and the qualifier does so without any
+  calibration data (its template is geometric);
+* under processing-element transients, the hybrid's dependable path
+  detects and rolls back every error, and an aborted dependable path
+  never silently confirms.
+"""
+
+from __future__ import annotations
+
+from repro.workflows import (
+    run_baseline_comparison,
+    run_hybrid_under_faults,
+)
+
+
+def test_baseline_comparison_report(trained_model):
+    result = run_baseline_comparison(trained_model, trials=60, seed=0)
+    print()
+    print(result.to_text())
+    by_name = {row.protection: row for row in result.rows}
+    assert by_name["hybrid-qualifier"].false_confirms == 0
+    assert (
+        by_name["unprotected"].false_confirms
+        >= by_name["range-guard"].false_confirms
+        >= 0
+    )
+
+
+def test_hybrid_under_faults_report():
+    result = run_hybrid_under_faults(
+        probabilities=(0.0, 1e-5, 1e-4), input_size=96, seed=0
+    )
+    print()
+    print(result.to_text())
+    assert result.never_silently_confirmed_under_abort()
+    faulty = result.rows[-1]
+    assert faulty.errors_detected > 0
+    assert faulty.rollbacks == faulty.errors_detected
+
+
+def test_benchmark_baseline_campaign(benchmark, trained_model):
+    result = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs={"trained_model": trained_model, "trials": 20, "seed": 2},
+        rounds=1, iterations=1,
+    )
+    assert result.rows

@@ -1,0 +1,39 @@
+"""E3/E4 -- Figure 4 and the confusion-matrix comparison.
+
+Shape to verify (paper Section III.B): replacing one filter leaves
+accuracy essentially unchanged; sweeping the replacement across all
+first-layer filters makes the stop-class confidence "vary
+substantially depending on which filter has been replaced".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workflows import run_confusion_comparison, run_figure4
+
+
+def test_figure4_report(trained_model):
+    result = run_figure4(trained=trained_model)
+    print()
+    print(result.to_text())
+    print("per-filter accuracies:",
+          np.array2string(result.accuracies, precision=3))
+    assert result.confidence_spread > 0.02
+    assert len(result.confidences) == result.n_filters
+
+
+def test_confusion_comparison_report(trained_model):
+    comparison = run_confusion_comparison(trained=trained_model)
+    print()
+    print(comparison.to_text())
+    # "No substantial difference in classification accuracy."
+    assert abs(comparison.accuracy_drop) < 0.15
+
+
+def test_benchmark_figure4_sweep(benchmark, trained_model):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"trained": trained_model},
+        rounds=1, iterations=1,
+    )
+    assert result.n_filters == 8

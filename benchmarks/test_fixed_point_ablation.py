@@ -1,0 +1,70 @@
+"""E12 -- ablation: FPGA-style fixed-point vs float arithmetic.
+
+The paper defers the FPGA arithmetic-implementation choice ("an
+exhaustive evaluation of these possibilities is out of scope").  This
+ablation measures two of those degrees of freedom on the reliable
+convolution: numeric error of Q7.8 / Q15.16 saturating datapaths vs
+float64, and their timing next to the float32 unit.  Bit-exact
+reproducibility (DMR comparability) is covered by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import render_sign
+from repro.nn import Conv2D
+from repro.reliable.execution_unit import Float32ExecutionUnit
+from repro.reliable.executor import ReliableConv2D
+from repro.reliable.fixed_point import (
+    Q7_8,
+    Q15_16,
+    FixedPointExecutionUnit,
+)
+from repro.reliable.operators import PlainOperator
+
+
+@pytest.fixture(scope="module")
+def layer_and_image(rng):
+    layer = Conv2D(3, 4, 5, stride=2, rng=rng, name="conv1")
+    image = render_sign(0, size=32)[None]
+    return layer, image
+
+
+def test_fixed_point_accuracy_report(layer_and_image):
+    layer, image = layer_and_image
+    native = layer.forward(image)
+    print()
+    rows = []
+    for name, fmt in (("Q7.8", Q7_8), ("Q15.16", Q15_16)):
+        unit = FixedPointExecutionUnit(fmt)
+        out, _ = ReliableConv2D(layer, PlainOperator(unit)).forward(image)
+        err = float(np.abs(out - native).max())
+        rows.append((name, err, unit.saturations))
+        print(f"{name:<8} max |error| vs float: {err:.6f}  "
+              f"saturations: {unit.saturations}")
+    # Finer format -> smaller error; neither saturates on sign data.
+    assert rows[1][1] <= rows[0][1]
+    assert rows[0][1] < 0.2
+    assert rows[1][2] == 0
+
+
+def test_benchmark_fixed_point_q7_8(benchmark, layer_and_image):
+    layer, image = layer_and_image
+    executor = ReliableConv2D(
+        layer, PlainOperator(FixedPointExecutionUnit(Q7_8))
+    )
+    benchmark.pedantic(
+        lambda: executor.forward(image), rounds=1, iterations=1
+    )
+
+
+def test_benchmark_float32_reference(benchmark, layer_and_image):
+    layer, image = layer_and_image
+    executor = ReliableConv2D(
+        layer, PlainOperator(Float32ExecutionUnit())
+    )
+    benchmark.pedantic(
+        lambda: executor.forward(image), rounds=1, iterations=1
+    )

@@ -1,0 +1,79 @@
+"""End-to-end hybrid inference benchmarks (Figures 1 and 2 paths).
+
+Measures the full dependable pipeline: reliable DMR execution of the
+partition, bifurcation into the qualifier, and the reliable-result
+combination -- the complete architecture the paper proposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decision,
+    IntegratedHybridCNN,
+    ParallelHybridCNN,
+    ShapeQualifier,
+)
+from repro.data import STOP_CLASS_INDEX, render_sign
+from repro.models import alexnet_scaled
+from repro.vision.filters import sobel_axis_stack
+
+
+@pytest.fixture(scope="module")
+def hybrid_model():
+    model = alexnet_scaled(n_classes=8, input_size=128)
+    conv1 = model.layer("conv1")
+    conv1.set_filter(0, sobel_axis_stack("x", 7, 3))
+    conv1.set_filter(1, sobel_axis_stack("y", 7, 3))
+    return model
+
+
+@pytest.fixture(scope="module")
+def stop128():
+    return render_sign(0, size=128, rotation=np.deg2rad(5))
+
+
+def test_hybrid_decisions_report(hybrid_model, stop128):
+    hybrid = IntegratedHybridCNN(
+        hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX
+    )
+    result = hybrid.infer(stop128)
+    print()
+    print(f"stop sign   -> qualifier={result.verdict.matches} "
+          f"distance={result.verdict.distance:.2f} "
+          f"decision={result.decision.value}")
+    print(f"reliable ops={result.reliable_report.operations:,} "
+          f"errors={result.reliable_report.errors_detected}")
+    assert result.verdict.matches
+
+    circle = hybrid.infer(render_sign(1, size=128))
+    print(f"circle sign -> qualifier={circle.verdict.matches} "
+          f"distance={circle.verdict.distance:.2f} "
+          f"decision={circle.decision.value}")
+    assert circle.decision is not Decision.CONFIRMED
+
+
+def test_benchmark_parallel_hybrid(benchmark, hybrid_model, stop128):
+    hybrid = ParallelHybridCNN(
+        hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX
+    )
+    result = benchmark(hybrid.infer, stop128)
+    assert result.verdict.matches
+
+
+def test_benchmark_integrated_hybrid(benchmark, hybrid_model, stop128):
+    hybrid = IntegratedHybridCNN(
+        hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX
+    )
+    result = benchmark.pedantic(
+        hybrid.infer, args=(stop128,), rounds=1, iterations=1
+    )
+    assert result.verdict.matches
+
+
+def test_benchmark_native_inference_reference(benchmark, hybrid_model,
+                                              stop128):
+    """Reference row: the unprotected CNN alone."""
+    benchmark(hybrid_model.forward, stop128[None])

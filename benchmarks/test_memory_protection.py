@@ -1,0 +1,74 @@
+"""E13 -- ECC weight storage and spatial-vs-temporal redundancy.
+
+Shape to verify: SEC-DED storage holds model accuracy while upsets
+remain single-per-word and degrades past that (the code's design
+point); on a permanent PE fault, temporal DMR is silently wrong while
+spatial DMR detects, retires the PE and completes correctly in
+degraded mode -- the paper's Section II.B graceful-degradation
+argument made executable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reliable.ecc import ECCProtectedTensor
+from repro.workflows import run_ecc_study, run_spatial_vs_temporal
+
+
+def test_spatial_vs_temporal_report():
+    result = run_spatial_vs_temporal()
+    print()
+    print(result.to_text())
+    assert result.spatial_correct and result.spatial_detected
+    assert not result.temporal_detected
+
+
+def test_ecc_study_report(trained_model):
+    result = run_ecc_study(trained_model, flip_counts=(1, 8, 32, 128))
+    print()
+    print(result.to_text())
+    moderate = [row for row in result.rows if row.n_flips <= 32]
+    assert any(
+        row.ecc_accuracy > row.raw_accuracy + 0.2 for row in moderate
+    ) or all(
+        row.raw_accuracy >= result.clean_accuracy - 0.05
+        for row in moderate
+    )
+
+
+def test_benchmark_ecc_encode(benchmark, rng):
+    weights = rng.standard_normal((16, 3, 5, 5)).astype(np.float32)
+    benchmark(ECCProtectedTensor, weights)
+
+
+def test_benchmark_ecc_read_with_correction(benchmark, rng):
+    weights = rng.standard_normal((16, 3, 5, 5)).astype(np.float32)
+
+    def corrupted_read():
+        storage = ECCProtectedTensor(weights)
+        storage.inject_random_flips(4, rng)
+        return storage.read()
+
+    _, report = benchmark.pedantic(
+        corrupted_read, rounds=3, iterations=1
+    )
+    assert report is not None
+
+
+def test_benchmark_spatial_redundant_conv(benchmark, rng):
+    from repro.reliable.convolution import reliable_convolution
+    from repro.reliable.leaky_bucket import LeakyBucket
+    from repro.reliable.spatial import PEArray, SpatialRedundantOperator
+
+    x = rng.standard_normal(256)
+    w = rng.standard_normal(256)
+
+    def run():
+        operator = SpatialRedundantOperator(PEArray(n_elements=4))
+        return reliable_convolution(
+            x, w, 0.0, operator, bucket=LeakyBucket(ceiling=1000)
+        )
+
+    result = benchmark(run)
+    assert result.ok

@@ -1,0 +1,35 @@
+"""E11 -- ablation: rollback distance vs fault rate.
+
+Shape to verify (paper Section II.E): the optimal checkpoint
+granularity falls as the fault rate rises; with free comparisons the
+paper's one-operation rollback distance is always optimal, and with a
+realistic comparison overhead the crossover appears in the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.workflows import (
+    optimal_segment_size,
+    run_rollback_distance,
+)
+
+
+def test_rollback_distance_report():
+    result = run_rollback_distance(trials=40, seed=0)
+    print()
+    print(result.to_text())
+    # Optimal segment size is non-increasing in the fault rate.
+    probs = sorted(result.optima)
+    optima = [result.optima[p] for p in probs]
+    assert all(a >= b for a, b in zip(optima, optima[1:]))
+    # The paper's regime: comparisons free in hardware -> s = 1.
+    assert optimal_segment_size(0.01, 0.0) == 1
+
+
+def test_benchmark_rollback_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_rollback_distance,
+        kwargs={"simulate": False},
+        rounds=1, iterations=1,
+    )
+    assert result.analytic

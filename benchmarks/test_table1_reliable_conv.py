@@ -1,0 +1,83 @@
+"""E1 -- Table 1: reliable convolution, plain vs redundant operators.
+
+Regenerates the paper's Table 1 rows on this machine and prints them
+alongside the paper's values.  Shape to verify: native << plain <
+redundant, with the redundant overhead bounded by ~2x (exactly 2x in
+unit executions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.data import render_sign
+from repro.nn import Conv2D
+from repro.reliable.execution_unit import Float32ExecutionUnit
+from repro.reliable.executor import ReliableConv2D
+from repro.reliable.operators import (
+    PlainOperator,
+    RedundantOperator,
+    TMROperator,
+)
+from repro.workflows import run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_inputs(rng):
+    if full_scale():
+        layer = Conv2D(3, 96, 11, stride=4, rng=rng, name="conv1")
+        image = render_sign(0, size=227)[None]
+    else:
+        layer = Conv2D(3, 8, 5, stride=2, rng=rng, name="conv1")
+        image = render_sign(0, size=32)[None]
+    return layer, image
+
+
+def test_table1_report():
+    """Print the full Table 1 reproduction (captured by pytest -s)."""
+    result = run_table1(full=full_scale())
+    print()
+    print(result.to_text())
+    assert result.native_seconds < result.plain_seconds
+    assert result.plain_seconds < result.redundant_seconds
+
+
+def bench_native(benchmark, table1_inputs):
+    layer, image = table1_inputs
+    benchmark(layer.forward, image)
+
+
+def bench_algorithm1_plain(benchmark, table1_inputs):
+    layer, image = table1_inputs
+    executor = ReliableConv2D(layer, PlainOperator(Float32ExecutionUnit()))
+    benchmark.pedantic(
+        lambda: executor.forward(image), rounds=1, iterations=1
+    )
+
+
+def bench_algorithm2_redundant(benchmark, table1_inputs):
+    layer, image = table1_inputs
+    executor = ReliableConv2D(
+        layer, RedundantOperator(Float32ExecutionUnit())
+    )
+    benchmark.pedantic(
+        lambda: executor.forward(image), rounds=1, iterations=1
+    )
+
+
+def bench_tmr_extension(benchmark, table1_inputs):
+    """Extension row: TMR costs ~3x plain in unit executions."""
+    layer, image = table1_inputs
+    executor = ReliableConv2D(layer, TMROperator(Float32ExecutionUnit()))
+    benchmark.pedantic(
+        lambda: executor.forward(image), rounds=1, iterations=1
+    )
+
+
+# pytest-benchmark discovers test_* functions; map bench names.
+test_benchmark_native = bench_native
+test_benchmark_algorithm1_plain = bench_algorithm1_plain
+test_benchmark_algorithm2_redundant = bench_algorithm2_redundant
+test_benchmark_tmr_extension = bench_tmr_extension

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Cost & guarantee study: hybrid partition vs whole-network DMR.
+
+Quantifies the paper's Section V claim ("we conserve both footprint
+and computational power") on the scaled and the paper-faithful
+AlexNet, and prints the analytic reliability guarantee for each
+configuration.
+
+Run:  python examples/hybrid_vs_duplicate_cost.py
+"""
+
+from __future__ import annotations
+
+from repro.core import HybridPartition, ReliabilityGuarantee
+from repro.models import alexnet_full, alexnet_scaled
+from repro.workflows import run_cost_comparison
+
+
+def main() -> None:
+    print("=== scaled AlexNet (64x64, 16 conv1 filters) ===")
+    scaled = alexnet_scaled(n_classes=8, input_size=64)
+    print(run_cost_comparison(scaled, (3, 64, 64)).to_text())
+
+    print("\n=== paper-faithful AlexNet (227x227, 96 conv1 filters) ===")
+    full = alexnet_full()
+    partition = HybridPartition(reliable_filters={"conv1": (0, 1)})
+    print(
+        run_cost_comparison(
+            full, (3, 227, 227), partition=partition, sweep_filters=False
+        ).to_text()
+    )
+
+    print("\n=== reliability guarantee (full AlexNet, p=1e-7/op) ===")
+    guarantee = ReliabilityGuarantee(
+        full, (3, 227, 227), partition, fault_probability=1e-7
+    )
+    print(guarantee.summary())
+
+    print("\n=== TMR variant of the same partition ===")
+    tmr_partition = HybridPartition(
+        reliable_filters={"conv1": (0, 1)}, redundancy="tmr"
+    )
+    tmr = ReliabilityGuarantee(
+        full, (3, 227, 227), tmr_partition, fault_probability=1e-7
+    )
+    print(tmr.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of *Hybrid Convolutional Neural Networks with
+Reliability Guarantee* (Doran & Veljanovska, DSN 2024).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the hybrid CNN (reliable + non-reliable
+    execution paths), the SAX shape qualifier and the reliable-result
+    combination, plus the reliability-guarantee model.
+``repro.reliable``
+    Qualified arithmetic (Algorithms 1 and 2), the leaky-bucket error
+    counter, the reliable convolution kernel (Algorithm 3),
+    checkpoint/rollback machinery, TMR voting and a lockstep model.
+``repro.faults``
+    Software fault injection: IEEE-754 bit flips, transient /
+    intermittent / permanent fault models, seeded campaigns.
+``repro.nn``
+    From-scratch NumPy CNN framework (layers, losses, optimisers,
+    trainer with filter pinning, serialisation).
+``repro.models``
+    AlexNet (paper-faithful and scaled) and a small CNN baseline.
+``repro.vision``
+    Sobel and friends, edge maps, contour tracing, centroid-distance
+    time-series.
+``repro.sax``
+    Symbolic Aggregate approXimation: z-normalisation, PAA,
+    breakpoints, words, MINDIST.
+``repro.data``
+    Synthetic traffic-sign dataset standing in for GTSRB.
+``repro.analysis``
+    Confusion matrices, metrics, reliability and guarantee math.
+``repro.workflows``
+    One module per paper experiment (Table 1, Figures 3 and 4, the
+    Sobel pre-initialisation study and the extension experiments).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Evaluation metrics and reliability statistics."""
+
+from repro.analysis.confusion import ConfusionMatrix, confusion_matrix
+from repro.analysis.metrics import (
+    accuracy,
+    class_confidences,
+    mean_class_confidence,
+    top_k_accuracy,
+)
+from repro.analysis.reliability import (
+    empirical_coverage_interval,
+    failure_rate_estimate,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy",
+    "top_k_accuracy",
+    "class_confidences",
+    "mean_class_confidence",
+    "failure_rate_estimate",
+    "empirical_coverage_interval",
+]

@@ -1,0 +1,90 @@
+"""Confusion matrices (paper Section III.B compares them before and
+after filter replacement)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ConfusionMatrix:
+    """Row = true class, column = predicted class."""
+
+    matrix: np.ndarray
+    class_names: list[str] | None = None
+
+    @property
+    def n_classes(self) -> int:
+        return self.matrix.shape[0]
+
+    def accuracy(self) -> float:
+        total = self.matrix.sum()
+        if total == 0:
+            return 0.0
+        return float(np.trace(self.matrix) / total)
+
+    def per_class_recall(self) -> np.ndarray:
+        """Recall (true-positive rate) per class; NaN when unseen."""
+        totals = self.matrix.sum(axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                totals > 0, np.diag(self.matrix) / totals, np.nan
+            )
+
+    def per_class_precision(self) -> np.ndarray:
+        """Precision per class; NaN when the class is never predicted."""
+        totals = self.matrix.sum(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                totals > 0, np.diag(self.matrix) / totals, np.nan
+            )
+
+    def max_abs_difference(self, other: "ConfusionMatrix") -> int:
+        """Largest per-cell count difference vs another matrix.
+
+        The paper "compare[s] both the confusion matrices of the
+        original and replaced filters ... and note[s] no substantial
+        difference"; this is the scalar that claim reduces to.
+        """
+        if self.matrix.shape != other.matrix.shape:
+            raise ValueError("matrices have different shapes")
+        return int(np.abs(self.matrix - other.matrix).max())
+
+    def to_text(self) -> str:
+        """Plain-text rendering with optional class names."""
+        names = self.class_names or [
+            f"c{i}" for i in range(self.n_classes)
+        ]
+        width = max(max(len(n) for n in names), 5)
+        header = " " * (width + 1) + " ".join(
+            f"{n[:width]:>{width}}" for n in names
+        )
+        lines = [header]
+        for i, name in enumerate(names):
+            row = " ".join(
+                f"{int(v):>{width}}" for v in self.matrix[i]
+            )
+            lines.append(f"{name[:width]:>{width}} {row}")
+        return "\n".join(lines)
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    n_classes: int,
+    class_names: list[str] | None = None,
+) -> ConfusionMatrix:
+    """Build a confusion matrix from integer label arrays."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays differ in shape")
+    if ((y_true < 0) | (y_true >= n_classes)).any():
+        raise ValueError("y_true contains out-of-range labels")
+    if ((y_pred < 0) | (y_pred >= n_classes)).any():
+        raise ValueError("y_pred contains out-of-range labels")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return ConfusionMatrix(matrix=matrix, class_names=class_names)

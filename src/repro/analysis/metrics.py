@@ -1,0 +1,81 @@
+"""Classification metrics used across the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import softmax
+from repro.nn.network import Sequential
+
+
+def accuracy(model: Sequential, x: np.ndarray, y: np.ndarray,
+             batch_size: int = 64) -> float:
+    """Top-1 accuracy of a logits model."""
+    return top_k_accuracy(model, x, y, k=1, batch_size=batch_size)
+
+
+def top_k_accuracy(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 1,
+    batch_size: int = 64,
+) -> float:
+    """Fraction of samples whose true class is in the top-k logits."""
+    if len(x) == 0:
+        raise ValueError("empty evaluation set")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    hits = 0
+    for start in range(0, len(x), batch_size):
+        logits = model.forward(x[start : start + batch_size])
+        topk = np.argsort(logits, axis=1)[:, -k:]
+        labels = y[start : start + batch_size]
+        hits += int((topk == labels[:, None]).any(axis=1).sum())
+    return hits / len(x)
+
+
+def predictions(
+    model: Sequential, x: np.ndarray, batch_size: int = 64
+) -> np.ndarray:
+    """Argmax class per sample."""
+    out = []
+    for start in range(0, len(x), batch_size):
+        logits = model.forward(x[start : start + batch_size])
+        out.append(logits.argmax(axis=1))
+    return np.concatenate(out)
+
+
+def class_confidences(
+    model: Sequential,
+    x: np.ndarray,
+    class_index: int,
+    batch_size: int = 64,
+) -> np.ndarray:
+    """Softmax confidence assigned to ``class_index`` for each sample.
+
+    This is the quantity on the y-axis of the paper's Figure 4
+    ("confidence values for the 'Stop' sign class").
+    """
+    confs = []
+    for start in range(0, len(x), batch_size):
+        logits = model.forward(x[start : start + batch_size])
+        probs = softmax(logits)
+        confs.append(probs[:, class_index])
+    return np.concatenate(confs)
+
+
+def mean_class_confidence(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    class_index: int,
+    batch_size: int = 64,
+) -> float:
+    """Mean confidence for ``class_index`` over its true samples."""
+    mask = y == class_index
+    if not mask.any():
+        raise ValueError(f"no samples of class {class_index}")
+    return float(
+        class_confidences(model, x[mask], class_index, batch_size).mean()
+    )

@@ -1,0 +1,54 @@
+"""Empirical reliability statistics for fault campaigns.
+
+Connects measured campaign outcomes back to the analytic model in
+:mod:`repro.core.guarantee`: rate estimates with binomial confidence
+intervals, so a campaign can state "SDC rate below X at 95%
+confidence" -- the form a safety case needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def failure_rate_estimate(failures: int, trials: int) -> float:
+    """Point estimate of a failure rate."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= failures <= trials:
+        raise ValueError("failures must be within [0, trials]")
+    return failures / trials
+
+
+def empirical_coverage_interval(
+    failures: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial failure rate.
+
+    Preferred over the normal approximation because campaigns often
+    observe zero failures, where the Wilson bound stays informative
+    (`failures == 0` yields a non-trivial upper bound, the
+    "demonstrated better than" number).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    p_hat = failure_rate_estimate(failures, trials)
+    # Two-sided z for the requested confidence.
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(
+            p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials)
+        )
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard normal quantile via the SAX breakpoint helper."""
+    from repro.sax.breakpoints import _normal_ppf
+
+    return _normal_ppf(p)

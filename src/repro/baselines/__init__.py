@@ -1,0 +1,24 @@
+"""Comparison baselines the paper positions itself against.
+
+Section II.D discusses two "caging" families:
+
+* **output-space caging** (Gehr et al., AI2 [27]): check the
+  classifier *output* against a permissible region --
+  :mod:`repro.baselines.caging`;
+* **activation-range supervision** (Geissler et al. [28]): saturate
+  intermediate activations at calibrated per-layer bounds so faults
+  cannot produce out-of-distribution magnitudes --
+  :mod:`repro.baselines.ranger`.
+
+Both detect-or-mask faults without redundant execution but, as the
+paper argues, neither feeds dependable information back into the
+model, and the bounds themselves must be derived from data.  The
+fault-comparison bench (``benchmarks/test_baseline_comparison.py``)
+measures all three approaches under identical weight-corruption
+campaigns.
+"""
+
+from repro.baselines.caging import OutputCage
+from repro.baselines.ranger import ActivationRangeGuard, RangeViolation
+
+__all__ = ["OutputCage", "ActivationRangeGuard", "RangeViolation"]

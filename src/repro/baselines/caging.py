@@ -1,0 +1,97 @@
+"""Output-space caging (after Gehr et al., AI2, S&P 2018).
+
+The paper's ref [27] "checks for output feasibility against a
+permissible output space".  The practical embodiment here: calibrate
+the distribution of softmax outputs on clean data and flag outputs
+that fall outside the permissible region (maximum confidence too low,
+entropy too high, or invalid distribution).  Detection-only -- a
+caged output is rejected, not repaired -- which is exactly how the
+paper contrasts caging with its own masking/rollback approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import softmax
+from repro.nn.network import Sequential
+
+
+class OutputCage:
+    """Feasibility check on classifier outputs.
+
+    Parameters
+    ----------
+    model:
+        Logits model to cage.
+    min_confidence_quantile:
+        Calibration quantile for the minimum acceptable winning
+        confidence (default: 1st percentile of clean outputs).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        min_confidence_quantile: float = 0.01,
+    ) -> None:
+        if not 0.0 <= min_confidence_quantile < 1.0:
+            raise ValueError("quantile must be in [0, 1)")
+        self.model = model
+        self.quantile = min_confidence_quantile
+        self.min_confidence: float | None = None
+        self.max_entropy: float | None = None
+
+    def calibrate(self, x: np.ndarray, batch_size: int = 64) -> None:
+        """Learn the permissible output region from clean inputs."""
+        if len(x) == 0:
+            raise ValueError("calibration set is empty")
+        confidences = []
+        entropies = []
+        for start in range(0, len(x), batch_size):
+            probs = softmax(self.model.forward(x[start : start + batch_size]))
+            confidences.append(probs.max(axis=1))
+            entropies.append(_entropy(probs))
+        conf = np.concatenate(confidences)
+        ent = np.concatenate(entropies)
+        self.min_confidence = float(np.quantile(conf, self.quantile))
+        self.max_entropy = float(np.quantile(ent, 1.0 - self.quantile))
+
+    @property
+    def calibrated(self) -> bool:
+        return self.min_confidence is not None
+
+    def check(self, logits: np.ndarray) -> np.ndarray:
+        """Per-sample feasibility of a logits batch.
+
+        Returns a boolean array: True = output inside the permissible
+        region.  NaN/inf logits are always infeasible.
+        """
+        if not self.calibrated:
+            raise RuntimeError("calibrate() must run before check()")
+        logits = np.asarray(logits)
+        finite = np.isfinite(logits).all(axis=1)
+        # Clamp before softmax: corrupted logits can be +-1e38 and
+        # would overflow the exponential even after the max shift.
+        safe_logits = np.clip(
+            np.where(np.isfinite(logits), logits, 0.0), -1e4, 1e4
+        )
+        probs = softmax(safe_logits)
+        confident = probs.max(axis=1) >= self.min_confidence
+        low_entropy = _entropy(probs) <= self.max_entropy
+        return finite & confident & low_entropy
+
+    def infer(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Classify with caging: returns (predictions, feasible).
+
+        Predictions for infeasible outputs are still reported (the
+        caller decides what a rejection means), mirroring how the
+        qualifier's verdict accompanies rather than replaces the
+        CNN output in the hybrid.
+        """
+        logits = self.model.forward(x)
+        return logits.argmax(axis=1), self.check(logits)
+
+
+def _entropy(probs: np.ndarray) -> np.ndarray:
+    clipped = np.clip(probs, 1e-12, 1.0)
+    return -(clipped * np.log(clipped)).sum(axis=1)

@@ -1,0 +1,100 @@
+"""Activation-range supervision (Geissler et al., SafeAI 2021).
+
+The paper's ref [28]: "check the outputs of operations and if they
+are larger or smaller than some preset and operation specific
+saturation limit, the output saturates to that value.  Whilst this
+approach preserves computing power vis a vis redundant execution, the
+required memory bandwidth is substantially increased."
+
+Implementation: calibrate per-layer (min, max) activation bounds on
+clean data, then run inference with every layer output clipped into
+its bounds.  Clipping *masks* faults (turning catastrophic
+corruptions into bounded perturbations); the guard also *reports*
+violations so campaigns can count detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+@dataclass
+class RangeViolation:
+    """One clipped activation event."""
+
+    layer: str
+    observed_min: float
+    observed_max: float
+
+
+class ActivationRangeGuard:
+    """Per-layer activation bounds: calibrate, then supervise.
+
+    Parameters
+    ----------
+    model:
+        The network to supervise.
+    margin:
+        Fractional slack added to calibrated bounds (bounds observed
+        on finite clean data underestimate the true activation
+        support; 5% default).
+    """
+
+    def __init__(self, model: Sequential, margin: float = 0.05) -> None:
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.model = model
+        self.margin = margin
+        self.bounds: dict[str, tuple[float, float]] = {}
+
+    # -- calibration ---------------------------------------------------
+    def calibrate(self, x: np.ndarray, batch_size: int = 64) -> None:
+        """Record per-layer activation extrema over clean inputs."""
+        if len(x) == 0:
+            raise ValueError("calibration set is empty")
+        mins: dict[str, float] = {}
+        maxs: dict[str, float] = {}
+        for start in range(0, len(x), batch_size):
+            batch = x[start : start + batch_size]
+            out = batch
+            for layer in self.model:
+                out = layer.forward(out)
+                lo = float(out.min())
+                hi = float(out.max())
+                mins[layer.name] = min(mins.get(layer.name, lo), lo)
+                maxs[layer.name] = max(maxs.get(layer.name, hi), hi)
+        self.bounds = {}
+        for name in mins:
+            lo, hi = mins[name], maxs[name]
+            span = hi - lo
+            slack = self.margin * span if span > 0 else self.margin
+            self.bounds[name] = (lo - slack, hi + slack)
+
+    @property
+    def calibrated(self) -> bool:
+        return bool(self.bounds)
+
+    # -- supervised inference ----------------------------------------------
+    def forward(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, list[RangeViolation]]:
+        """Inference with clipping; returns (output, violations)."""
+        if not self.calibrated:
+            raise RuntimeError("calibrate() must run before forward()")
+        violations: list[RangeViolation] = []
+        out = x
+        for layer in self.model:
+            out = layer.forward(out)
+            lo, hi = self.bounds[layer.name]
+            observed_min = float(out.min())
+            observed_max = float(out.max())
+            if observed_min < lo or observed_max > hi:
+                violations.append(
+                    RangeViolation(layer.name, observed_min, observed_max)
+                )
+                out = np.clip(out, lo, hi)
+        return out, violations

@@ -1,0 +1,230 @@
+"""Hybrid CNN architectures (paper Figures 1 and 2).
+
+Two shapes of the same idea:
+
+* :class:`ParallelHybridCNN` (Figure 1): the CNN classifies as usual;
+  an *independent* reliably-executed shape-recognition block runs on
+  the same input, and the reliable-result block qualifies the CNN's
+  safety-relevant class with the block's verdict.
+* :class:`IntegratedHybridCNN` (Figure 2): the early convolution is
+  shared.  Its reliable partition (the DCNN -- e.g. one Sobel-pinned
+  filter of ``conv1``) is executed with redundant arithmetic; the
+  data path *bifurcates* there: the reliable feature map feeds the
+  qualifier while the full feature stack continues through the
+  non-reliable remainder of the CNN.
+
+Both produce a :class:`HybridResult` via the same
+:class:`ReliableResultBlock` combination logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import HybridPartition
+from repro.core.qualifier import QualifierVerdict, ShapeQualifier
+from repro.nn.layers.activations import softmax
+from repro.nn.network import Sequential
+from repro.reliable.executor import ExecutionReport, ReliableConv2D
+
+
+class Decision(enum.Enum):
+    """Final verdict of the reliable-result block."""
+
+    #: CNN says safety class, qualifier confirms: dependable positive.
+    CONFIRMED = "confirmed"
+    #: CNN says safety class, qualifier denies: suppressed (prevents a
+    #: false positive on the safety class).
+    REJECTED_BY_QUALIFIER = "rejected_by_qualifier"
+    #: CNN predicts a non-safety class; used without qualification
+    #: ("classifications that are not considered safety critical ...
+    #: can be used without any qualification").
+    NOT_SAFETY_CRITICAL = "not_safety_critical"
+    #: Qualifier found the shape but the CNN disagreed: flagged for a
+    #: supervisory layer (possible CNN false negative).
+    SHAPE_WITHOUT_CLASS = "shape_without_class"
+    #: The qualifier's own redundant execution failed persistently --
+    #: the dependable path is unavailable and the safety class cannot
+    #: be confirmed.
+    QUALIFIER_UNAVAILABLE = "qualifier_unavailable"
+
+
+@dataclass
+class HybridResult:
+    """Everything the hybrid network produces for one input.
+
+    Attributes
+    ----------
+    probabilities:
+        Softmax class confidences from the (non-reliable) CNN.
+    predicted_class:
+        Argmax class index.
+    verdict:
+        The qualifier's :class:`QualifierVerdict`.
+    decision:
+        The reliable-result combination (see :class:`Decision`).
+    reliable_report:
+        Diagnostics of the reliable execution (integrated hybrid
+        only; None for the parallel architecture).
+    """
+
+    probabilities: np.ndarray
+    predicted_class: int
+    verdict: QualifierVerdict
+    decision: Decision
+    reliable_report: ExecutionReport | None = None
+
+    @property
+    def confirmed(self) -> bool:
+        """True only for a dependable positive on the safety class."""
+        return self.decision is Decision.CONFIRMED
+
+
+class ReliableResultBlock:
+    """Combine CNN output with the qualifier verdict (Figures 1 and 2).
+
+    Parameters
+    ----------
+    safety_class:
+        Index of the class requiring qualification (the "Stop" sign).
+    """
+
+    def __init__(self, safety_class: int) -> None:
+        self.safety_class = safety_class
+
+    def combine(
+        self, probabilities: np.ndarray, verdict: QualifierVerdict
+    ) -> tuple[int, Decision]:
+        predicted = int(np.argmax(probabilities))
+        if not verdict.reliable:
+            # The dependable path itself failed; never confirm.
+            if predicted == self.safety_class:
+                return predicted, Decision.QUALIFIER_UNAVAILABLE
+            return predicted, Decision.NOT_SAFETY_CRITICAL
+        if predicted == self.safety_class:
+            if verdict.matches:
+                return predicted, Decision.CONFIRMED
+            return predicted, Decision.REJECTED_BY_QUALIFIER
+        if verdict.matches:
+            return predicted, Decision.SHAPE_WITHOUT_CLASS
+        return predicted, Decision.NOT_SAFETY_CRITICAL
+
+
+class ParallelHybridCNN:
+    """Figure 1: independent qualifier in parallel with the CNN.
+
+    Parameters
+    ----------
+    model:
+        Trained classifier ending in logits.
+    qualifier:
+        The reliable shape qualifier, run on the raw input image.
+    safety_class:
+        Class index to be qualified.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        qualifier: ShapeQualifier,
+        safety_class: int,
+    ) -> None:
+        self.model = model
+        self.qualifier = qualifier
+        self.result_block = ReliableResultBlock(safety_class)
+
+    def infer(self, image: np.ndarray) -> HybridResult:
+        """Classify one ``(3, h, w)`` image with qualification."""
+        logits = self.model.forward(image[None])
+        probabilities = softmax(logits)[0]
+        verdict = self.qualifier.check(image)
+        predicted, decision = self.result_block.combine(
+            probabilities, verdict
+        )
+        return HybridResult(probabilities, predicted, verdict, decision)
+
+
+class IntegratedHybridCNN:
+    """Figure 2: shared early layers, bifurcating reliable data path.
+
+    The partition's bifurcation layer is executed in two parts:
+
+    * reliable filters (the DCNN) through
+      :class:`~repro.reliable.executor.ReliableConv2D` with qualified
+      redundant arithmetic;
+    * remaining filters natively.
+
+    The reliable filters' feature maps feed the qualifier
+    (:meth:`ShapeQualifier.check_feature_map`); the complete feature
+    stack continues through the rest of the CNN.  With the reliable
+    filter pinned to a Sobel stack during training (see
+    :class:`repro.nn.trainer.FilterPin`) the bifurcated map is an edge
+    response the dependable model understands.
+
+    Parameters
+    ----------
+    model:
+        Trained classifier whose first convolution carries the pinned
+        dependable filter(s).
+    qualifier:
+        Shape qualifier consuming the bifurcated feature map.
+    partition:
+        The reliable/non-reliable split (defaults to the paper's: one
+        filter of ``conv1`` under DMR).
+    safety_class:
+        Class index to be qualified.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        qualifier: ShapeQualifier,
+        safety_class: int,
+        partition: HybridPartition | None = None,
+    ) -> None:
+        self.model = model
+        self.qualifier = qualifier
+        self.partition = partition or HybridPartition()
+        self.partition.validate_against(model)
+        self.result_block = ReliableResultBlock(safety_class)
+        self._bif_index = model.index_of(self.partition.bifurcation_layer)
+        self._bif_layer = model[self._bif_index]
+        self._reliable_conv = ReliableConv2D(
+            self._bif_layer,
+            operator=self.partition.redundancy,
+            on_persistent_failure="mark",
+        )
+
+    def infer(self, image: np.ndarray) -> HybridResult:
+        """Classify one ``(3, h, w)`` image through the hybrid path."""
+        x = image[None]
+        # Shared prefix up to the bifurcation layer (usually empty:
+        # conv1 is the first layer).
+        x = self.model.forward_until(x, self._bif_index)
+        reliable_filters = list(
+            self.partition.reliable_filters[self.partition.bifurcation_layer]
+        )
+        features, report = self._reliable_conv.forward(
+            x, filters=reliable_filters
+        )
+        # Bifurcation: reliable maps to the qualifier...
+        reliable_map = features[0, reliable_filters]
+        if report.persistent_failures:
+            verdict = QualifierVerdict(
+                False, float("inf"), "", reliable=False
+            )
+        else:
+            verdict = self.qualifier.check_feature_map(reliable_map)
+        # ... and the full stack onward through the CNN.
+        logits = self.model.forward_from(features, self._bif_index + 1)
+        probabilities = softmax(logits)[0]
+        predicted, decision = self.result_block.combine(
+            probabilities, verdict
+        )
+        return HybridResult(
+            probabilities, predicted, verdict, decision,
+            reliable_report=report,
+        )

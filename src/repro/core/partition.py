@@ -1,0 +1,96 @@
+"""Partitioning a CNN into reliable (DCNN) and non-reliable execution.
+
+The paper's insight: "not all classifications may be relevant for
+reliability purposes and hence not all layers or portions of layers
+need be executed reliably."  A :class:`HybridPartition` names exactly
+which filters of which layers form the dependable CNN; everything else
+runs natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.layers.conv import Conv2D
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class HybridPartition:
+    """Which portions of the network execute reliably.
+
+    Attributes
+    ----------
+    reliable_filters:
+        Mapping of convolution-layer name -> filter indices executed
+        through qualified operators.  The paper postulates "the
+        determination of one (three dimensional) filter in the first
+        convolutional layer"; the working default here is *two*
+        filters of ``conv1`` (a Sobel-x and a Sobel-y stack) because
+        the qualifier needs a direction-free edge magnitude --
+        a single directional filter leaves gaps in contours parallel
+        to its direction (see
+        :meth:`repro.core.qualifier.ShapeQualifier.check_feature_map`).
+    bifurcation_layer:
+        Name of the layer whose reliable output bifurcates into the
+        qualifier path (Figure 2).  Must be a key of
+        ``reliable_filters``.
+    redundancy:
+        Operator kind for the reliable portion: ``"dmr"`` or ``"tmr"``.
+    """
+
+    reliable_filters: dict[str, tuple[int, ...]] = field(
+        default_factory=lambda: {"conv1": (0, 1)}
+    )
+    bifurcation_layer: str = "conv1"
+    redundancy: str = "dmr"
+
+    def __post_init__(self) -> None:
+        if self.bifurcation_layer not in self.reliable_filters:
+            raise ValueError(
+                f"bifurcation layer {self.bifurcation_layer!r} has no "
+                "reliable filters configured"
+            )
+        if self.redundancy not in ("dmr", "tmr"):
+            raise ValueError("redundancy must be 'dmr' or 'tmr'")
+        for name, filters in self.reliable_filters.items():
+            if len(filters) == 0:
+                raise ValueError(f"empty filter set for layer {name!r}")
+            if len(set(filters)) != len(filters):
+                raise ValueError(f"duplicate filters for layer {name!r}")
+
+    def validate_against(self, model: Sequential) -> None:
+        """Check every referenced layer/filter exists in ``model``."""
+        for name, filters in self.reliable_filters.items():
+            layer = model.layer(name)  # KeyError when absent
+            if not isinstance(layer, Conv2D):
+                raise TypeError(
+                    f"layer {name!r} is not a Conv2D; only convolution "
+                    "filters can join the reliable partition"
+                )
+            bad = [f for f in filters if not 0 <= f < layer.out_channels]
+            if bad:
+                raise ValueError(
+                    f"layer {name!r} has {layer.out_channels} filters; "
+                    f"invalid indices {bad}"
+                )
+
+    def reliable_operation_count(
+        self, model: Sequential, input_shape: tuple[int, ...]
+    ) -> int:
+        """Scalar multiply-accumulates executed reliably per image."""
+        self.validate_against(model)
+        total = 0
+        shape = input_shape
+        for layer in model:
+            if layer.name in self.reliable_filters:
+                conv: Conv2D = layer  # validated above
+                per_filter = conv.operations_per_image(shape)
+                per_filter //= conv.out_channels
+                total += per_filter * len(self.reliable_filters[layer.name])
+            shape = layer.output_shape(shape)
+        return total
+
+    def redundancy_multiplier(self) -> int:
+        """Executions per qualified operation for the chosen redundancy."""
+        return {"dmr": 2, "tmr": 3}[self.redundancy]

@@ -1,0 +1,50 @@
+"""Synthetic traffic-sign data standing in for GTSRB.
+
+The paper's experiments use the German Traffic Sign Recognition
+Benchmark (GTSRB).  That dataset cannot be redistributed here, so this
+package generates parametric sign images with the properties the
+experiments rely on:
+
+* a "Stop" class whose octagonal outline is recoverable by the
+  deterministic edge/contour pipeline (Figure 3);
+* several visually distinct non-stop classes (circles, triangles,
+  diamonds) so a CNN has a multi-class task resembling GTSRB's
+  (Figure 4, confusion-matrix experiment);
+* controlled nuisance factors -- rotation, scale, illumination,
+  additive noise, background clutter -- so difficulty is tunable and
+  every image is reproducible from a seed.
+"""
+
+from repro.data.shapes2d import (
+    polygon_mask,
+    disk_mask,
+    regular_polygon,
+    ring_mask,
+)
+from repro.data.signs import (
+    SIGN_CLASSES,
+    STOP_CLASS_INDEX,
+    SignSpec,
+    class_names,
+    render_sign,
+)
+from repro.data.dataset import SignDataset, make_dataset, train_test_split
+from repro.data.augment import add_noise, adjust_brightness, rotate_image
+
+__all__ = [
+    "polygon_mask",
+    "disk_mask",
+    "ring_mask",
+    "regular_polygon",
+    "SIGN_CLASSES",
+    "STOP_CLASS_INDEX",
+    "SignSpec",
+    "class_names",
+    "render_sign",
+    "SignDataset",
+    "make_dataset",
+    "train_test_split",
+    "add_noise",
+    "adjust_brightness",
+    "rotate_image",
+]

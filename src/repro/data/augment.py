@@ -1,0 +1,50 @@
+"""Image augmentation: noise, brightness, rotation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def add_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive Gaussian pixel noise, clipped to [0, 1]."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return image.copy()
+    noisy = image + rng.normal(0.0, sigma, size=image.shape)
+    return np.clip(noisy, 0.0, 1.0).astype(np.float32)
+
+
+def adjust_brightness(image: np.ndarray, factor: float) -> np.ndarray:
+    """Multiply pixel intensities by ``factor``, clipped to [0, 1]."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return np.clip(image * factor, 0.0, 1.0).astype(np.float32)
+
+
+def rotate_image(image: np.ndarray, angle: float) -> np.ndarray:
+    """Rotate a ``(c, h, w)`` image by ``angle`` radians about centre.
+
+    Nearest-neighbour inverse mapping; pixels sampled from outside the
+    source keep the border value of their nearest edge pixel.  For
+    sign images prefer the ``rotation`` parameter of
+    :func:`repro.data.signs.render_sign`, which rotates the vector
+    shape before rasterising; this function exists for augmenting
+    arbitrary raster inputs.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 3:
+        raise ValueError(f"expected (c, h, w), got {image.shape}")
+    c, h, w = image.shape
+    cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+    rows, cols = np.mgrid[0:h, 0:w].astype(np.float64)
+    dy = rows - cy
+    dx = cols - cx
+    cos_a, sin_a = np.cos(-angle), np.sin(-angle)
+    src_r = cy + cos_a * dy - sin_a * dx
+    src_c = cx + sin_a * dy + cos_a * dx
+    src_r = np.clip(np.rint(src_r), 0, h - 1).astype(np.int64)
+    src_c = np.clip(np.rint(src_c), 0, w - 1).astype(np.int64)
+    return image[:, src_r, src_c]

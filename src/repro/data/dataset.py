@@ -1,0 +1,94 @@
+"""Dataset assembly: batches of randomised synthetic signs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.augment import add_noise, adjust_brightness
+from repro.data.signs import SIGN_CLASSES, render_sign
+
+
+@dataclass
+class SignDataset:
+    """Images, integer labels and the generation parameters."""
+
+    images: np.ndarray  # (n, 3, size, size) float32 in [0, 1]
+    labels: np.ndarray  # (n,) int64
+    size: int
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def class_subset(self, label: int) -> np.ndarray:
+        """All images of one class."""
+        return self.images[self.labels == label]
+
+
+def make_dataset(
+    n_per_class: int,
+    size: int = 32,
+    seed: int = 0,
+    noise_sigma: float = 0.03,
+    max_rotation: float = 0.2,
+    max_jitter: float = 0.06,
+    brightness_range: tuple[float, float] = (0.8, 1.2),
+) -> SignDataset:
+    """Generate a balanced synthetic sign dataset.
+
+    Nuisance parameters are drawn uniformly per image: rotation in
+    ``[-max_rotation, max_rotation]`` radians, centre jitter up to
+    ``max_jitter * size`` pixels, brightness in ``brightness_range``
+    and additive Gaussian noise of ``noise_sigma``.
+    """
+    if n_per_class <= 0:
+        raise ValueError("n_per_class must be positive")
+    rng = np.random.default_rng(seed)
+    images = []
+    labels = []
+    for class_index in range(len(SIGN_CLASSES)):
+        for _ in range(n_per_class):
+            rotation = rng.uniform(-max_rotation, max_rotation)
+            jitter_px = max_jitter * size
+            jitter = (
+                rng.uniform(-jitter_px, jitter_px),
+                rng.uniform(-jitter_px, jitter_px),
+            )
+            scale = rng.uniform(0.68, 0.88)
+            image = render_sign(
+                class_index,
+                size=size,
+                rotation=rotation,
+                scale=scale,
+                center_jitter=jitter,
+            )
+            image = adjust_brightness(
+                image, rng.uniform(*brightness_range)
+            )
+            image = add_noise(image, noise_sigma, rng)
+            images.append(image)
+            labels.append(class_index)
+    x = np.stack(images).astype(np.float32)
+    y = np.array(labels, dtype=np.int64)
+    order = rng.permutation(len(x))
+    return SignDataset(images=x[order], labels=y[order], size=size, seed=seed)
+
+
+def train_test_split(
+    dataset: SignDataset, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Shuffled split into ``((x_train, y_train), (x_test, y_test))``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return (
+        (dataset.images[train_idx], dataset.labels[train_idx]),
+        (dataset.images[test_idx], dataset.labels[test_idx]),
+    )

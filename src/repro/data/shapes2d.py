@@ -1,0 +1,83 @@
+"""Rasterisation primitives: polygons, disks and rings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def regular_polygon(
+    center: tuple[float, float],
+    radius: float,
+    sides: int,
+    rotation: float = 0.0,
+) -> np.ndarray:
+    """Vertices of a regular polygon as ``(sides, 2)`` (row, col).
+
+    ``rotation`` is in radians; zero puts the first vertex along the
+    positive column axis.  A "flat-top" octagon (like a stop sign)
+    uses ``rotation = pi / 8``.
+    """
+    if sides < 3:
+        raise ValueError("a polygon needs at least 3 sides")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    cr, cc = center
+    angles = rotation + 2.0 * np.pi * np.arange(sides) / sides
+    rows = cr + radius * np.sin(angles)
+    cols = cc + radius * np.cos(angles)
+    return np.stack([rows, cols], axis=1)
+
+
+def polygon_mask(
+    shape: tuple[int, int], vertices: np.ndarray
+) -> np.ndarray:
+    """Filled-polygon boolean mask via vectorised ray casting.
+
+    A pixel is inside when a ray cast along +col crosses the polygon
+    boundary an odd number of times (even-odd rule).
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 2 or vertices.shape[1] != 2 or len(vertices) < 3:
+        raise ValueError("vertices must be (n>=3, 2)")
+    h, w = shape
+    rows, cols = np.mgrid[0:h, 0:w]
+    inside = np.zeros((h, w), dtype=bool)
+    r1 = vertices[:, 0]
+    c1 = vertices[:, 1]
+    r2 = np.roll(r1, -1)
+    c2 = np.roll(c1, -1)
+    for er1, ec1, er2, ec2 in zip(r1, c1, r2, c2):
+        if er1 == er2:  # horizontal edge never crossed by +col ray rule
+            continue
+        crosses = (er1 > rows) != (er2 > rows)
+        # Column where the edge intersects this pixel row.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            col_at = ec1 + (rows - er1) * (ec2 - ec1) / (er2 - er1)
+        inside ^= crosses & (cols < col_at)
+    return inside
+
+
+def disk_mask(
+    shape: tuple[int, int], center: tuple[float, float], radius: float
+) -> np.ndarray:
+    """Filled-circle boolean mask."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    h, w = shape
+    rows, cols = np.mgrid[0:h, 0:w]
+    cr, cc = center
+    return (rows - cr) ** 2 + (cols - cc) ** 2 <= radius**2
+
+
+def ring_mask(
+    shape: tuple[int, int],
+    center: tuple[float, float],
+    outer_radius: float,
+    inner_radius: float,
+) -> np.ndarray:
+    """Annulus mask (e.g. the red ring of a speed-limit sign)."""
+    if inner_radius >= outer_radius:
+        raise ValueError("inner_radius must be smaller than outer_radius")
+    outer = disk_mask(shape, center, outer_radius)
+    inner = disk_mask(shape, center, inner_radius)
+    return outer & ~inner

@@ -1,0 +1,186 @@
+"""Parametric traffic-sign rendering.
+
+Eight sign classes mirroring GTSRB's shape/colour families.  Each
+class is defined by a :class:`SignSpec` (board shape, colours, simple
+pictogram); :func:`render_sign` rasterises a spec into a ``(3, h, w)``
+float image in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.shapes2d import (
+    disk_mask,
+    polygon_mask,
+    regular_polygon,
+    ring_mask,
+)
+
+# RGB colours (approximate RAL traffic colours).
+RED = (0.75, 0.06, 0.11)
+WHITE = (0.95, 0.95, 0.95)
+BLUE = (0.06, 0.30, 0.65)
+YELLOW = (0.95, 0.80, 0.10)
+BLACK = (0.05, 0.05, 0.05)
+GREY = (0.55, 0.55, 0.55)
+
+
+@dataclass(frozen=True)
+class SignSpec:
+    """Declarative description of a sign class.
+
+    Attributes
+    ----------
+    name:
+        GTSRB-style class name.
+    board:
+        ``"octagon"``, ``"circle"``, ``"triangle"``,
+        ``"inverted_triangle"`` or ``"diamond"``.
+    face, border:
+        RGB of the sign face and (optional) border ring/edge.
+    pictogram:
+        ``"bar"``, ``"dot"``, ``"cross"``, ``"chevron"`` or ``None`` --
+        a crude but class-consistent central glyph.
+    pictogram_color:
+        RGB of the glyph.
+    """
+
+    name: str
+    board: str
+    face: tuple[float, float, float]
+    border: tuple[float, float, float] | None = None
+    pictogram: str | None = None
+    pictogram_color: tuple[float, float, float] = BLACK
+
+
+SIGN_CLASSES: list[SignSpec] = [
+    SignSpec("stop", "octagon", RED, border=WHITE),
+    SignSpec("speed_limit_50", "circle", WHITE, border=RED,
+             pictogram="bar"),
+    SignSpec("speed_limit_80", "circle", WHITE, border=RED,
+             pictogram="dot"),
+    SignSpec("no_entry", "circle", RED, pictogram="bar",
+             pictogram_color=WHITE),
+    SignSpec("yield", "inverted_triangle", WHITE, border=RED),
+    SignSpec("priority_road", "diamond", YELLOW, border=WHITE),
+    SignSpec("caution", "triangle", WHITE, border=RED,
+             pictogram="cross"),
+    SignSpec("mandatory_right", "circle", BLUE, pictogram="chevron",
+             pictogram_color=WHITE),
+]
+
+STOP_CLASS_INDEX = 0
+
+
+def class_names() -> list[str]:
+    """Names of all sign classes, index-aligned with labels."""
+    return [spec.name for spec in SIGN_CLASSES]
+
+
+def _board_mask(
+    board: str,
+    size: int,
+    center: tuple[float, float],
+    radius: float,
+    rotation: float,
+) -> np.ndarray:
+    shape = (size, size)
+    if board == "octagon":
+        # Flat-top octagon like a real stop sign.
+        verts = regular_polygon(center, radius, 8, rotation + np.pi / 8)
+        return polygon_mask(shape, verts)
+    if board == "circle":
+        return disk_mask(shape, center, radius)
+    if board == "triangle":
+        verts = regular_polygon(center, radius, 3, rotation - np.pi / 2)
+        return polygon_mask(shape, verts)
+    if board == "inverted_triangle":
+        verts = regular_polygon(center, radius, 3, rotation + np.pi / 2)
+        return polygon_mask(shape, verts)
+    if board == "diamond":
+        verts = regular_polygon(center, radius, 4, rotation + np.pi / 2)
+        return polygon_mask(shape, verts)
+    raise ValueError(f"unknown board shape {board!r}")
+
+
+def _pictogram_mask(
+    kind: str, size: int, center: tuple[float, float], radius: float
+) -> np.ndarray:
+    shape = (size, size)
+    cr, cc = center
+    if kind == "bar":
+        half_h = max(1.0, radius * 0.18)
+        half_w = radius * 0.62
+        rows, cols = np.mgrid[0:size, 0:size]
+        return (np.abs(rows - cr) <= half_h) & (np.abs(cols - cc) <= half_w)
+    if kind == "dot":
+        return disk_mask(shape, center, max(1.5, radius * 0.28))
+    if kind == "cross":
+        rows, cols = np.mgrid[0:size, 0:size]
+        arm = max(1.0, radius * 0.14)
+        extent = radius * 0.55
+        horiz = (np.abs(rows - cr) <= arm) & (np.abs(cols - cc) <= extent)
+        vert = (np.abs(cols - cc) <= arm) & (np.abs(rows - cr) <= extent)
+        return horiz | vert
+    if kind == "chevron":
+        verts = regular_polygon(center, radius * 0.45, 3, 0.0)
+        return polygon_mask(shape, verts)
+    raise ValueError(f"unknown pictogram {kind!r}")
+
+
+def render_sign(
+    spec: SignSpec | int,
+    size: int = 64,
+    rotation: float = 0.0,
+    scale: float = 0.8,
+    center_jitter: tuple[float, float] = (0.0, 0.0),
+    background: tuple[float, float, float] = GREY,
+) -> np.ndarray:
+    """Rasterise a sign to a ``(3, size, size)`` float image in [0, 1].
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SignSpec` or a class index into :data:`SIGN_CLASSES`.
+    rotation:
+        In-plane rotation in radians (the paper's Figure 3 uses a
+        "slightly angled" stop sign).
+    scale:
+        Sign radius as a fraction of ``size / 2``.
+    center_jitter:
+        (row, col) offset of the sign centre from the image centre.
+    """
+    if isinstance(spec, int):
+        spec = SIGN_CLASSES[spec]
+    if not 0.1 <= scale <= 1.0:
+        raise ValueError("scale must be in [0.1, 1.0]")
+    center = (
+        size / 2.0 + center_jitter[0],
+        size / 2.0 + center_jitter[1],
+    )
+    radius = scale * size / 2.0
+    image = np.empty((3, size, size), dtype=np.float32)
+    for ch in range(3):
+        image[ch] = background[ch]
+
+    board = _board_mask(spec.board, size, center, radius, rotation)
+    _paint(image, board, spec.face)
+    if spec.border is not None:
+        border_band = board & ~_board_mask(
+            spec.board, size, center, radius * 0.82, rotation
+        )
+        _paint(image, border_band, spec.border)
+    if spec.pictogram is not None:
+        glyph = _pictogram_mask(spec.pictogram, size, center, radius)
+        _paint(image, glyph & board, spec.pictogram_color)
+    return image
+
+
+def _paint(
+    image: np.ndarray, mask: np.ndarray, color: tuple[float, float, float]
+) -> None:
+    for ch in range(3):
+        image[ch][mask] = color[ch]

@@ -1,0 +1,56 @@
+"""IEEE-754 bit-flip primitives.
+
+A single event upset flips one storage or logic bit; on data it maps
+directly to XOR-ing one bit of the binary representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flip_bit32(value: float, bit: int) -> float:
+    """Flip bit ``bit`` (0 = LSB of mantissa, 31 = sign) of a float32."""
+    if not 0 <= bit < 32:
+        raise ValueError("bit must be in [0, 32)")
+    as_int = np.float32(value).view(np.uint32)
+    flipped = as_int ^ np.uint32(1 << bit)
+    return float(flipped.view(np.float32))
+
+
+def flip_bit64(value: float, bit: int) -> float:
+    """Flip bit ``bit`` (0 = LSB, 63 = sign) of a float64."""
+    if not 0 <= bit < 64:
+        raise ValueError("bit must be in [0, 64)")
+    as_int = np.float64(value).view(np.uint64)
+    flipped = as_int ^ np.uint64(1 << bit)
+    return float(flipped.view(np.float64))
+
+
+def random_bitflip(
+    value: float,
+    rng: np.random.Generator,
+    width: int = 32,
+    bit_range: tuple[int, int] | None = None,
+) -> float:
+    """Flip one uniformly-chosen bit of ``value``.
+
+    Parameters
+    ----------
+    width:
+        32 or 64 (storage width being modelled).
+    bit_range:
+        Optional ``(low, high)`` half-open interval to restrict which
+        bits can flip -- e.g. ``(23, 31)`` targets float32 exponent
+        bits, the flips most likely to produce large, detectable
+        deviations; ``(0, 23)`` targets the mantissa.
+    """
+    if width not in (32, 64):
+        raise ValueError("width must be 32 or 64")
+    low, high = bit_range if bit_range is not None else (0, width)
+    if not 0 <= low < high <= width:
+        raise ValueError(f"invalid bit_range {bit_range!r} for width {width}")
+    bit = int(rng.integers(low, high))
+    if width == 32:
+        return flip_bit32(value, bit)
+    return flip_bit64(value, bit)

@@ -1,0 +1,186 @@
+"""Fault-injection campaigns with outcome classification.
+
+A campaign repeatedly executes a protected kernel under a fault model
+and classifies every run:
+
+* ``MASKED`` -- faults fired but the output still equals the golden
+  (fault-free) result without any detection (e.g. TMR voting, or the
+  flip hit a bit that did not change the value);
+* ``DETECTED_RECOVERED`` -- qualifiers caught errors and rollback
+  produced the golden result;
+* ``DETECTED_ABORTED`` -- the leaky bucket overflowed and the kernel
+  reported a persistent failure (explicit, safe outcome);
+* ``SILENT_CORRUPTION`` -- the output differs from golden with no
+  detection: the outcome reliability engineering exists to prevent;
+* ``CLEAN`` -- no fault fired at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import FaultModel
+from repro.reliable.convolution import ConvolutionStats, reliable_convolution
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import make_operator
+
+
+class Outcome(enum.Enum):
+    CLEAN = "clean"
+    MASKED = "masked"
+    DETECTED_RECOVERED = "detected_recovered"
+    DETECTED_ABORTED = "detected_aborted"
+    SILENT_CORRUPTION = "silent_corruption"
+
+
+def classify_outcome(
+    golden: float,
+    value: float | None,
+    fault_fired: bool,
+    errors_detected: int,
+    aborted: bool,
+    atol: float = 0.0,
+) -> Outcome:
+    """Map one run's observables to an :class:`Outcome`.
+
+    ``value`` is None when the run aborted.  ``atol`` allows tolerance
+    for accumulations whose re-execution order may legitimately differ
+    (0.0 for our deterministic kernels).
+    """
+    if aborted:
+        return Outcome.DETECTED_ABORTED
+    if value is None:
+        raise ValueError("non-aborted run must provide a value")
+    correct = abs(value - golden) <= atol
+    if not fault_fired:
+        return Outcome.CLEAN
+    if correct and errors_detected == 0:
+        return Outcome.MASKED
+    if correct:
+        return Outcome.DETECTED_RECOVERED
+    if errors_detected > 0:
+        # Detected something yet still emitted a wrong value: counts
+        # as silent corruption because the wrong value escaped.
+        return Outcome.SILENT_CORRUPTION
+    return Outcome.SILENT_CORRUPTION
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    runs: int = 0
+    counts: dict[Outcome, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in Outcome}
+    )
+    errors_detected: int = 0
+    rollbacks: int = 0
+    faults_fired: int = 0
+
+    def record(self, outcome: Outcome) -> None:
+        self.runs += 1
+        self.counts[outcome] += 1
+
+    @property
+    def silent_corruption_rate(self) -> float:
+        """SDC runs per run with at least one fired fault."""
+        faulted = self.runs - self.counts[Outcome.CLEAN]
+        if faulted == 0:
+            return 0.0
+        return self.counts[Outcome.SILENT_CORRUPTION] / faulted
+
+    @property
+    def detection_coverage(self) -> float:
+        """Fraction of faulted runs ending in a safe state.
+
+        Safe states: masked, detected-recovered, detected-aborted.
+        """
+        faulted = self.runs - self.counts[Outcome.CLEAN]
+        if faulted == 0:
+            return 1.0
+        safe = (
+            self.counts[Outcome.MASKED]
+            + self.counts[Outcome.DETECTED_RECOVERED]
+            + self.counts[Outcome.DETECTED_ABORTED]
+        )
+        return safe / faulted
+
+    def summary(self) -> str:
+        parts = [f"runs={self.runs}"]
+        parts.extend(
+            f"{outcome.value}={self.counts[outcome]}" for outcome in Outcome
+        )
+        parts.append(f"coverage={self.detection_coverage:.3f}")
+        parts.append(f"sdc_rate={self.silent_corruption_rate:.3f}")
+        return " ".join(parts)
+
+
+def run_operator_campaign(
+    fault_factory,
+    operator_kind: str = "dmr",
+    runs: int = 200,
+    vector_length: int = 32,
+    bucket_factor: int = 2,
+    bucket_ceiling: int | None = None,
+    seed: int = 0,
+) -> CampaignResult:
+    """Campaign over single reliable-convolution outputs.
+
+    Parameters
+    ----------
+    fault_factory:
+        Callable ``(rng) -> FaultModel`` building a fresh fault model
+        per run (fresh state matters for permanent/intermittent
+        models).
+    operator_kind:
+        ``"plain"``, ``"dmr"`` or ``"tmr"`` -- the protection level
+        under test.
+    runs:
+        Number of injected executions.
+    vector_length:
+        Receptive-field size of the synthetic convolution.
+
+    Returns
+    -------
+    CampaignResult
+    """
+    rng = np.random.default_rng(seed)
+    result = CampaignResult()
+    for _ in range(runs):
+        patch = rng.standard_normal(vector_length).astype(np.float32)
+        weights = rng.standard_normal(vector_length).astype(np.float32)
+        bias = float(rng.standard_normal())
+        golden = reliable_convolution(
+            patch, weights, bias, make_operator("plain")
+        ).value
+
+        fault: FaultModel = fault_factory(rng)
+        unit = FaultyExecutionUnit(fault)
+        operator = make_operator(operator_kind, unit)
+        bucket = LeakyBucket(factor=bucket_factor, ceiling=bucket_ceiling)
+        stats = ConvolutionStats()
+        aborted = False
+        value: float | None = None
+        try:
+            value = reliable_convolution(
+                patch, weights, bias, operator, bucket=bucket, stats=stats
+            ).value
+        except PersistentFailureError:
+            aborted = True
+        result.errors_detected += stats.errors_detected
+        result.rollbacks += stats.rollbacks
+        result.faults_fired += fault.activations
+        outcome = classify_outcome(
+            golden,
+            value,
+            fault_fired=fault.activations > 0,
+            errors_detected=stats.errors_detected,
+            aborted=aborted,
+        )
+        result.record(outcome)
+    return result

@@ -1,0 +1,106 @@
+"""Fault injection points: execution units and tensors.
+
+Faults enter at two places, mirroring the paper's threat model
+("single event upsets acting on the processing element or data
+corruption of the weights and input data"):
+
+* :class:`FaultyExecutionUnit` corrupts *arithmetic results* -- the
+  processing-element upset.  Redundant operators calling the unit
+  twice see independent draws for transient models, which is what
+  makes comparison-based detection work.
+* :func:`corrupt_tensor` / :func:`flip_weight_bits` corrupt *stored
+  data* -- weights or activations -- before execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.bitflip import flip_bit32
+from repro.faults.models import FaultModel
+from repro.reliable.execution_unit import ExecutionUnit, PerfectExecutionUnit
+
+
+class FaultyExecutionUnit(ExecutionUnit):
+    """An execution unit whose results pass through a fault model.
+
+    Parameters
+    ----------
+    fault:
+        The fault model applied to every result.
+    base:
+        The underlying (correct) unit; defaults to perfect arithmetic.
+    targets:
+        Which operations are exposed: ``"both"`` (default),
+        ``"multiply"`` or ``"add"``.
+    """
+
+    def __init__(
+        self,
+        fault: FaultModel,
+        base: ExecutionUnit | None = None,
+        targets: str = "both",
+    ) -> None:
+        if targets not in ("both", "multiply", "add"):
+            raise ValueError("targets must be 'both', 'multiply' or 'add'")
+        self.fault = fault
+        self.base = base or PerfectExecutionUnit()
+        self.targets = targets
+
+    def multiply(self, a: float, b: float) -> float:
+        result = self.base.multiply(a, b)
+        if self.targets in ("both", "multiply"):
+            result = self.fault.apply(result)
+        return result
+
+    def add(self, a: float, b: float) -> float:
+        result = self.base.add(a, b)
+        if self.targets in ("both", "add"):
+            result = self.fault.apply(result)
+        return result
+
+
+def corrupt_tensor(
+    tensor: np.ndarray,
+    n_flips: int,
+    rng: np.random.Generator,
+    bit_range: tuple[int, int] | None = None,
+) -> tuple[np.ndarray, list[tuple[tuple[int, ...], int]]]:
+    """Flip ``n_flips`` random bits in random elements of a tensor.
+
+    Returns ``(corrupted_copy, flips)`` where each flip is
+    ``(element_index, bit)``.  The input tensor is not modified.
+    """
+    if n_flips < 0:
+        raise ValueError("n_flips must be >= 0")
+    corrupted = np.array(tensor, dtype=np.float32, copy=True)
+    flat = corrupted.reshape(-1)
+    flips: list[tuple[tuple[int, ...], int]] = []
+    low, high = bit_range if bit_range is not None else (0, 32)
+    for _ in range(n_flips):
+        pos = int(rng.integers(0, flat.size))
+        bit = int(rng.integers(low, high))
+        flat[pos] = flip_bit32(float(flat[pos]), bit)
+        flips.append(
+            (np.unravel_index(pos, corrupted.shape), bit)
+        )
+    return corrupted, flips
+
+
+def flip_weight_bits(
+    layer,
+    n_flips: int,
+    rng: np.random.Generator,
+    bit_range: tuple[int, int] | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Corrupt a layer's weight tensor in place; returns the flip list.
+
+    Use with try/finally or a saved copy when the corruption must be
+    undone -- campaigns in :mod:`repro.faults.campaign` handle that
+    bookkeeping.
+    """
+    corrupted, flips = corrupt_tensor(
+        layer.weight.value, n_flips, rng, bit_range=bit_range
+    )
+    layer.weight.value = corrupted
+    return flips

@@ -1,0 +1,140 @@
+"""Fault models: when faults fire and how they corrupt a value.
+
+Terminology follows the dependability literature the paper cites:
+
+* **transient** -- each operation is independently hit with some
+  probability; a re-execution is overwhelmingly likely to succeed,
+  which is why rollback works ("the assumption being that such an
+  error ... will not be present once the system has re-booted");
+* **intermittent** -- errors arrive in bursts (e.g. marginal timing
+  under temperature); modelled as a two-state Gilbert process;
+* **permanent** -- once manifest, every affected operation is
+  corrupted the same way (stuck-at behaviour).  Re-execution on the
+  same unit cannot help; the paper notes the platform "becomes
+  unusable" under temporal redundancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.bitflip import random_bitflip
+
+
+class FaultModel:
+    """Decides whether an operation is corrupted and how.
+
+    Subclasses implement :meth:`fires` (does this execution get hit?)
+    and :meth:`corrupt` (what does the hit do to the result?).
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self.rng = rng or np.random.default_rng(0)
+        self.activations = 0
+
+    def fires(self) -> bool:
+        raise NotImplementedError
+
+    def corrupt(self, value: float) -> float:
+        raise NotImplementedError
+
+    def apply(self, value: float) -> float:
+        """Corrupt ``value`` if the model fires, else pass it through."""
+        if self.fires():
+            self.activations += 1
+            return self.corrupt(value)
+        return value
+
+
+class TransientFault(FaultModel):
+    """Independent per-operation SEU with probability ``probability``.
+
+    Corruption is a uniformly-random single bit flip, optionally
+    restricted to a bit range (see
+    :func:`repro.faults.bitflip.random_bitflip`).
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        rng: np.random.Generator | None = None,
+        bit_range: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(rng)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.bit_range = bit_range
+
+    def fires(self) -> bool:
+        return bool(self.rng.random() < self.probability)
+
+    def corrupt(self, value: float) -> float:
+        return random_bitflip(
+            value, self.rng, width=32, bit_range=self.bit_range
+        )
+
+
+class IntermittentFault(FaultModel):
+    """Bursty faults: a two-state Gilbert model.
+
+    In the *good* state operations are clean; each operation may move
+    to the *bad* state with probability ``burst_start``.  In the bad
+    state every operation is corrupted and the state exits with
+    probability ``burst_end``.
+    """
+
+    def __init__(
+        self,
+        burst_start: float,
+        burst_end: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(rng)
+        for name, p in (("burst_start", burst_start),
+                        ("burst_end", burst_end)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.burst_start = burst_start
+        self.burst_end = burst_end
+        self.in_burst = False
+
+    def fires(self) -> bool:
+        if self.in_burst:
+            if self.rng.random() < self.burst_end:
+                self.in_burst = False
+                return False
+            return True
+        if self.rng.random() < self.burst_start:
+            self.in_burst = True
+            return True
+        return False
+
+    def corrupt(self, value: float) -> float:
+        return random_bitflip(value, self.rng, width=32)
+
+
+class PermanentFault(FaultModel):
+    """Stuck-at fault: always fires, deterministic corruption.
+
+    ``bit`` selects which result bit is stuck; the flip is the same on
+    every execution, so redundant re-execution on the same unit agrees
+    with itself -- the common-mode blind spot of temporal redundancy
+    that only *spatial* (diverse) redundancy can uncover.
+    """
+
+    def __init__(
+        self, bit: int = 30, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__(rng)
+        if not 0 <= bit < 32:
+            raise ValueError("bit must be in [0, 32)")
+        self.bit = bit
+
+    def fires(self) -> bool:
+        return True
+
+    def corrupt(self, value: float) -> float:
+        from repro.faults.bitflip import flip_bit32
+
+        return flip_bit32(value, self.bit)

@@ -1,0 +1,45 @@
+"""Hybrid-CNN interchange format (the paper's proposed future work).
+
+Section V.B: "we believe that focus should be placed on researching
+extensions to the ONNX standard to facilitate the platform-agnostic
+description of hybrid-CNNs."  This package implements that extension
+in miniature: a JSON graph format that describes
+
+* the network topology (an ONNX-like op list with attributes),
+* the **reliability annotation** -- which filters of which layers are
+  dependable, the redundancy scheme, the bifurcation point, and the
+  qualifier configuration (shape, SAX parameters, threshold), and
+* the safety contract (which class requires qualification).
+
+A hybrid graph can be exported from a live
+:class:`~repro.core.hybrid.IntegratedHybridCNN` configuration,
+validated structurally, saved/loaded as JSON (+ ``.npz`` weights),
+and rebuilt into a running hybrid on the other side -- the
+"platform-agnostic description" round trip.
+"""
+
+from repro.hybridir.schema import (
+    SCHEMA_VERSION,
+    HybridGraph,
+    LayerNode,
+    QualifierSpec,
+    ReliabilityAnnotation,
+)
+from repro.hybridir.export import export_hybrid, save_hybrid
+from repro.hybridir.build import build_hybrid, build_model, load_hybrid
+from repro.hybridir.validate import ValidationError, validate_graph
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LayerNode",
+    "QualifierSpec",
+    "ReliabilityAnnotation",
+    "HybridGraph",
+    "export_hybrid",
+    "save_hybrid",
+    "build_model",
+    "build_hybrid",
+    "load_hybrid",
+    "validate_graph",
+    "ValidationError",
+]

@@ -1,0 +1,153 @@
+"""Graph schema: ONNX-like nodes plus reliability annotations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+#: Supported ops and the attributes each carries.
+OP_ATTRS: dict[str, tuple[str, ...]] = {
+    "conv2d": ("in_channels", "out_channels", "kernel_size", "stride",
+               "padding"),
+    "dense": ("in_features", "out_features"),
+    "relu": (),
+    "softmax": (),
+    "maxpool2d": ("pool_size", "stride"),
+    "flatten": (),
+    "lrn": ("size", "k", "alpha", "beta"),
+    "dropout": ("rate",),
+}
+
+
+@dataclass
+class LayerNode:
+    """One topology node: an op, its name, and its attributes."""
+
+    op: str
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op, "name": self.name, "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LayerNode":
+        return cls(
+            op=data["op"], name=data["name"],
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+@dataclass
+class QualifierSpec:
+    """Serialised qualifier configuration (the dependable model)."""
+
+    shape: str = "octagon"
+    word_length: int = 32
+    alphabet_size: int = 8
+    threshold: float = 3.0
+    n_samples: int = 128
+    redundant: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shape": self.shape,
+            "word_length": self.word_length,
+            "alphabet_size": self.alphabet_size,
+            "threshold": self.threshold,
+            "n_samples": self.n_samples,
+            "redundant": self.redundant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QualifierSpec":
+        return cls(**data)
+
+
+@dataclass
+class ReliabilityAnnotation:
+    """The hybrid extension: what executes dependably, and how.
+
+    This is the information an ONNX extension would need to carry for
+    a downstream FPGA/accelerator toolchain to reproduce the paper's
+    architecture: everything else in the graph is standard topology.
+    """
+
+    reliable_filters: dict[str, list[int]] = field(
+        default_factory=lambda: {"conv1": [0, 1]}
+    )
+    bifurcation_layer: str = "conv1"
+    redundancy: str = "dmr"
+    safety_class: int = 0
+    qualifier: QualifierSpec = field(default_factory=QualifierSpec)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "reliable_filters": {
+                name: list(filters)
+                for name, filters in self.reliable_filters.items()
+            },
+            "bifurcation_layer": self.bifurcation_layer,
+            "redundancy": self.redundancy,
+            "safety_class": self.safety_class,
+            "qualifier": self.qualifier.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReliabilityAnnotation":
+        return cls(
+            reliable_filters={
+                name: list(filters)
+                for name, filters in data["reliable_filters"].items()
+            },
+            bifurcation_layer=data["bifurcation_layer"],
+            redundancy=data["redundancy"],
+            safety_class=data["safety_class"],
+            qualifier=QualifierSpec.from_dict(data["qualifier"]),
+        )
+
+
+@dataclass
+class HybridGraph:
+    """A complete hybrid-CNN description."""
+
+    name: str
+    input_shape: tuple[int, int, int]
+    layers: list[LayerNode]
+    reliability: ReliabilityAnnotation
+    weights_file: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "layers": [layer.to_dict() for layer in self.layers],
+            "reliability": self.reliability.to_dict(),
+            "weights_file": self.weights_file,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "HybridGraph":
+        version = data.get("schema_version", 0)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema version {version} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            input_shape=tuple(data["input_shape"]),
+            layers=[LayerNode.from_dict(d) for d in data["layers"]],
+            reliability=ReliabilityAnnotation.from_dict(
+                data["reliability"]
+            ),
+            weights_file=data.get("weights_file"),
+            schema_version=version,
+        )
+
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]

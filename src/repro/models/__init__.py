@@ -1,0 +1,17 @@
+"""Model zoo: AlexNet (paper-faithful and scaled) and a small CNN."""
+
+from repro.models.alexnet import (
+    AlexNetConfig,
+    alexnet,
+    alexnet_full,
+    alexnet_scaled,
+)
+from repro.models.smallcnn import small_cnn
+
+__all__ = [
+    "AlexNetConfig",
+    "alexnet",
+    "alexnet_full",
+    "alexnet_scaled",
+    "small_cnn",
+]

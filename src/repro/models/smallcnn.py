@@ -1,0 +1,43 @@
+"""A small CNN baseline for fast tests and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+
+
+def small_cnn(
+    input_size: int = 32,
+    n_classes: int = 8,
+    conv1_filters: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Two-convolution CNN that trains to high accuracy on the
+    synthetic sign dataset in seconds.
+
+    Keeps the structural features the experiments rely on: a named
+    ``conv1`` whose filters can be replaced/pinned, ReLU/pool stages
+    and a logits head.
+    """
+    rng = rng or np.random.default_rng(0)
+    layers = [
+        Conv2D(3, conv1_filters, 5, stride=1, padding=2, rng=rng,
+               name="conv1"),
+        ReLU(name="relu1"),
+        MaxPool2D(2, name="pool1"),
+        Conv2D(conv1_filters, 16, 3, stride=1, padding=1, rng=rng,
+               name="conv2"),
+        ReLU(name="relu2"),
+        MaxPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+    ]
+    probe = Sequential(layers, name="probe")
+    feature_size = probe.output_shape((3, input_size, input_size))[0]
+    layers.extend([
+        Dense(feature_size, 64, rng=rng, name="fc1"),
+        ReLU(name="relu3"),
+        Dense(64, n_classes, rng=rng, name="fc2"),
+    ])
+    return Sequential(layers, name="small_cnn")

@@ -1,0 +1,71 @@
+"""A small, from-scratch NumPy neural-network framework.
+
+This package replaces the TensorFlow execution path used by the paper
+(Doran & Veljanovska, DSN 2024).  It provides everything the paper's
+experiments need:
+
+* layers with explicit forward/backward passes (:mod:`repro.nn.layers`),
+* losses (:mod:`repro.nn.losses`) and optimisers (:mod:`repro.nn.optim`),
+* a :class:`~repro.nn.network.Sequential` container,
+* a :class:`~repro.nn.trainer.Trainer` with *filter freezing* -- the
+  paper's "pre-initialise a filter to Sobel and re-set it after every
+  epoch or batch" workflow (Section III.B),
+* model (de)serialisation (:mod:`repro.nn.serialize`).
+
+The framework uses the NCHW (batch, channels, height, width) layout
+throughout and float32 arithmetic by default, matching the conventions
+of mainstream frameworks so that the reliable-execution layer in
+:mod:`repro.reliable` can hook convolution arithmetic without surprises.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.initializers import (
+    constant_init,
+    glorot_uniform,
+    he_normal,
+    zeros_init,
+)
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, Momentum
+from repro.nn.trainer import FilterPin, Trainer, TrainingHistory
+from repro.nn.serialize import load_model, save_model
+
+__all__ = [
+    "Parameter",
+    "constant_init",
+    "glorot_uniform",
+    "he_normal",
+    "zeros_init",
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "LocalResponseNorm",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Sequential",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "Trainer",
+    "FilterPin",
+    "TrainingHistory",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,58 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so
+that every experiment in the repository is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Uses ``limit = sqrt(6 / (fan_in + fan_out))``.  For convolution
+    kernels shaped ``(out_channels, in_channels, kh, kw)`` the fans
+    include the receptive-field size.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation, suited to ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)
+
+
+def zeros_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    del rng  # deterministic; accepted for interface uniformity
+    return np.zeros(shape, dtype=np.float32)
+
+
+def constant_init(value: float):
+    """Return an initialiser that fills with ``value``."""
+
+    def _init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        del rng
+        return np.full(shape, value, dtype=np.float32)
+
+    return _init
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolution shapes."""
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported parameter shape {shape!r}")

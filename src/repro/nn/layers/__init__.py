@@ -1,0 +1,22 @@
+"""Neural-network layers with explicit forward/backward passes."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.activations import ReLU, Softmax
+from repro.nn.layers.pooling import MaxPool2D
+from repro.nn.layers.reshape import Flatten
+from repro.nn.layers.norm import LocalResponseNorm
+from repro.nn.layers.dropout import Dropout
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "Softmax",
+    "MaxPool2D",
+    "Flatten",
+    "LocalResponseNorm",
+    "Dropout",
+]

@@ -1,0 +1,66 @@
+"""Activation layers: ReLU and Softmax."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Element-wise rectified linear unit."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(
+                f"{self.name}: backward called before forward(training=True)"
+            )
+        out = grad * self._mask
+        self._mask = None
+        return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis.
+
+    Usually fused with cross-entropy during training (see
+    :class:`repro.nn.losses.CrossEntropyLoss`); kept as a layer so that
+    inference-time class confidences -- the quantity plotted in the
+    paper's Figure 4 -- are part of the network output.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = softmax(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError(
+                f"{self.name}: backward called before forward(training=True)"
+            )
+        s = self._out
+        self._out = None
+        dot = (grad * s).sum(axis=-1, keepdims=True)
+        return s * (grad - dot)

@@ -1,0 +1,59 @@
+"""Layer base class."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Layer:
+    """Base class for all layers.
+
+    A layer is a differentiable function of one input tensor.  Sub-
+    classes implement :meth:`forward` and :meth:`backward`; layers with
+    weights register them via :meth:`_register`.
+
+    The contract mirrors classic define-by-run frameworks:
+
+    * ``forward(x, training)`` caches whatever the backward pass needs.
+    * ``backward(grad)`` consumes that cache, accumulates parameter
+      gradients into ``Parameter.grad`` and returns the gradient with
+      respect to the layer input.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__.lower()
+        self._params: list[Parameter] = []
+
+    # -- interface ----------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of the output given an input shape (without batch dim)."""
+        return input_shape
+
+    # -- parameter handling -------------------------------------------
+    def _register(self, value: np.ndarray, suffix: str) -> Parameter:
+        param = Parameter(value, name=f"{self.name}/{suffix}")
+        self._params.append(param)
+        return param
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this layer."""
+        return list(self._params)
+
+    def zero_grad(self) -> None:
+        for param in self._params:
+            param.zero_grad()
+
+    # -- convenience ----------------------------------------------------
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

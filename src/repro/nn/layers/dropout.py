@@ -1,0 +1,46 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``.
+
+    Scaling happens at training time so inference is a plain identity,
+    which keeps the reliable-execution path (inference only) free of
+    stochastic behaviour.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.5,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self.rng.random(x.shape) < keep
+        ).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            # forward ran in inference mode; dropout was identity
+            return grad
+        out = grad * self._mask
+        self._mask = None
+        return out

@@ -1,0 +1,76 @@
+"""Local response normalisation (AlexNet-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class LocalResponseNorm(Layer):
+    """Cross-channel local response normalisation.
+
+    ``b[i] = a[i] / (k + alpha/n * sum_{j in window(i)} a[j]^2) ** beta``
+    with the AlexNet defaults ``n=5, k=2, alpha=1e-4, beta=0.75``.
+    """
+
+    def __init__(
+        self,
+        size: int = 5,
+        k: float = 2.0,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if size <= 0 or size % 2 == 0:
+            raise ValueError("size must be a positive odd integer")
+        self.size = size
+        self.k = k
+        self.alpha = alpha
+        self.beta = beta
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _window_sums(self, squares: np.ndarray) -> np.ndarray:
+        """Sliding cross-channel sum of squares with edge clamping."""
+        c = squares.shape[1]
+        half = self.size // 2
+        padded = np.pad(squares, ((0, 0), (half, half), (0, 0), (0, 0)))
+        csum = np.cumsum(padded, axis=1)
+        csum = np.concatenate(
+            [np.zeros_like(csum[:, :1]), csum], axis=1
+        )
+        # window over padded channels [i, i+size) maps to original i-half..
+        return csum[:, self.size :] - csum[:, :c]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        sums = self._window_sums(x * x)
+        denom = self.k + (self.alpha / self.size) * sums
+        out = x / (denom**self.beta)
+        if training:
+            self._cache = (x, denom)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"{self.name}: backward called before forward(training=True)"
+            )
+        x, denom = self._cache
+        self._cache = None
+        # d(out_i)/d(x_j): direct term for i == j plus the cross-channel
+        # coupling through the shared window sum.
+        dpow = denom ** (-self.beta)
+        direct = grad * dpow
+        coupling = grad * x * (-self.beta) * denom ** (-self.beta - 1.0)
+        coupling *= 2.0 * (self.alpha / self.size)
+        # Each x_j appears in the windows of channels j-half..j+half, so
+        # the coupling term is itself a sliding window sum over channels.
+        summed = self._window_sums_backward(coupling)
+        return direct + x * summed
+
+    def _window_sums_backward(self, values: np.ndarray) -> np.ndarray:
+        """Distribute coupling terms back over their windows."""
+        # Symmetric window: the scatter is the same sliding-sum pattern.
+        return self._window_sums(values)

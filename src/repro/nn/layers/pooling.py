@@ -1,0 +1,75 @@
+"""Max pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import conv_output_size
+
+
+class MaxPool2D(Layer):
+    """Max pooling over NCHW inputs.
+
+    AlexNet uses overlapping 3x3/stride-2 pooling; both overlapping
+    and non-overlapping geometries are supported.
+    """
+
+    def __init__(
+        self, pool_size: int, stride: int | None = None, name: str | None = None
+    ) -> None:
+        super().__init__(name=name)
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride or pool_size
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        n, c, h, w = x.shape
+        k, s = self.pool_size, self.stride
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+        sn, sc, sh, sw = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw),
+            writeable=False,
+        )
+        flat = windows.reshape(n, c, out_h, out_w, k * k)
+        out = flat.max(axis=-1)
+        if training:
+            argmax = flat.argmax(axis=-1)
+            self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"{self.name}: backward called before forward(training=True)"
+            )
+        input_shape, argmax = self._cache
+        self._cache = None
+        n, c, h, w = input_shape
+        k, s = self.pool_size, self.stride
+        out_h, out_w = grad.shape[2], grad.shape[3]
+        dx = np.zeros(input_shape, dtype=np.float32)
+        # Scatter each output gradient to the argmax position of its
+        # window.  Overlapping windows accumulate, matching autodiff.
+        rows_in_window, cols_in_window = np.divmod(argmax, k)
+        oi = np.arange(out_h)[None, None, :, None]
+        oj = np.arange(out_w)[None, None, None, :]
+        hi = oi * s + rows_in_window
+        wj = oj * s + cols_in_window
+        ni = np.arange(n)[:, None, None, None]
+        ci = np.arange(c)[None, :, None, None]
+        np.add.at(dx, (ni, ci, hi, wj), grad)
+        return dx
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(w, self.pool_size, self.stride, 0)
+        return (c, out_h, out_w)

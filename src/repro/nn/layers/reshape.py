@@ -1,0 +1,32 @@
+"""Shape-adapting layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Flatten all non-batch axes into one feature axis."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(
+                f"{self.name}: backward called before forward(training=True)"
+            )
+        shape = self._input_shape
+        self._input_shape = None
+        return grad.reshape(shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)

@@ -1,0 +1,51 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Operates on *logits* (fused softmax) for numerical stability; the
+    network's trailing :class:`~repro.nn.layers.Softmax` layer should
+    be omitted during training or the logits passed directly.
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (n, classes) logits, got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError("labels must be one integer per sample")
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        picked = probs[np.arange(len(labels)), labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)
+
+
+class MSELoss:
+    """Mean squared error over arbitrary-shape targets."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred = np.asarray(pred, dtype=np.float32)
+        target = np.asarray(target, dtype=np.float32)
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: {pred.shape} vs {target.shape}"
+            )
+        self._diff = pred - target
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        return (2.0 / self._diff.size) * self._diff

@@ -1,0 +1,146 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.parameter import Parameter
+
+
+class Sequential:
+    """A feed-forward stack of layers.
+
+    Besides plain forward/backward execution the container offers the
+    access patterns the reproduction needs:
+
+    * ``model[i]`` / ``model.layer(name)`` -- locate a layer so its
+      filters can be replaced or executed reliably;
+    * :meth:`forward_from` / :meth:`forward_until` -- split execution
+      at a bifurcation point, which is how the hybrid architecture of
+      the paper's Figure 2 shares early layers between the CNN and the
+      dependable path;
+    * :meth:`operation_counts` -- per-layer multiply-accumulate counts
+      for the hybrid cost model.
+    """
+
+    def __init__(self, layers: Iterable[Layer], name: str = "model") -> None:
+        self.layers: list[Layer] = list(layers)
+        self.name = name
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names in {name}: {names}")
+
+    # -- execution ------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def forward_until(
+        self, x: np.ndarray, stop: int, training: bool = False
+    ) -> np.ndarray:
+        """Run layers ``[0, stop)`` and return the intermediate tensor."""
+        for layer in self.layers[:stop]:
+            x = layer.forward(x, training=training)
+        return x
+
+    def forward_from(
+        self, x: np.ndarray, start: int, training: bool = False
+    ) -> np.ndarray:
+        """Run layers ``[start, end)`` on an intermediate tensor."""
+        for layer in self.layers[start:]:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    # -- layer access -----------------------------------------------------
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        """Look a layer up by name; raises ``KeyError`` if absent."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    def index_of(self, name: str) -> int:
+        for i, candidate in enumerate(self.layers):
+            if candidate.name == name:
+                return i
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    # -- parameters -------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- shape / cost introspection ----------------------------------------
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def shapes(self, input_shape: tuple[int, ...]) -> list[tuple[int, ...]]:
+        """Input shape followed by the output shape of every layer."""
+        result = [input_shape]
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            result.append(shape)
+        return result
+
+    def operation_counts(self, input_shape: tuple[int, ...]) -> dict[str, int]:
+        """Multiply-accumulate count per layer for one input image.
+
+        Layers without arithmetic weight application (activations,
+        pooling, reshape) count zero; they are not candidates for the
+        paper's redundant execution.
+        """
+        counts: dict[str, int] = {}
+        shape = input_shape
+        for layer in self.layers:
+            ops = getattr(layer, "operations_per_image", None)
+            counts[layer.name] = int(ops(shape)) if ops else 0
+            shape = layer.output_shape(shape)
+        return counts
+
+    def summary(self, input_shape: tuple[int, ...]) -> str:
+        """Human-readable architecture table."""
+        lines = [f"{self.name} ({self.parameter_count():,} parameters)"]
+        shape = input_shape
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            n_params = sum(p.size for p in layer.parameters())
+            lines.append(
+                f"  {layer.name:<16} {str(shape):>20} -> {str(out):<20}"
+                f" params={n_params:,}"
+            )
+            shape = out
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Optimisers.
+
+Each optimiser updates a list of :class:`~repro.nn.parameter.Parameter`
+in place, honouring the ``frozen`` flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base optimiser."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.frozen:
+                continue
+            self._update(param)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def _update(self, param: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent with optional weight decay."""
+
+    def __init__(
+        self, params: list[Parameter], lr: float = 0.01, weight_decay: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.value
+        param.value -= self.lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum (AlexNet's original optimiser)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = {id(p): np.zeros_like(p.value) for p in self.params}
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.value
+        vel = self._velocity[id(param)]
+        vel *= self.momentum
+        vel -= self.lr * grad
+        param.value += vel
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {id(p): np.zeros_like(p.value) for p in self.params}
+        self._v = {id(p): np.zeros_like(p.value) for p in self.params}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        super().step()
+
+    def _update(self, param: Parameter) -> None:
+        m = self._m[id(param)]
+        v = self._v[id(param)]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * param.grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * param.grad**2
+        m_hat = m / (1.0 - self.beta1**self._t)
+        v_hat = v / (1.0 - self.beta2**self._t)
+        param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

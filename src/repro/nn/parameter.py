@@ -1,0 +1,48 @@
+"""Trainable parameters with gradient storage and freeze support."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient.
+
+    Attributes
+    ----------
+    value:
+        The parameter tensor (float32 ndarray).
+    grad:
+        Accumulated gradient of the loss w.r.t. ``value``; same shape.
+    name:
+        Human-readable identifier, e.g. ``"conv1/weight"``.
+    frozen:
+        When True, optimisers skip the update for this parameter.
+        Freezing an entire parameter is coarse; for the paper's
+        per-filter pinning use :class:`repro.nn.trainer.FilterPin`,
+        which re-writes a slice after each update (mirroring the
+        observed TensorFlow behaviour where a "frozen" filter still
+        drifts unless explicitly re-set).
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+        self.frozen = False
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = ", frozen" if self.frozen else ""
+        return f"Parameter({self.name}, shape={self.value.shape}{state})"

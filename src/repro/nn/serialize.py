@@ -1,0 +1,47 @@
+"""Model weight (de)serialisation.
+
+Weights are stored as a compressed ``.npz`` keyed by parameter name.
+Only weights are persisted; architecture is re-created in code (the
+reproduction's models are all constructed by named factory functions,
+so this matches how the paper's TensorFlow checkpoints were used).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+def save_model(model: Sequential, path: str | os.PathLike) -> None:
+    """Save all parameter tensors of ``model`` to ``path`` (.npz)."""
+    arrays = {}
+    for param in model.parameters():
+        if param.name in arrays:
+            raise ValueError(f"duplicate parameter name {param.name!r}")
+        arrays[param.name] = param.value
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(model: Sequential, path: str | os.PathLike) -> Sequential:
+    """Load weights saved by :func:`save_model` into ``model`` in place.
+
+    The model architecture must match: every parameter name must be
+    present with the same shape.
+    """
+    with np.load(path) as data:
+        for param in model.parameters():
+            if param.name not in data:
+                raise KeyError(
+                    f"checkpoint is missing parameter {param.name!r}"
+                )
+            stored = data[param.name]
+            if stored.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {param.name!r}: checkpoint "
+                    f"{stored.shape} vs model {param.value.shape}"
+                )
+            param.value = stored.astype(np.float32)
+    return model

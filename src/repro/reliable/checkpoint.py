@@ -1,0 +1,111 @@
+"""Generic checkpoint/rollback machinery.
+
+Algorithm 3 reduces the rollback distance to a single operation; this
+module provides the *general* form -- checkpoint a segment of
+computation, validate its result, re-execute on failure -- so the
+rollback-distance trade-off the paper discusses (Section II.E, ref
+[43]) can be measured: one big segment re-executes cheaply-checked but
+expensively-repeated work, per-operation checkpoints are the opposite
+extreme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+from typing import Any
+
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.leaky_bucket import LeakyBucket
+
+
+@dataclass
+class RollbackPolicy:
+    """How a checkpointed segment responds to validation failures.
+
+    Parameters
+    ----------
+    max_rollbacks:
+        Hard cap on re-executions of one segment.  Models the paper's
+        observation that "in a repetitive error case, there are few
+        mechanisms available to halt rollback and re-execution" -- the
+        cap is that mechanism.
+    bucket:
+        Optional shared leaky bucket; when provided, every validation
+        failure feeds it and overflow aborts regardless of
+        ``max_rollbacks``.
+    """
+
+    max_rollbacks: int = 1
+    bucket: LeakyBucket | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+
+
+class CheckpointedSegment:
+    """A re-executable unit of work with validation.
+
+    Parameters
+    ----------
+    compute:
+        Zero-argument callable producing the segment result.  It must
+        be effect-free (or idempotent): rollback simply calls it
+        again.
+    validate:
+        Predicate on the result; False triggers rollback.  For
+        redundant execution pass e.g. a second-execution comparator.
+    policy:
+        The rollback policy.
+
+    Example
+    -------
+    >>> seg = CheckpointedSegment(
+    ...     compute=lambda: expensive_layer(x),
+    ...     validate=lambda out: bool((out == expensive_layer(x)).all()),
+    ... )
+    >>> out = seg.run()
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[], Any],
+        validate: Callable[[Any], bool],
+        policy: RollbackPolicy | None = None,
+        name: str = "segment",
+    ) -> None:
+        self.compute = compute
+        self.validate = validate
+        self.policy = policy or RollbackPolicy()
+        self.name = name
+        self.rollbacks_performed = 0
+
+    def run(self) -> Any:
+        """Execute with checkpoint/rollback; return the valid result.
+
+        Raises
+        ------
+        PersistentFailureError
+            After ``max_rollbacks`` failed re-executions, or on leaky
+            bucket overflow.
+        """
+        attempts = 0
+        while True:
+            result = self.compute()
+            attempts += 1
+            if self.validate(result):
+                if self.policy.bucket is not None:
+                    self.policy.bucket.record_success()
+                return result
+            overflow = False
+            if self.policy.bucket is not None:
+                overflow = self.policy.bucket.record_error()
+            if overflow or attempts > self.policy.max_rollbacks:
+                raise PersistentFailureError(
+                    f"{self.name}: validation kept failing after "
+                    f"{attempts} attempt(s)",
+                    operations_completed=0,
+                    errors_detected=attempts,
+                )
+            self.rollbacks_performed += 1

@@ -1,0 +1,144 @@
+"""Reliable convolution kernel (paper Algorithm 3).
+
+One convolution output element is a dot product between a receptive
+field and a filter, followed by a bias add.  Algorithm 3 executes each
+multiply and each accumulate through a qualified operator; a failed
+qualifier triggers an *operation-level rollback* (the operation is
+re-executed -- "should one incorrect operation occur then that
+operation shall be repeated") while a leaky-bucket counter decides
+when errors have become persistent and the kernel must abort with an
+explicit failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import Operator
+from repro.reliable.qualified import QualifiedValue
+
+
+@dataclass
+class ConvolutionStats:
+    """Diagnostics for one reliable kernel execution.
+
+    The paper's version keeps only a global error counter; richer
+    counters cost nothing in software and make the benches and fault-
+    injection campaigns auditable.
+    """
+
+    operations: int = 0
+    errors_detected: int = 0
+    rollbacks: int = 0
+    bucket_peak: int = 0
+
+    def merge(self, other: "ConvolutionStats") -> None:
+        self.operations += other.operations
+        self.errors_detected += other.errors_detected
+        self.rollbacks += other.rollbacks
+        self.bucket_peak = max(self.bucket_peak, other.bucket_peak)
+
+
+def _checked(
+    op: Callable[[float, float], QualifiedValue],
+    a: float,
+    b: float,
+    bucket: LeakyBucket,
+    stats: ConvolutionStats,
+) -> float:
+    """Execute one operation with rollback-on-error (Algorithm 3 core).
+
+    Every attempt that fails its qualifier feeds the bucket; overflow
+    aborts with :class:`PersistentFailureError`.  A successful attempt
+    leaks the bucket by one.
+    """
+    while True:
+        stats.operations += 1
+        result = op(a, b)
+        if result.ok:
+            bucket.record_success()
+            return result.value
+        stats.errors_detected += 1
+        overflow = bucket.record_error()
+        stats.bucket_peak = max(stats.bucket_peak, bucket.level)
+        if overflow:
+            raise PersistentFailureError(
+                "leaky bucket overflowed: persistent execution failure",
+                operations_completed=stats.operations,
+                errors_detected=stats.errors_detected,
+            )
+        stats.rollbacks += 1
+
+
+def reliable_dot(
+    x: Sequence[float],
+    w: Sequence[float],
+    operator: Operator,
+    bucket: LeakyBucket,
+    stats: ConvolutionStats | None = None,
+) -> QualifiedValue:
+    """Qualified dot product ``sum_i x_i * w_i``.
+
+    Multiplications and accumulations each pass through ``operator``
+    with per-operation rollback.  Raises
+    :class:`PersistentFailureError` on bucket overflow; otherwise the
+    returned value is qualified True ("exit conditions are failure or
+    success").
+    """
+    if len(x) != len(w):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(w)}")
+    stats = stats if stats is not None else ConvolutionStats()
+    acc = 0.0
+    for xi, wi in zip(x, w):
+        product = _checked(operator.multiply, float(xi), float(wi),
+                           bucket, stats)
+        acc = _checked(operator.add, acc, product, bucket, stats)
+    return QualifiedValue(acc, True)
+
+
+def reliable_convolution(
+    patch: Sequence[float],
+    weights: Sequence[float],
+    bias: float,
+    operator: Operator,
+    bucket: LeakyBucket | None = None,
+    stats: ConvolutionStats | None = None,
+) -> QualifiedValue:
+    """Paper Algorithm 3: one convolution output element, reliably.
+
+    Parameters
+    ----------
+    patch:
+        Flattened receptive field (length ``c * kh * kw``).
+    weights:
+        Flattened filter, same length.
+    bias:
+        Filter bias, accumulated through the qualified adder as well.
+    operator:
+        Qualified operator (Algorithm 1 plain, Algorithm 2 redundant,
+        or TMR).
+    bucket:
+        Leaky-bucket error counter; a fresh default bucket per call
+        when omitted.  Algorithm 3 keeps it as a global across the
+        layer -- pass a shared instance to reproduce that behaviour.
+
+    Returns
+    -------
+    QualifiedValue
+        The output element, qualifier True.
+
+    Raises
+    ------
+    PersistentFailureError
+        When the bucket ceiling is reached (the only failure exit).
+    """
+    bucket = bucket if bucket is not None else LeakyBucket()
+    stats = stats if stats is not None else ConvolutionStats()
+    partial = reliable_dot(patch, weights, operator, bucket, stats)
+    total = _checked(
+        operator.add, partial.value, float(bias), bucket, stats
+    )
+    return QualifiedValue(total, True)

@@ -1,0 +1,166 @@
+"""SEC-DED error-correcting storage for weights.
+
+Paper Section II.C: "GPU manufacturers have begun implementing error
+correcting codes in RAM storage and data paths" -- ECC is the
+industry answer to the *data corruption* half of the paper's threat
+model ("data corruption of the weights and input data").  This module
+implements an extended Hamming(39,32) code -- single-error correction,
+double-error detection (SEC-DED), the standard memory-protection
+geometry -- over the 32-bit words of a float32 tensor.
+
+Layout: codeword bits are indexed 0..38; bit 0 is the overall parity
+(the SEC-DED extension), bits at positions 1, 2, 4, 8, 16, 32 are the
+Hamming parity bits, and the remaining 32 positions carry data bits.
+
+The point in this repository: ECC protects weights *at rest* but not
+the arithmetic, while redundant execution protects arithmetic but not
+storage.  The memory-protection workflow shows the two compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_N_POSITIONS = 39  # 1 overall parity + 6 Hamming parity + 32 data
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32)
+_DATA_POSITIONS = tuple(
+    p for p in range(1, _N_POSITIONS) if p not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == 32
+
+# For Hamming parity i, the mask of covered positions (all positions
+# whose index has bit i set, including the parity position itself).
+_COVER_MASKS = tuple(
+    np.uint64(sum(
+        1 << pos
+        for pos in range(1, _N_POSITIONS)
+        if pos & parity_pos
+    ))
+    for parity_pos in _PARITY_POSITIONS
+)
+_ALL_MASK = np.uint64((1 << _N_POSITIONS) - 1)
+
+
+def encode_words(data: np.ndarray) -> np.ndarray:
+    """Encode uint32 data words into uint64 SEC-DED codewords."""
+    data = np.asarray(data, dtype=np.uint32)
+    code = np.zeros(data.shape, dtype=np.uint64)
+    wide = data.astype(np.uint64)
+    for bit, pos in enumerate(_DATA_POSITIONS):
+        code |= ((wide >> np.uint64(bit)) & np.uint64(1)) << np.uint64(pos)
+    for mask, parity_pos in zip(_COVER_MASKS, _PARITY_POSITIONS):
+        parity = np.bitwise_count(code & mask) & np.uint64(1)
+        code |= parity << np.uint64(parity_pos)
+    overall = np.bitwise_count(code) & np.uint64(1)
+    code |= overall  # bit 0
+    return code
+
+
+@dataclass
+class DecodeReport:
+    """Outcome counters of one decode pass."""
+
+    corrected: int = 0
+    uncorrectable: int = 0
+    uncorrectable_indices: list[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrected == 0 and self.uncorrectable == 0
+
+
+def decode_words(code: np.ndarray) -> tuple[np.ndarray, DecodeReport]:
+    """Decode codewords: correct single-bit errors, flag double-bit.
+
+    Returns ``(data, report)``; words flagged uncorrectable decode to
+    their (corrupt) data bits -- the caller must treat them as lost.
+    """
+    code = np.asarray(code, dtype=np.uint64).copy()
+    syndrome = np.zeros(code.shape, dtype=np.uint64)
+    for bit, mask in enumerate(_COVER_MASKS):
+        # Each cover set (data + its parity bit) has even parity in a
+        # clean codeword; odd parity marks check `bit` as failed.
+        failed = np.bitwise_count(code & mask) & np.uint64(1)
+        syndrome |= failed << np.uint64(bit)
+    overall_parity = np.bitwise_count(code & _ALL_MASK) & np.uint64(1)
+
+    report = DecodeReport()
+    flat_code = code.reshape(-1)
+    flat_syndrome = syndrome.reshape(-1)
+    flat_overall = overall_parity.reshape(-1)
+    for i in range(flat_code.size):
+        s = int(flat_syndrome[i])
+        odd = int(flat_overall[i]) == 1
+        if s == 0 and not odd:
+            continue  # clean word
+        if odd:
+            # Odd number of flipped bits: single-bit error at
+            # position s (s == 0 means the overall parity bit itself).
+            if s < _N_POSITIONS:
+                flat_code[i] ^= np.uint64(1 << s)
+                report.corrected += 1
+            else:
+                report.uncorrectable += 1
+                report.uncorrectable_indices.append(i)
+        else:
+            # Even flips with nonzero syndrome: double-bit error.
+            report.uncorrectable += 1
+            report.uncorrectable_indices.append(i)
+
+    data = np.zeros(code.shape, dtype=np.uint32)
+    wide = np.zeros(code.shape, dtype=np.uint64)
+    for bit, pos in enumerate(_DATA_POSITIONS):
+        wide |= ((code >> np.uint64(pos)) & np.uint64(1)) << np.uint64(bit)
+    data = wide.astype(np.uint32)
+    return data, report
+
+
+class ECCProtectedTensor:
+    """A float32 tensor stored under SEC-DED codewords.
+
+    The write path encodes; :meth:`read` decodes with correction.
+    :meth:`flip_stored_bit` models an SEU in the memory array (any of
+    the 39 codeword bits, parity included -- real upsets do not
+    respect the data/parity distinction).
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float32)
+        self.shape = values.shape
+        self._code = encode_words(values.view(np.uint32)).reshape(-1)
+
+    @property
+    def n_words(self) -> int:
+        return self._code.size
+
+    def flip_stored_bit(self, word_index: int, bit: int) -> None:
+        """Flip one stored codeword bit (0..38)."""
+        if not 0 <= word_index < self.n_words:
+            raise IndexError("word_index out of range")
+        if not 0 <= bit < _N_POSITIONS:
+            raise ValueError(f"bit must be in [0, {_N_POSITIONS})")
+        self._code[word_index] ^= np.uint64(1 << bit)
+
+    def inject_random_flips(
+        self, n_flips: int, rng: np.random.Generator
+    ) -> list[tuple[int, int]]:
+        """Flip ``n_flips`` uniformly random stored bits."""
+        flips = []
+        for _ in range(n_flips):
+            word = int(rng.integers(0, self.n_words))
+            bit = int(rng.integers(0, _N_POSITIONS))
+            self.flip_stored_bit(word, bit)
+            flips.append((word, bit))
+        return flips
+
+    def read(self) -> tuple[np.ndarray, DecodeReport]:
+        """Decode the stored tensor; single-bit upsets are corrected
+        in the returned copy (the stored codewords are scrubbed too,
+        modelling a read-scrub memory controller)."""
+        data, report = decode_words(self._code)
+        if report.corrected:
+            self._code = encode_words(data)  # scrub
+        values = data.astype(np.uint32).view(np.float32)
+        return values.reshape(self.shape).copy(), report

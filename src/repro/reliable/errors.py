@@ -1,0 +1,50 @@
+"""Exception hierarchy for the reliable execution substrate."""
+
+from __future__ import annotations
+
+
+class ReliabilityError(Exception):
+    """Base class for reliability-related failures."""
+
+
+class PersistentFailureError(ReliabilityError):
+    """The leaky-bucket error counter reached its ceiling.
+
+    The paper: "Only persistent failures are explicitly reported."
+    Transient errors are absorbed by rollback; this exception is the
+    explicit report that the fault is not going away.
+
+    Attributes
+    ----------
+    operations_completed:
+        Number of operations that had completed successfully before
+        the abort, useful for diagnosing where in the kernel the
+        persistent fault struck.
+    errors_detected:
+        Total qualifier failures observed, including the ones that
+        were successfully rolled back.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        operations_completed: int = 0,
+        errors_detected: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.operations_completed = operations_completed
+        self.errors_detected = errors_detected
+
+
+class LockstepMismatchError(ReliabilityError):
+    """The two halves of a lockstep pair diverged.
+
+    Attributes
+    ----------
+    step:
+        Index of the step at which the divergence was observed.
+    """
+
+    def __init__(self, message: str, step: int) -> None:
+        super().__init__(message)
+        self.step = step

@@ -1,0 +1,51 @@
+"""Execution units: where arithmetic physically happens.
+
+The paper targets FPGA arithmetic blocks; here an *execution unit* is
+the software model of one processing element.  Redundant operators
+call the unit several times and compare -- the unit is the fault
+boundary, so fault injection (:mod:`repro.faults`) wraps or replaces
+the unit, never the operators, mirroring how single-event upsets hit
+the PE rather than the checking logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ExecutionUnit:
+    """Interface of a scalar arithmetic unit."""
+
+    def multiply(self, a: float, b: float) -> float:
+        raise NotImplementedError
+
+    def add(self, a: float, b: float) -> float:
+        raise NotImplementedError
+
+
+class PerfectExecutionUnit(ExecutionUnit):
+    """A fault-free unit: plain (double-precision) IEEE-754 arithmetic."""
+
+    def multiply(self, a: float, b: float) -> float:
+        return a * b
+
+    def add(self, a: float, b: float) -> float:
+        return a + b
+
+
+class Float32ExecutionUnit(ExecutionUnit):
+    """A fault-free unit with bit-exact 32-bit arithmetic.
+
+    Models the single-precision datapath of the paper's FPGA target:
+    operands and results are rounded to IEEE-754 binary32, so the
+    values redundant executions compare are exactly the words a
+    hardware comparator would see.  Slower than
+    :class:`PerfectExecutionUnit` (NumPy scalar round-trips); used
+    where hardware fidelity matters, e.g. the Table 1 measurement.
+    """
+
+    def multiply(self, a: float, b: float) -> float:
+        return float(np.float32(a) * np.float32(b))
+
+    def add(self, a: float, b: float) -> float:
+        return float(np.float32(a) + np.float32(b))

@@ -1,0 +1,258 @@
+"""Reliable execution of whole network layers.
+
+Two granularities, matching the paper's discussion of rollback
+distance:
+
+* :class:`ReliableConv2D` -- operation granularity.  Every multiply
+  and accumulate of a convolution layer goes through a qualified
+  operator with per-operation rollback (Algorithm 3 applied across the
+  layer).  This is the configuration behind the paper's Table 1 and is
+  deliberately slow in Python: the paper reports 301.91 s (plain) /
+  648.87 s (redundant) for AlexNet's first layer on a desktop CPU.
+* :func:`redundant_layer_forward` -- layer granularity.  The whole
+  layer runs N times vectorised and the outputs are compared/voted.
+  This is the temporal-redundancy checkpoint the paper describes in
+  Section II.B, and is fast enough to embed in the end-to-end hybrid
+  pipeline and fault campaigns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2D
+from repro.reliable.convolution import ConvolutionStats, reliable_convolution
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import Operator, make_operator
+from repro.reliable.voting import majority_vote
+
+
+@dataclass
+class ExecutionReport:
+    """What happened while executing a layer reliably."""
+
+    operations: int = 0
+    errors_detected: int = 0
+    rollbacks: int = 0
+    persistent_failures: int = 0
+    elapsed_seconds: float = 0.0
+    operator_kind: str = "plain"
+    failed_outputs: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        """Detected errors per executed operation."""
+        if self.operations == 0:
+            return 0.0
+        return self.errors_detected / self.operations
+
+
+class ReliableConv2D:
+    """Run a :class:`repro.nn.layers.Conv2D` through Algorithm 3.
+
+    Parameters
+    ----------
+    layer:
+        The convolution layer whose weights are used.
+    operator:
+        A qualified operator instance, or a kind string accepted by
+        :func:`repro.reliable.operators.make_operator`.
+    bucket_factor, bucket_ceiling:
+        Leaky-bucket geometry; one bucket is shared across the whole
+        layer execution, like the paper's global error counter.
+    on_persistent_failure:
+        ``"raise"`` (default) re-raises the abort; ``"mark"`` records
+        the failed output position, writes NaN there and continues --
+        the graceful-degradation variant the paper mentions for
+        spatial redundancy.
+    """
+
+    def __init__(
+        self,
+        layer: Conv2D,
+        operator: Operator | str = "dmr",
+        bucket_factor: int = 2,
+        bucket_ceiling: int | None = None,
+        on_persistent_failure: str = "raise",
+    ) -> None:
+        if on_persistent_failure not in ("raise", "mark"):
+            raise ValueError(
+                "on_persistent_failure must be 'raise' or 'mark'"
+            )
+        self.layer = layer
+        if isinstance(operator, str):
+            self._operator_kind = operator
+            self.operator = make_operator(operator)
+        else:
+            self._operator_kind = type(operator).__name__
+            self.operator = operator
+        self.bucket_factor = bucket_factor
+        self.bucket_ceiling = bucket_ceiling
+        self.on_persistent_failure = on_persistent_failure
+
+    def forward(
+        self, x: np.ndarray, filters: list[int] | None = None
+    ) -> tuple[np.ndarray, ExecutionReport]:
+        """Reliably compute the layer output for a batch.
+
+        Parameters
+        ----------
+        x:
+            Input batch ``(n, c, h, w)``.
+        filters:
+            Optional subset of output filters to execute reliably;
+            the remaining filters are computed natively.  This is the
+            hybrid partition hook: the paper's DCNN only needs the
+            edge-detecting filter(s) to be dependable.
+
+        Returns
+        -------
+        (output, report):
+            ``output`` matches the layer's native forward shape.
+        """
+        start = time.perf_counter()
+        layer = self.layer
+        patches = layer.input_patches(x)  # (n, oh, ow, c*kh*kw)
+        n, out_h, out_w, _ = patches.shape
+        wmat = layer.weight.value.reshape(layer.out_channels, -1)
+        bias = layer.bias.value
+        report = ExecutionReport(operator_kind=self._operator_kind)
+
+        reliable_set = (
+            set(range(layer.out_channels))
+            if filters is None
+            else set(filters)
+        )
+        out = np.empty(
+            (n, layer.out_channels, out_h, out_w), dtype=np.float32
+        )
+        # Native path for filters outside the reliable partition.
+        native_filters = [
+            f for f in range(layer.out_channels) if f not in reliable_set
+        ]
+        if native_filters:
+            native = patches @ wmat[native_filters].T + bias[native_filters]
+            out[:, native_filters] = native.transpose(0, 3, 1, 2)
+
+        bucket = LeakyBucket(
+            factor=self.bucket_factor, ceiling=self.bucket_ceiling
+        )
+        stats = ConvolutionStats()
+        for f in sorted(reliable_set):
+            weights = wmat[f]
+            b = float(bias[f])
+            for img in range(n):
+                for i in range(out_h):
+                    for j in range(out_w):
+                        try:
+                            result = reliable_convolution(
+                                patches[img, i, j],
+                                weights,
+                                b,
+                                self.operator,
+                                bucket=bucket,
+                                stats=stats,
+                            )
+                            out[img, f, i, j] = result.value
+                        except PersistentFailureError:
+                            report.persistent_failures += 1
+                            if self.on_persistent_failure == "raise":
+                                self._fill_report(report, stats, start)
+                                raise
+                            report.failed_outputs.append(
+                                (img, f, i, j)
+                            )
+                            out[img, f, i, j] = np.nan
+                            bucket.reset()
+        self._fill_report(report, stats, start)
+        return out, report
+
+    def _fill_report(
+        self,
+        report: ExecutionReport,
+        stats: ConvolutionStats,
+        start: float,
+    ) -> None:
+        report.operations = stats.operations
+        report.errors_detected = stats.errors_detected
+        report.rollbacks = stats.rollbacks
+        report.elapsed_seconds = time.perf_counter() - start
+
+
+def redundant_layer_forward(
+    layer,
+    x: np.ndarray,
+    copies: int = 2,
+    max_rollbacks: int = 1,
+) -> tuple[np.ndarray, ExecutionReport]:
+    """Layer-granularity temporal redundancy with rollback.
+
+    Runs ``layer.forward`` ``copies`` times and compares:
+
+    * ``copies == 2`` (DMR): mismatch triggers a rollback -- both
+      executions repeat, up to ``max_rollbacks`` times, after which
+      :class:`PersistentFailureError` is raised.
+    * ``copies >= 3`` (TMR): element-wise majority voting masks
+      disagreement; an element with no majority counts as an error
+      and triggers rollback like DMR.
+
+    Works on any object with a ``forward(x)`` method (single layers or
+    whole :class:`~repro.nn.network.Sequential` models).
+    """
+    if copies < 2:
+        raise ValueError("redundancy needs at least 2 copies")
+    start = time.perf_counter()
+    report = ExecutionReport(
+        operator_kind=f"layer-{'dmr' if copies == 2 else 'tmr'}"
+    )
+    attempts = 0
+    while True:
+        outputs = [layer.forward(x) for _ in range(copies)]
+        attempts += 1
+        report.operations += copies
+        if copies == 2:
+            agreed = bool(np.array_equal(outputs[0], outputs[1]))
+            if agreed:
+                result = outputs[0]
+                break
+        else:
+            stacked = np.stack(outputs)
+            result, all_voted = _elementwise_vote(stacked)
+            if all_voted:
+                break
+        report.errors_detected += 1
+        if attempts > max_rollbacks:
+            report.persistent_failures += 1
+            report.elapsed_seconds = time.perf_counter() - start
+            raise PersistentFailureError(
+                "layer-level redundant execution kept disagreeing",
+                errors_detected=report.errors_detected,
+            )
+        report.rollbacks += 1
+    report.elapsed_seconds = time.perf_counter() - start
+    return result, report
+
+
+def _elementwise_vote(stacked: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Majority vote across axis 0; returns (value, unanimous_majority)."""
+    copies = stacked.shape[0]
+    first = stacked[0]
+    agree_with_first = (stacked == first[None]).sum(axis=0)
+    majority = copies // 2 + 1
+    # Fast path: the first copy already holds a majority everywhere.
+    if (agree_with_first >= majority).all():
+        return first.copy(), True
+    # Slow path: vote element by element.
+    flat = stacked.reshape(copies, -1)
+    out = np.empty(flat.shape[1], dtype=stacked.dtype)
+    ok = True
+    for idx in range(flat.shape[1]):
+        value, agreement = majority_vote(list(flat[:, idx]))
+        out[idx] = value
+        if agreement < majority:
+            ok = False
+    return out.reshape(first.shape), ok

@@ -1,0 +1,120 @@
+"""Fixed-point arithmetic units (FPGA DSP-block model).
+
+The paper's final target is FPGA hardware, where arithmetic is
+frequently implemented in fixed point on DSP slices rather than in
+IEEE floating point.  This module models a signed Q(m.f) datapath
+with saturating arithmetic, so the repository can answer the
+implementation question the paper defers ("a substantial number of
+degrees of freedom when implementing arithmetic operations in an
+FPGA"): what does quantised, saturating arithmetic do to convolution
+accuracy and to redundant-execution comparability?
+
+Key property for the reliability machinery: fixed-point arithmetic is
+*bit-exact reproducible*, so redundant executions compare equal by
+construction and saturation events are deterministic -- unlike float,
+no tolerance questions arise in the comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reliable.execution_unit import ExecutionUnit
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed fixed-point format with ``integer_bits`` + ``frac_bits``
+    (plus sign).  Q7.8 stores values in [-128, 128) at 1/256 steps.
+    """
+
+    integer_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.frac_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.integer_bits + self.frac_bits == 0:
+            raise ValueError("format must have at least one bit")
+
+    @property
+    def scale(self) -> int:
+        """Raw units per 1.0."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_raw(self) -> int:
+        return (1 << (self.integer_bits + self.frac_bits)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        return -(1 << (self.integer_bits + self.frac_bits))
+
+    @property
+    def max_value(self) -> float:
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    def quantize_raw(self, value: float) -> int:
+        """Round-to-nearest quantisation to raw units, saturating."""
+        raw = int(round(value * self.scale))
+        return max(self.min_raw, min(self.max_raw, raw))
+
+    def quantize(self, value: float) -> float:
+        """Quantise a float to the nearest representable value."""
+        return self.quantize_raw(value) / self.scale
+
+
+#: Common formats: Q7.8 (16-bit) and Q15.16 (32-bit) DSP datapaths.
+Q7_8 = QFormat(7, 8)
+Q15_16 = QFormat(15, 16)
+
+
+class FixedPointExecutionUnit(ExecutionUnit):
+    """Saturating fixed-point multiply/accumulate unit.
+
+    Inputs are quantised to the format, the operation is performed in
+    exact integer arithmetic and the result is saturated back into the
+    format -- the behaviour of a DSP slice with output saturation
+    enabled (the "caging after individual operations" of the paper's
+    ref [28], implemented in hardware).
+
+    Attributes
+    ----------
+    saturations:
+        How many results saturated; a cheap hardware-style diagnostic
+        the caller can read after a layer execution.
+    """
+
+    def __init__(self, fmt: QFormat = Q7_8) -> None:
+        self.fmt = fmt
+        self.saturations = 0
+
+    def _saturate(self, raw: int) -> int:
+        if raw > self.fmt.max_raw:
+            self.saturations += 1
+            return self.fmt.max_raw
+        if raw < self.fmt.min_raw:
+            self.saturations += 1
+            return self.fmt.min_raw
+        return raw
+
+    def multiply(self, a: float, b: float) -> float:
+        ra = self.fmt.quantize_raw(a)
+        rb = self.fmt.quantize_raw(b)
+        # Exact double-width product, rescaled with round-to-nearest.
+        product = ra * rb
+        half = self.fmt.scale // 2
+        rescaled = (product + (half if product >= 0 else -half)) // self.fmt.scale
+        return self._saturate(rescaled) / self.fmt.scale
+
+    def add(self, a: float, b: float) -> float:
+        raw = self.fmt.quantize_raw(a) + self.fmt.quantize_raw(b)
+        return self._saturate(raw) / self.fmt.scale

@@ -1,0 +1,75 @@
+"""Leaky-bucket error counter (paper Algorithm 3, lines 2/12/18-19).
+
+Semantics from the paper:
+
+* on every **failed** operation the counter is incremented by a
+  ``factor`` and checked against a ``ceiling``;
+* on every **correct** operation the counter is decremented by one,
+  floored at zero;
+* "In this way a stream of correctly executed operations will cancel
+  one, but not two successive errors."
+
+That last sentence pins the default geometry: with ``factor = 2`` a
+single error (counter 2) stays below a ceiling of 3 and drains away,
+while two successive errors (counter 4) trip it.  The default ceiling
+is therefore ``2 * factor - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LeakyBucket:
+    """Error counter with leak-on-success.
+
+    Parameters
+    ----------
+    factor:
+        Amount added per detected error (paper's "factor", line 12).
+    ceiling:
+        Abort threshold; the bucket *overflows* when the counter
+        reaches or exceeds it.  Defaults to ``2 * factor - 1`` (see
+        module docstring).
+    """
+
+    factor: int = 2
+    ceiling: int | None = None
+    level: int = field(default=0, init=False)
+    total_errors: int = field(default=0, init=False)
+    total_successes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError("factor must be >= 1")
+        if self.ceiling is None:
+            self.ceiling = 2 * self.factor - 1
+        if self.ceiling < self.factor:
+            raise ValueError(
+                "ceiling below factor would abort on the first error; "
+                "use a plain fail-fast check instead"
+            )
+
+    def record_error(self) -> bool:
+        """Add ``factor``; return True when the bucket overflows."""
+        self.total_errors += 1
+        self.level += self.factor
+        return self.level >= self.ceiling
+
+    def record_success(self) -> None:
+        """Leak one unit, floored at zero (paper lines 18-19)."""
+        self.total_successes += 1
+        if self.level > 0:
+            self.level -= 1
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether the current level is at or above the ceiling."""
+        return self.level >= self.ceiling
+
+    def reset(self) -> None:
+        """Return to an empty bucket, clearing statistics."""
+        self.level = 0
+        self.total_errors = 0
+        self.total_successes = 0

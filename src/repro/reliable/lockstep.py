@@ -1,0 +1,71 @@
+"""Tightly-coupled lockstep execution model (paper Section II.A).
+
+Two replicas execute the same step sequence; after every step their
+visible outputs are compared and any mismatch raises
+:class:`~repro.reliable.errors.LockstepMismatchError` -- the software
+analogue of the bus comparator flagging divergent processors.  The
+paper notes a lockstep error usually triggers a system reset; the
+:meth:`LockstepPair.reset` hook models that response.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.reliable.errors import LockstepMismatchError
+
+
+class LockstepPair:
+    """Run two replicas step-by-step with output comparison.
+
+    Parameters
+    ----------
+    primary, shadow:
+        Callables invoked with the step input.  For true temporal
+        redundancy pass the same callable twice; for diverse
+        redundancy pass two implementations of the same function.
+    compare:
+        Equality predicate on step outputs; defaults to ``==`` which
+        for NumPy arrays is wrapped into an ``all()`` check.
+    """
+
+    def __init__(
+        self,
+        primary: Callable[[Any], Any],
+        shadow: Callable[[Any], Any],
+        compare: Callable[[Any, Any], bool] | None = None,
+    ) -> None:
+        self.primary = primary
+        self.shadow = shadow
+        self.compare = compare or _default_compare
+        self.steps_completed = 0
+        self.was_reset = False
+
+    def step(self, value: Any) -> Any:
+        """Execute one lockstep step; returns the agreed output."""
+        out_a = self.primary(value)
+        out_b = self.shadow(value)
+        if not self.compare(out_a, out_b):
+            raise LockstepMismatchError(
+                f"lockstep mismatch at step {self.steps_completed}",
+                step=self.steps_completed,
+            )
+        self.steps_completed += 1
+        return out_a
+
+    def run(self, inputs: Iterable[Any]) -> list[Any]:
+        """Run a sequence of steps, stopping at the first mismatch."""
+        return [self.step(value) for value in inputs]
+
+    def reset(self) -> None:
+        """Model the system reset a lockstep error typically causes."""
+        self.steps_completed = 0
+        self.was_reset = True
+
+
+def _default_compare(a: Any, b: Any) -> bool:
+    result = a == b
+    if hasattr(result, "all"):
+        return bool(result.all())
+    return bool(result)

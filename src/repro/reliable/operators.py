@@ -1,0 +1,116 @@
+"""Qualified arithmetic operators (paper Algorithms 1 and 2, plus TMR).
+
+Each operator exposes ``multiply`` and ``add`` returning a
+:class:`~repro.reliable.qualified.QualifiedValue`.  Operators differ
+only in how they execute and check -- the overloading mechanism the
+paper describes ("the overloading allows us to attach multiple methods
+to a basic operation").
+"""
+
+from __future__ import annotations
+
+from repro.reliable.execution_unit import ExecutionUnit, PerfectExecutionUnit
+from repro.reliable.qualified import QualifiedValue
+from repro.reliable.voting import majority_vote
+
+
+class Operator:
+    """Base qualified operator bound to an execution unit."""
+
+    #: Number of unit invocations per qualified operation; used by the
+    #: cost model (paper Table 1 context: Algorithm 2 "performs two
+    #: multiplications and a comparison").
+    executions_per_op: int = 1
+
+    def __init__(self, unit: ExecutionUnit | None = None) -> None:
+        self.unit = unit or PerfectExecutionUnit()
+
+    def multiply(self, a: float, b: float) -> QualifiedValue:
+        raise NotImplementedError
+
+    def add(self, a: float, b: float) -> QualifiedValue:
+        raise NotImplementedError
+
+
+class PlainOperator(Operator):
+    """Algorithm 1: single execution, qualifier preset to True.
+
+    "This operation simply returns a product and a predefined
+    qualifier, set to True.  We use operations like this to determine
+    baseline performance characteristics."  Note the qualifier is an
+    *assumption*, not a check: under fault injection a PlainOperator
+    happily qualifies a corrupted result -- exactly the unprotected
+    baseline the paper compares against.
+    """
+
+    executions_per_op = 1
+
+    def multiply(self, a: float, b: float) -> QualifiedValue:
+        return QualifiedValue(self.unit.multiply(a, b), True)
+
+    def add(self, a: float, b: float) -> QualifiedValue:
+        return QualifiedValue(self.unit.add(a, b), True)
+
+
+class RedundantOperator(Operator):
+    """Algorithm 2: dual execution, qualifier = result agreement (DMR).
+
+    "Here the qualifier is set to True should the two products be the
+    same."  Detection only -- recovery is Algorithm 3's rollback.
+    When the results disagree the first result is returned (arbitrarily;
+    the caller must treat it as invalid because ``ok`` is False).
+    """
+
+    executions_per_op = 2
+
+    def multiply(self, a: float, b: float) -> QualifiedValue:
+        first = self.unit.multiply(a, b)
+        second = self.unit.multiply(a, b)
+        return QualifiedValue(first, first == second)
+
+    def add(self, a: float, b: float) -> QualifiedValue:
+        first = self.unit.add(a, b)
+        second = self.unit.add(a, b)
+        return QualifiedValue(first, first == second)
+
+
+class TMROperator(Operator):
+    """Triple modular redundancy: three executions, majority vote.
+
+    The paper: the value can be "agreed upon by execution of the
+    algorithm three times and voting on the result".  A fault in one
+    of three executions is *masked* (value correct, qualifier True);
+    only when all three disagree is the qualifier False.
+    """
+
+    executions_per_op = 3
+
+    def _vote(self, results: list[float]) -> QualifiedValue:
+        value, agreement = majority_vote(results)
+        return QualifiedValue(value, agreement >= 2)
+
+    def multiply(self, a: float, b: float) -> QualifiedValue:
+        return self._vote([self.unit.multiply(a, b) for _ in range(3)])
+
+    def add(self, a: float, b: float) -> QualifiedValue:
+        return self._vote([self.unit.add(a, b) for _ in range(3)])
+
+
+_OPERATOR_KINDS = {
+    "plain": PlainOperator,
+    "dmr": RedundantOperator,
+    "redundant": RedundantOperator,
+    "tmr": TMROperator,
+}
+
+
+def make_operator(kind: str, unit: ExecutionUnit | None = None) -> Operator:
+    """Operator factory: ``"plain"``, ``"dmr"``/``"redundant"``, ``"tmr"``."""
+    try:
+        cls = _OPERATOR_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown operator kind {kind!r}; "
+            f"choose from {sorted(_OPERATOR_KINDS)}"
+        ) from None
+    return cls(unit)

@@ -1,0 +1,48 @@
+"""Qualified values: a result plus its correctness assertion.
+
+The paper's basic operators "return a value ... [and] a qualifier
+indicating whether the operation was carried out correctly or not".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QualifiedValue:
+    """A computation result and whether it is asserted correct.
+
+    Attributes
+    ----------
+    value:
+        The numeric result.  When ``ok`` is False the value is
+        whatever the failed execution produced and must not be used
+        (Algorithm 3 "assumes that every operation fails unless
+        explicitly asserted otherwise").
+    ok:
+        The qualifier.  True means the executing operator asserts the
+        result is correct (e.g. redundant executions agreed).
+    """
+
+    value: float
+    ok: bool
+
+    def __bool__(self) -> bool:
+        """Truthiness is the qualifier, enabling ``if result:``."""
+        return self.ok
+
+    def unwrap(self) -> float:
+        """Return ``value``, raising if the qualifier is False."""
+        if not self.ok:
+            raise ValueError("unwrap() on an unqualified value")
+        return self.value
+
+    @staticmethod
+    def combine(a: "QualifiedValue", b: "QualifiedValue", value: float
+                ) -> "QualifiedValue":
+        """Combine two qualified inputs into a derived result.
+
+        The derived value is qualified only when both inputs were.
+        """
+        return QualifiedValue(value, a.ok and b.ok)

@@ -1,0 +1,181 @@
+"""Spatial redundancy across a processing-element array.
+
+Paper Section II.B: redundancy "can be achieved on a spatial basis
+using for instance two otherwise independent compute units ... In the
+case of spatial redundancy and (also) given an error, the platform
+has the potential to operate in a reduced mode allowing the
+implementation of graceful degradation strategies."
+
+This module models that option, completing the redundancy design
+space next to the temporal operators of
+:mod:`repro.reliable.operators`:
+
+* a :class:`PEArray` of independent execution units (think GPU/NPU
+  processing elements -- "the failure of one of 128 processing
+  elements ... causing a total safety-relevant system shutdown cannot
+  be considered desirable");
+* :class:`SpatialRedundantOperator` runs each operation on *two
+  different* PEs and compares.  Unlike temporal DMR, a permanent
+  stuck-at fault in one PE disagrees with the healthy one and is
+  **detected**, closing the common-mode blind spot measured in the
+  fault-coverage experiments;
+* per-PE health tracking with leaky buckets implements graceful
+  degradation: a PE whose bucket overflows is retired from the pool
+  and the array keeps operating in a reduced mode instead of
+  resetting the system (the lockstep response the paper argues
+  against for parallel arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reliable.errors import ReliabilityError
+from repro.reliable.execution_unit import ExecutionUnit, PerfectExecutionUnit
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import Operator
+from repro.reliable.qualified import QualifiedValue
+
+
+class ArrayExhaustedError(ReliabilityError):
+    """Fewer than two healthy PEs remain: spatial DMR is impossible."""
+
+
+@dataclass
+class PEState:
+    """One processing element and its health accounting."""
+
+    index: int
+    unit: ExecutionUnit
+    bucket: LeakyBucket
+    retired: bool = False
+    operations: int = 0
+    disagreements: int = 0
+
+
+class PEArray:
+    """A pool of independent processing elements.
+
+    Parameters
+    ----------
+    units:
+        The execution units, one per PE.  Pass faulty units (from
+        :mod:`repro.faults`) for the PEs under test.
+    bucket_factor, bucket_ceiling:
+        Health-bucket geometry per PE.  A PE is *suspected* on every
+        disagreement it participates in -- including the healthy
+        partner of a faulty PE -- so the ceiling defaults higher than
+        Algorithm 3's (4x the factor): under round-robin pairing a
+        stuck-at PE collects suspicion at twice the rate of its
+        changing partners and reaches the ceiling first, after which
+        the partners' buckets drain.  (With only two PEs the faulty
+        element cannot be localised and both retire together; arrays
+        need >= 3 elements for graceful degradation.)
+    """
+
+    def __init__(
+        self,
+        units: list[ExecutionUnit] | None = None,
+        n_elements: int = 4,
+        bucket_factor: int = 2,
+        bucket_ceiling: int | None = None,
+    ) -> None:
+        if units is None:
+            units = [PerfectExecutionUnit() for _ in range(n_elements)]
+        if len(units) < 2:
+            raise ValueError("a PE array needs at least two elements")
+        if bucket_ceiling is None:
+            bucket_ceiling = 4 * bucket_factor
+        self.elements = [
+            PEState(
+                index=i,
+                unit=unit,
+                bucket=LeakyBucket(
+                    factor=bucket_factor, ceiling=bucket_ceiling
+                ),
+            )
+            for i, unit in enumerate(units)
+        ]
+        self._next = 0
+
+    # -- scheduling -----------------------------------------------------
+    def healthy(self) -> list[PEState]:
+        return [pe for pe in self.elements if not pe.retired]
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one PE has been retired."""
+        return any(pe.retired for pe in self.elements)
+
+    def pick_pair(self) -> tuple[PEState, PEState]:
+        """Round-robin pick of two distinct healthy PEs."""
+        pool = self.healthy()
+        if len(pool) < 2:
+            raise ArrayExhaustedError(
+                f"only {len(pool)} healthy PE(s) left"
+            )
+        first = pool[self._next % len(pool)]
+        second = pool[(self._next + 1) % len(pool)]
+        self._next += 1
+        return first, second
+
+    # -- health ---------------------------------------------------------
+    def report_agreement(self, *pes: PEState) -> None:
+        for pe in pes:
+            pe.operations += 1
+            pe.bucket.record_success()
+
+    def report_disagreement(self, *pes: PEState) -> None:
+        """Both parties to a mismatch are suspected; the truly faulty
+        PE keeps disagreeing with everyone and its bucket wins the
+        race to the ceiling."""
+        for pe in pes:
+            pe.operations += 1
+            pe.disagreements += 1
+            if pe.bucket.record_error() and not pe.retired:
+                pe.retired = True
+
+    def health_summary(self) -> str:
+        lines = []
+        for pe in self.elements:
+            state = "RETIRED" if pe.retired else "healthy"
+            lines.append(
+                f"PE{pe.index}: {state:<8} ops={pe.operations} "
+                f"disagreements={pe.disagreements} "
+                f"bucket={pe.bucket.level}"
+            )
+        return "\n".join(lines)
+
+
+class SpatialRedundantOperator(Operator):
+    """DMR across two *different* processing elements.
+
+    The qualifier is the cross-PE comparison.  On disagreement both
+    PEs are reported to the array's health tracker; Algorithm 3's
+    rollback then re-executes on the next scheduled pair, which --
+    once a persistently-faulty PE is retired -- lands on healthy
+    silicon and succeeds: graceful degradation instead of platform
+    loss.
+    """
+
+    executions_per_op = 2
+
+    def __init__(self, array: PEArray) -> None:
+        super().__init__(unit=None)
+        self.array = array
+
+    def _run(self, method: str, a: float, b: float) -> QualifiedValue:
+        first, second = self.array.pick_pair()
+        result_a = getattr(first.unit, method)(a, b)
+        result_b = getattr(second.unit, method)(a, b)
+        if result_a == result_b:
+            self.array.report_agreement(first, second)
+            return QualifiedValue(result_a, True)
+        self.array.report_disagreement(first, second)
+        return QualifiedValue(result_a, False)
+
+    def multiply(self, a: float, b: float) -> QualifiedValue:
+        return self._run("multiply", a, b)
+
+    def add(self, a: float, b: float) -> QualifiedValue:
+        return self._run("add", a, b)

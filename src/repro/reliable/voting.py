@@ -1,0 +1,24 @@
+"""Majority voting for redundant execution."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+
+def majority_vote(results: Sequence[float]) -> tuple[float, int]:
+    """Return ``(winner, agreement)`` over redundant results.
+
+    ``winner`` is the most common value (exact bit-for-bit equality,
+    as hardware voters compare words, not tolerances); ``agreement``
+    is how many executions produced it.  Ties are broken in favour of
+    the earliest-produced value, which keeps the voter deterministic.
+    """
+    if not results:
+        raise ValueError("majority_vote needs at least one result")
+    counts = Counter(results)
+    best_count = max(counts.values())
+    for candidate in results:  # earliest-first tie break
+        if counts[candidate] == best_count:
+            return candidate, best_count
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,35 @@
+"""Symbolic Aggregate approXimation (Lin, Keogh, Lonardi & Chiu, 2003).
+
+SAX reduces a numeric time-series to a short string ("SAX word") that
+can be cheaply compared to other strings -- exactly how the paper's
+qualifier matches a centroid-distance series against the octagon
+template (Figure 3, "the SAX word is visible above the time-series
+plot").
+
+Pipeline: z-normalise -> Piecewise Aggregate Approximation (PAA) ->
+discretise against Gaussian equiprobable breakpoints -> a word over an
+alphabet of configurable size.  :func:`mindist` gives the classic
+lower-bounding distance between two words.
+"""
+
+from repro.sax.paa import paa, znormalize
+from repro.sax.breakpoints import gaussian_breakpoints
+from repro.sax.sax import SaxEncoder, sax_word
+from repro.sax.distance import (
+    hamming_distance,
+    mindist,
+    min_rotation_distance,
+    symbol_distance_table,
+)
+
+__all__ = [
+    "znormalize",
+    "paa",
+    "gaussian_breakpoints",
+    "SaxEncoder",
+    "sax_word",
+    "mindist",
+    "hamming_distance",
+    "min_rotation_distance",
+    "symbol_distance_table",
+]

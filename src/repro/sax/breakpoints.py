@@ -1,0 +1,80 @@
+"""Gaussian equiprobable breakpoints for SAX discretisation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+# Breakpoints beta_1..beta_{a-1} dividing N(0, 1) into a equiprobable
+# regions, tabulated for the alphabet sizes in the original SAX paper.
+_TABLE: dict[int, list[float]] = {
+    2: [0.0],
+    3: [-0.43, 0.43],
+    4: [-0.67, 0.0, 0.67],
+    5: [-0.84, -0.25, 0.25, 0.84],
+    6: [-0.97, -0.43, 0.0, 0.43, 0.97],
+    7: [-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+    8: [-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+    9: [-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+    10: [-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+}
+
+MAX_ALPHABET = 26  # words use lowercase letters
+
+
+def _normal_ppf(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Implemented locally so :mod:`repro.sax` has no SciPy dependency;
+    accuracy (~1e-9 relative) far exceeds what SAX discretisation
+    needs.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02,
+         -2.759285104469687e02, 1.383577518672690e02,
+         -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02,
+         -1.556989798598866e02, 6.680131188771972e01,
+         -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e00, -2.549732539343734e00,
+         4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e00, 3.754408661907416e00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q
+                           + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q
+                            + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1.0)
+
+
+def gaussian_breakpoints(alphabet_size: int) -> np.ndarray:
+    """Breakpoints splitting N(0,1) into ``alphabet_size`` regions.
+
+    Returns an array of length ``alphabet_size - 1``.  Sizes present
+    in the original SAX paper's table use the published (rounded)
+    values; larger sizes are computed from the inverse normal CDF.
+    """
+    if not 2 <= alphabet_size <= MAX_ALPHABET:
+        raise ValueError(
+            f"alphabet_size must be in [2, {MAX_ALPHABET}], "
+            f"got {alphabet_size}"
+        )
+    if alphabet_size in _TABLE:
+        return np.array(_TABLE[alphabet_size], dtype=np.float64)
+    probs = np.arange(1, alphabet_size) / alphabet_size
+    return np.array([_normal_ppf(float(p)) for p in probs])

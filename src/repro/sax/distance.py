@@ -1,0 +1,89 @@
+"""Distances between SAX words."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sax.breakpoints import gaussian_breakpoints
+from repro.sax.sax import ALPHABET
+
+
+def symbol_distance_table(alphabet_size: int) -> np.ndarray:
+    """The SAX ``dist()`` lookup table.
+
+    ``table[r, c] = 0`` when ``|r - c| <= 1`` (adjacent regions are
+    indistinguishable under the lower bound), otherwise the gap between
+    the regions' nearest breakpoints.
+    """
+    bp = gaussian_breakpoints(alphabet_size)
+    table = np.zeros((alphabet_size, alphabet_size), dtype=np.float64)
+    for r in range(alphabet_size):
+        for c in range(alphabet_size):
+            if abs(r - c) > 1:
+                hi, lo = max(r, c), min(r, c)
+                table[r, c] = bp[hi - 1] - bp[lo]
+    return table
+
+
+def _indices(word: str, alphabet_size: int) -> np.ndarray:
+    idx = np.array([ALPHABET.index(ch) for ch in word])
+    if (idx >= alphabet_size).any():
+        raise ValueError(
+            f"word {word!r} uses symbols beyond alphabet size "
+            f"{alphabet_size}"
+        )
+    return idx
+
+
+def mindist(
+    word_a: str,
+    word_b: str,
+    alphabet_size: int,
+    series_length: int,
+) -> float:
+    """MINDIST lower bound between the series behind two SAX words.
+
+    ``sqrt(n / w) * sqrt(sum dist(a_i, b_i)^2)`` from the SAX paper,
+    where ``n`` is the original series length and ``w`` the word
+    length.
+    """
+    if len(word_a) != len(word_b):
+        raise ValueError("words must have equal length")
+    table = symbol_distance_table(alphabet_size)
+    ia = _indices(word_a, alphabet_size)
+    ib = _indices(word_b, alphabet_size)
+    gaps = table[ia, ib]
+    w = len(word_a)
+    return math.sqrt(series_length / w) * math.sqrt(float((gaps**2).sum()))
+
+
+def hamming_distance(word_a: str, word_b: str) -> int:
+    """Number of differing positions between two equal-length words."""
+    if len(word_a) != len(word_b):
+        raise ValueError("words must have equal length")
+    return sum(1 for a, b in zip(word_a, word_b) if a != b)
+
+
+def min_rotation_distance(
+    word_a: str,
+    word_b: str,
+    alphabet_size: int,
+    series_length: int,
+) -> tuple[float, int]:
+    """MINDIST minimised over all cyclic rotations of ``word_b``.
+
+    Centroid-distance signatures are only defined up to the starting
+    angle of the boundary walk, so shape comparison must be rotation
+    invariant.  Returns ``(distance, best_rotation)``.
+    """
+    best = math.inf
+    best_rot = 0
+    for rot in range(len(word_b)):
+        rotated = word_b[rot:] + word_b[:rot]
+        d = mindist(word_a, rotated, alphabet_size, series_length)
+        if d < best:
+            best = d
+            best_rot = rot
+    return best, best_rot

@@ -1,0 +1,58 @@
+"""Z-normalisation and Piecewise Aggregate Approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Series with standard deviation below this are treated as constant and
+# normalised to all-zeros (the SAX authors' recommendation); prevents
+# noise amplification on flat signals such as a perfect circle's
+# centroid-distance series.
+FLAT_STD_THRESHOLD = 1e-8
+
+
+def znormalize(series: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance normalisation of a 1-D series."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("znormalize expects a 1-D series")
+    std = series.std()
+    if std < FLAT_STD_THRESHOLD:
+        return np.zeros_like(series)
+    return (series - series.mean()) / std
+
+
+def paa(series: np.ndarray, segments: int) -> np.ndarray:
+    """Piecewise Aggregate Approximation to ``segments`` values.
+
+    Each output value is the mean of one (possibly fractional) frame
+    of the input.  Handles lengths that do not divide evenly by
+    weighting boundary samples, matching the definition in the SAX
+    paper rather than simple reshape-and-mean.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("paa expects a 1-D series")
+    n = len(series)
+    if segments <= 0:
+        raise ValueError("segments must be positive")
+    if segments > n:
+        raise ValueError(f"cannot PAA {n} points into {segments} segments")
+    if n % segments == 0:
+        return series.reshape(segments, n // segments).mean(axis=1)
+    # Fractional frames: distribute each sample's mass over the
+    # segments it overlaps.
+    out = np.zeros(segments, dtype=np.float64)
+    frame = n / segments
+    for seg in range(segments):
+        start = seg * frame
+        end = (seg + 1) * frame
+        first = int(np.floor(start))
+        last = int(np.ceil(end))
+        total = 0.0
+        for i in range(first, min(last, n)):
+            overlap = min(end, i + 1) - max(start, i)
+            if overlap > 0:
+                total += series[i] * overlap
+        out[seg] = total / frame
+    return out

@@ -1,0 +1,83 @@
+"""SAX encoding: series -> word."""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+from repro.sax.breakpoints import gaussian_breakpoints
+from repro.sax.paa import paa, znormalize
+
+ALPHABET = string.ascii_lowercase
+
+
+class SaxEncoder:
+    """Symbolic Aggregate approXimation encoder.
+
+    Parameters
+    ----------
+    word_length:
+        Number of PAA segments (= characters in the word), ``w``.
+    alphabet_size:
+        Number of symbols, ``a``; symbols are lowercase letters
+        starting at ``'a'`` for the lowest region.
+    normalize:
+        Whether to z-normalise before PAA (the standard definition).
+        The qualifier keeps it on so shape signatures are invariant to
+        sign size in the image.
+    """
+
+    def __init__(
+        self,
+        word_length: int = 16,
+        alphabet_size: int = 8,
+        normalize: bool = True,
+    ) -> None:
+        if word_length <= 0:
+            raise ValueError("word_length must be positive")
+        self.word_length = word_length
+        self.alphabet_size = alphabet_size
+        self.normalize = normalize
+        self.breakpoints = gaussian_breakpoints(alphabet_size)
+
+    def symbols(self, series: np.ndarray) -> np.ndarray:
+        """Integer symbol indices (0 = lowest region) for ``series``."""
+        series = np.asarray(series, dtype=np.float64)
+        if self.normalize:
+            series = znormalize(series)
+        reduced = paa(series, self.word_length)
+        # side="right": a value equal to a breakpoint belongs to the
+        # upper region (beta_i <= value < beta_{i+1} maps to symbol i).
+        return np.searchsorted(self.breakpoints, reduced, side="right")
+
+    def encode(self, series: np.ndarray) -> str:
+        """SAX word for ``series``."""
+        return "".join(ALPHABET[s] for s in self.symbols(series))
+
+    def decode_levels(self, word: str) -> np.ndarray:
+        """Region-centre values for a word (coarse reconstruction).
+
+        Each symbol maps to the midpoint of its breakpoint interval
+        (edge regions use the adjacent breakpoint offset by the mean
+        interval width).  Useful for plotting words over series, as in
+        the paper's Figure 3.
+        """
+        idx = np.array([ALPHABET.index(ch) for ch in word])
+        if (idx >= self.alphabet_size).any():
+            raise ValueError(
+                f"word {word!r} uses symbols outside alphabet of size "
+                f"{self.alphabet_size}"
+            )
+        bp = self.breakpoints
+        width = float(np.diff(bp).mean()) if len(bp) > 1 else 1.0
+        lows = np.concatenate([[bp[0] - width], bp])
+        highs = np.concatenate([bp, [bp[-1] + width]])
+        return (lows[idx] + highs[idx]) / 2.0
+
+
+def sax_word(
+    series: np.ndarray, word_length: int = 16, alphabet_size: int = 8
+) -> str:
+    """One-shot SAX encoding with default normalisation."""
+    return SaxEncoder(word_length, alphabet_size).encode(series)

@@ -1,0 +1,144 @@
+"""Connected components and Moore-neighbourhood boundary tracing.
+
+Pure-Python/NumPy implementations, deliberately simple and auditable:
+the contour trace is part of the paper's *dependable* path, where an
+explainable algorithm beats a fast opaque one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+# Moore neighbourhood in clockwise order starting from "west".
+_MOORE = [
+    (0, -1), (-1, -1), (-1, 0), (-1, 1),
+    (0, 1), (1, 1), (1, 0), (1, -1),
+]
+
+
+@dataclass
+class Contour:
+    """A traced shape boundary.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 2)`` integer array of (row, col) boundary pixels in
+        traversal order (closed: the walk returns to the start).
+    area:
+        Pixel count of the connected component the contour bounds.
+    """
+
+    points: np.ndarray
+    area: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def centroid(self) -> tuple[float, float]:
+        """Mean (row, col) of the boundary points."""
+        rows, cols = self.points[:, 0], self.points[:, 1]
+        return float(rows.mean()), float(cols.mean())
+
+
+def label_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """8-connected component labelling via BFS.
+
+    Returns ``(labels, count)`` where ``labels`` is 0 for background
+    and 1..count for components.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    labels = np.zeros(mask.shape, dtype=np.int32)
+    h, w = mask.shape
+    current = 0
+    for seed_r, seed_c in zip(*np.nonzero(mask)):
+        if labels[seed_r, seed_c]:
+            continue
+        current += 1
+        queue = deque([(int(seed_r), int(seed_c))])
+        labels[seed_r, seed_c] = current
+        while queue:
+            r, c = queue.popleft()
+            for dr, dc in _MOORE:
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < h and 0 <= nc < w:
+                    if mask[nr, nc] and not labels[nr, nc]:
+                        labels[nr, nc] = current
+                        queue.append((nr, nc))
+    return labels, current
+
+
+def trace_boundary(mask: np.ndarray) -> np.ndarray:
+    """Trace the outer boundary of the single shape in ``mask``.
+
+    Moore-neighbour tracing.  The walk carries a *backtrack* pixel --
+    the background neighbour it arrived from -- and at every step scans
+    the Moore neighbourhood clockwise starting just after the
+    backtrack, advancing to the first foreground pixel found.  The
+    trace terminates when a (pixel, backtrack) state repeats, which is
+    both a correct loop-closure test and a hard termination guarantee.
+
+    Returns an ``(n, 2)`` array of (row, col) points in traversal
+    order.  ``mask`` must contain at least one foreground pixel.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    coords = np.argwhere(mask)
+    if len(coords) == 0:
+        raise ValueError("mask contains no foreground pixels")
+    # Start at the top-most, then left-most foreground pixel: its west
+    # neighbour is guaranteed background.
+    start = tuple(
+        int(v) for v in coords[np.lexsort((coords[:, 1], coords[:, 0]))][0]
+    )
+    if len(coords) == 1:
+        return np.array([start], dtype=np.int64)
+
+    h, w = mask.shape
+
+    def is_foreground(r: int, c: int) -> bool:
+        return 0 <= r < h and 0 <= c < w and bool(mask[r, c])
+
+    boundary: list[tuple[int, int]] = [start]
+    current = start
+    backtrack = (start[0], start[1] - 1)  # west of start: background
+    seen_states: set[tuple[tuple[int, int], tuple[int, int]]] = set()
+    while (current, backtrack) not in seen_states:
+        seen_states.add((current, backtrack))
+        offset = (backtrack[0] - current[0], backtrack[1] - current[1])
+        scan_from = _MOORE.index(offset)
+        advanced = False
+        for step in range(1, 9):
+            d = (scan_from + step) % 8
+            nr = current[0] + _MOORE[d][0]
+            nc = current[1] + _MOORE[d][1]
+            if is_foreground(nr, nc):
+                prev = (scan_from + step - 1) % 8
+                backtrack = (
+                    current[0] + _MOORE[prev][0],
+                    current[1] + _MOORE[prev][1],
+                )
+                current = (nr, nc)
+                advanced = True
+                break
+        if not advanced:  # isolated pixel
+            break
+        if current == start:
+            break
+        boundary.append(current)
+    return np.array(boundary, dtype=np.int64)
+
+
+def largest_contour(mask: np.ndarray) -> Contour:
+    """Boundary of the largest 8-connected component in ``mask``."""
+    labels, count = label_components(mask)
+    if count == 0:
+        raise ValueError("mask contains no foreground pixels")
+    sizes = np.bincount(labels.ravel())
+    sizes[0] = 0
+    best = int(sizes.argmax())
+    component = labels == best
+    points = trace_boundary(component)
+    return Contour(points=points, area=int(sizes[best]))

@@ -1,0 +1,45 @@
+"""Edge maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.filters import gradient_magnitude
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Convert ``(c, h, w)`` or ``(h, w)`` to a greyscale ``(h, w)``.
+
+    Uses ITU-R BT.601 luma weights for 3-channel input; any other
+    channel count is averaged.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim == 2:
+        return image
+    if image.ndim != 3:
+        raise ValueError(f"expected (c, h, w) or (h, w), got {image.shape}")
+    if image.shape[0] == 3:
+        weights = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+        return np.tensordot(weights, image, axes=1)
+    return image.mean(axis=0)
+
+
+def sobel_edges(image: np.ndarray) -> np.ndarray:
+    """Sobel gradient magnitude of an image (any supported layout)."""
+    return gradient_magnitude(to_grayscale(image))
+
+
+def edge_map(image: np.ndarray, threshold: float | None = None) -> np.ndarray:
+    """Binary edge map from Sobel magnitude.
+
+    ``threshold`` defaults to half the maximum magnitude, a simple
+    deterministic rule (no Otsu iteration) in keeping with the paper's
+    explainability requirement for the dependable path.
+    """
+    magnitude = sobel_edges(image)
+    peak = float(magnitude.max())
+    if peak == 0.0:
+        return np.zeros_like(magnitude, dtype=bool)
+    if threshold is None:
+        threshold = 0.5 * peak
+    return magnitude >= threshold

@@ -1,0 +1,86 @@
+"""Centroid-to-edge distance time-series (paper Figure 3).
+
+The shape of a traffic sign is reduced to a 1-D signal: the distance
+from the shape's centroid to each boundary point, ordered by the angle
+of the boundary point around the centroid.  An octagon yields eight
+distinct peaks (the corners); a circle is flat; a triangle has three
+peaks.  The signal feeds :mod:`repro.sax` for symbolic comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.contours import Contour, largest_contour
+from repro.vision.edges import edge_map
+
+
+def centroid(points: np.ndarray) -> tuple[float, float]:
+    """Mean (row, col) of an ``(n, 2)`` point set."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got {points.shape}")
+    return float(points[:, 0].mean()), float(points[:, 1].mean())
+
+
+def centroid_distance_series(
+    contour: Contour | np.ndarray, n_samples: int = 128
+) -> np.ndarray:
+    """Angle-ordered centroid-to-boundary distances.
+
+    Boundary points are sorted by their polar angle around the
+    centroid and the resulting distance sequence is resampled to
+    ``n_samples`` evenly spaced angles, making the series length
+    independent of image resolution.
+    """
+    points = contour.points if isinstance(contour, Contour) else contour
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < 3:
+        raise ValueError("need at least 3 boundary points")
+    cr, cc = centroid(points)
+    dr = points[:, 0] - cr
+    dc = points[:, 1] - cc
+    angles = np.arctan2(dr, dc)  # [-pi, pi)
+    distances = np.hypot(dr, dc)
+    order = np.argsort(angles, kind="stable")
+    angles = angles[order]
+    distances = distances[order]
+    # Resample on a uniform angular grid with circular interpolation.
+    grid = np.linspace(-np.pi, np.pi, n_samples, endpoint=False)
+    extended_angles = np.concatenate(
+        [angles - 2 * np.pi, angles, angles + 2 * np.pi]
+    )
+    extended_dist = np.concatenate([distances, distances, distances])
+    return np.interp(grid, extended_angles, extended_dist)
+
+
+def resample_series(series: np.ndarray, n_samples: int) -> np.ndarray:
+    """Linear resampling of a 1-D series to ``n_samples`` points."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1 or len(series) < 2:
+        raise ValueError("series must be 1-D with >= 2 points")
+    old = np.linspace(0.0, 1.0, len(series))
+    new = np.linspace(0.0, 1.0, n_samples)
+    return np.interp(new, old, series)
+
+
+def shape_signature(
+    image: np.ndarray,
+    n_samples: int = 128,
+    threshold: float | None = None,
+) -> np.ndarray:
+    """Full Figure-3 pipeline: image -> edge map -> contour -> series.
+
+    Parameters
+    ----------
+    image:
+        ``(c, h, w)`` or ``(h, w)`` image containing one dominant shape.
+    n_samples:
+        Length of the returned distance series.
+    threshold:
+        Optional edge threshold forwarded to
+        :func:`repro.vision.edges.edge_map`.
+    """
+    mask = edge_map(image, threshold=threshold)
+    contour = largest_contour(mask)
+    return centroid_distance_series(contour, n_samples=n_samples)

@@ -1,0 +1,120 @@
+"""Experiment E8: the hybrid's compute saving vs full duplication.
+
+Paper Section V: "The advantage of our proposal is that we can reduce
+the necessary reliable execution to limits that a dependable model
+determines rather than just reliably executing an entire CNN or
+maintaining two parallel yet independent execution paths.  We conserve
+both footprint and computational power."
+
+The workflow counts scalar multiply-accumulates per inference for:
+
+* the unprotected network,
+* whole-network duplication (DMR) and triplication (TMR),
+* the hybrid (native net + redundant partition + qualifier),
+
+and sweeps the partition size (how many conv1 filters are dependable)
+to expose the cost curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.guarantee import CostModel, ReliabilityGuarantee
+from repro.core.partition import HybridPartition
+from repro.nn.network import Sequential
+
+
+@dataclass
+class CostComparison:
+    """Operation counts for one model under each protection scheme."""
+
+    native_ops: int
+    duplicated_ops: int
+    triplicated_ops: int
+    hybrid_ops: int
+    hybrid_savings_vs_dmr: float
+    reliable_fraction: float
+    partition_sweep: list[tuple[int, int, float]] = field(
+        default_factory=list
+    )  # (n_filters, hybrid_ops, savings)
+    unprotected_sdc: float = 0.0
+    protected_sdc: float = 0.0
+
+    def to_text(self) -> str:
+        lines = [
+            f"{'native (no protection)':<28} {self.native_ops:>14,}",
+            f"{'full duplication (DMR)':<28} {self.duplicated_ops:>14,}",
+            f"{'full triplication (TMR)':<28} {self.triplicated_ops:>14,}",
+            f"{'hybrid (partition + qual.)':<28} {self.hybrid_ops:>14,}",
+            f"hybrid saves {100 * self.hybrid_savings_vs_dmr:.1f}% of the "
+            "duplicated cost",
+            f"reliable fraction of network ops: "
+            f"{100 * self.reliable_fraction:.2f}%",
+            f"SDC per inference: unprotected {self.unprotected_sdc:.3e}, "
+            f"dependable path {self.protected_sdc:.3e}",
+        ]
+        if self.partition_sweep:
+            lines.append("partition sweep (filters -> hybrid ops, savings):")
+            for n_filters, ops, savings in self.partition_sweep:
+                lines.append(
+                    f"  {n_filters:>3} filters: {ops:>14,}  "
+                    f"({100 * savings:5.1f}% saved)"
+                )
+        return "\n".join(lines)
+
+
+def run_cost_comparison(
+    model: Sequential,
+    input_shape: tuple[int, int, int],
+    partition: HybridPartition | None = None,
+    fault_probability: float = 1e-7,
+    sweep_filters: bool = True,
+) -> CostComparison:
+    """Count protection costs for ``model`` (see module docstring)."""
+    partition = partition or HybridPartition()
+    cost = CostModel(model, input_shape, partition)
+    native = cost.native_ops()
+    hybrid = cost.hybrid_ops()
+    guarantee = ReliabilityGuarantee(
+        model, input_shape, partition,
+        fault_probability=fault_probability,
+    )
+
+    sweep: list[tuple[int, int, float]] = []
+    if sweep_filters:
+        layer_name = partition.bifurcation_layer
+        conv = model.layer(layer_name)
+        for n_filters in _sweep_sizes(conv.out_channels):
+            swept = HybridPartition(
+                reliable_filters={layer_name: tuple(range(n_filters))},
+                bifurcation_layer=layer_name,
+                redundancy=partition.redundancy,
+            )
+            swept_cost = CostModel(model, input_shape, swept)
+            sweep.append((
+                n_filters,
+                swept_cost.hybrid_ops(),
+                swept_cost.savings_vs_duplication(),
+            ))
+
+    reliable_ops = partition.reliable_operation_count(model, input_shape)
+    return CostComparison(
+        native_ops=native,
+        duplicated_ops=2 * native,
+        triplicated_ops=3 * native,
+        hybrid_ops=hybrid,
+        hybrid_savings_vs_dmr=cost.savings_vs_duplication(),
+        reliable_fraction=reliable_ops / native,
+        partition_sweep=sweep,
+        unprotected_sdc=guarantee.unprotected_sdc(),
+        protected_sdc=guarantee.protected_path_sdc(),
+    )
+
+
+def _sweep_sizes(out_channels: int) -> list[int]:
+    sizes = [1, 2, 4, 8, 16, 32, 64, 96]
+    picked = [s for s in sizes if s <= out_channels]
+    if out_channels not in picked:
+        picked.append(out_channels)
+    return picked

@@ -1,0 +1,194 @@
+"""Experiments E7/E9: leaky-bucket dynamics and injection coverage.
+
+E7 operationalises the paper's Algorithm 3 claim: "a stream of
+correctly executed operations will cancel one, but not two successive
+errors."  The workflow drives the bucket with crafted error/success
+streams and with seeded random streams, mapping the survive/abort
+boundary as a function of the bucket factor and ceiling.
+
+E9 measures what the paper's "reliability guarantee" buys under
+injection: detection coverage and silent-data-corruption (SDC) rates
+for plain / DMR / TMR kernels across fault probabilities and fault
+types, with Wilson confidence bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reliability import empirical_coverage_interval
+from repro.faults.campaign import CampaignResult, Outcome, run_operator_campaign
+from repro.faults.models import IntermittentFault, PermanentFault, TransientFault
+from repro.reliable.leaky_bucket import LeakyBucket
+
+
+# ---------------------------------------------------------------------------
+# E7: bucket dynamics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BucketDynamicsResult:
+    """Outcomes of crafted error patterns against bucket geometries."""
+
+    #: (factor, ceiling, pattern, overflowed)
+    rows: list[tuple[int, int, str, bool]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = ["factor ceiling pattern           overflow"]
+        for factor, ceiling, pattern, overflowed in self.rows:
+            lines.append(
+                f"{factor:>6} {ceiling:>7} {pattern:<17} "
+                f"{'ABORT' if overflowed else 'survive'}"
+            )
+        return "\n".join(lines)
+
+
+def drive_bucket(bucket: LeakyBucket, pattern: str) -> bool:
+    """Feed a pattern of ``E`` (error) / ``s`` (success) to a bucket.
+
+    Returns True when the bucket overflowed at any point.
+    """
+    overflowed = False
+    for ch in pattern:
+        if ch == "E":
+            overflowed = bucket.record_error() or overflowed
+        elif ch == "s":
+            bucket.record_success()
+        else:
+            raise ValueError(f"pattern may contain only E/s, got {ch!r}")
+    return overflowed
+
+
+#: The patterns that pin the paper's sentence: one error amid correct
+#: operations survives; two successive errors abort.
+CANONICAL_PATTERNS = [
+    "ssssssEssssss",     # single error -> survive
+    "ssssssEEssssss",    # two successive errors -> abort
+    "ssEssssssEss",      # two well-separated errors -> survive
+    "ssEsEss",           # two errors, one success apart
+    "EssssssssssssE",    # errors at stream edges
+]
+
+
+def run_bucket_dynamics(
+    factors: tuple[int, ...] = (1, 2, 3),
+    patterns: tuple[str, ...] = tuple(CANONICAL_PATTERNS),
+) -> BucketDynamicsResult:
+    """Map bucket behaviour across factors and canonical patterns."""
+    result = BucketDynamicsResult()
+    for factor in factors:
+        bucket_probe = LeakyBucket(factor=factor)
+        ceiling = bucket_probe.ceiling
+        for pattern in patterns:
+            bucket = LeakyBucket(factor=factor)
+            overflowed = drive_bucket(bucket, pattern)
+            result.rows.append((factor, ceiling, pattern, overflowed))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E9: coverage campaigns
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CoverageRow:
+    """One campaign's headline numbers."""
+
+    fault_kind: str
+    fault_probability: float
+    operator_kind: str
+    coverage: float
+    sdc_rate: float
+    sdc_upper_bound: float  # 95% Wilson upper bound
+    aborts: int
+    runs: int
+
+
+@dataclass
+class CoverageResult:
+    rows: list[CoverageRow] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        header = (
+            f"{'fault':<13}{'p':>9} {'op':<6} {'coverage':>9} "
+            f"{'sdc':>7} {'sdc<=95%':>9} {'aborts':>7}"
+        )
+        lines = [header]
+        for r in self.rows:
+            lines.append(
+                f"{r.fault_kind:<13}{r.fault_probability:>9.1e} "
+                f"{r.operator_kind:<6}{r.coverage:>9.3f} "
+                f"{r.sdc_rate:>7.3f} {r.sdc_upper_bound:>9.3f} "
+                f"{r.aborts:>7}"
+            )
+        return "\n".join(lines)
+
+
+def _fault_factories(kind: str, probability: float):
+    if kind == "transient":
+        return lambda rng: TransientFault(probability, rng)
+    if kind == "intermittent":
+        return lambda rng: IntermittentFault(
+            burst_start=probability, burst_end=0.5, rng=rng
+        )
+    if kind == "permanent":
+        return lambda rng: PermanentFault(bit=28, rng=rng)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def run_coverage_study(
+    fault_kinds: tuple[str, ...] = ("transient", "intermittent", "permanent"),
+    probabilities: tuple[float, ...] = (1e-3, 1e-2),
+    operator_kinds: tuple[str, ...] = ("plain", "dmr", "tmr"),
+    runs: int = 150,
+    vector_length: int = 32,
+    seed: int = 0,
+) -> CoverageResult:
+    """Sweep fault model x probability x protection level."""
+    result = CoverageResult()
+    for fault_kind in fault_kinds:
+        probs = (
+            probabilities if fault_kind != "permanent" else (1.0,)
+        )
+        for probability in probs:
+            factory = _fault_factories(fault_kind, probability)
+            for operator_kind in operator_kinds:
+                campaign = run_operator_campaign(
+                    factory,
+                    operator_kind=operator_kind,
+                    runs=runs,
+                    vector_length=vector_length,
+                    seed=seed,
+                )
+                result.rows.append(
+                    _row_from_campaign(
+                        fault_kind, probability, operator_kind, campaign
+                    )
+                )
+    return result
+
+
+def _row_from_campaign(
+    fault_kind: str,
+    probability: float,
+    operator_kind: str,
+    campaign: CampaignResult,
+) -> CoverageRow:
+    faulted = campaign.runs - campaign.counts[Outcome.CLEAN]
+    sdc = campaign.counts[Outcome.SILENT_CORRUPTION]
+    if faulted > 0:
+        _, upper = empirical_coverage_interval(sdc, faulted)
+    else:
+        upper = 0.0
+    return CoverageRow(
+        fault_kind=fault_kind,
+        fault_probability=probability,
+        operator_kind=operator_kind,
+        coverage=campaign.detection_coverage,
+        sdc_rate=campaign.silent_corruption_rate,
+        sdc_upper_bound=upper,
+        aborts=campaign.counts[Outcome.DETECTED_ABORTED],
+        runs=campaign.runs,
+    )

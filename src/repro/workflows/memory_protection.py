@@ -1,0 +1,202 @@
+"""Extension E13: weight-storage protection (ECC) and spatial
+redundancy vs permanent PE faults.
+
+Two studies completing the design space the paper surveys in
+Section II:
+
+* :func:`run_ecc_study` -- SEC-DED-protected weight storage under
+  memory SEUs, against raw storage: classification accuracy of a
+  trained model as stored-bit upsets accumulate, with and without
+  ECC, plus correction/detection counters.  (Section II.C: vendors
+  answer memory upsets with ECC; arithmetic upsets need the paper's
+  redundant execution -- the two compose.)
+* :func:`run_spatial_vs_temporal` -- the redundancy-kind comparison
+  on permanent faults: temporal DMR (same unit twice) is silently
+  wrong, spatial DMR (two different PEs) detects, retires the faulty
+  PE and completes correctly in degraded mode (Section II.B's
+  "graceful degradation strategies").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import accuracy
+from repro.faults.models import PermanentFault
+from repro.faults.injector import FaultyExecutionUnit
+from repro.reliable.convolution import ConvolutionStats, reliable_convolution
+from repro.reliable.ecc import ECCProtectedTensor
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.execution_unit import PerfectExecutionUnit
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import RedundantOperator
+from repro.reliable.spatial import PEArray, SpatialRedundantOperator
+
+
+# ---------------------------------------------------------------------------
+# ECC weight storage
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ECCRow:
+    n_flips: int
+    raw_accuracy: float
+    ecc_accuracy: float
+    corrected: int
+    uncorrectable: int
+
+
+@dataclass
+class ECCStudyResult:
+    rows: list[ECCRow] = field(default_factory=list)
+    clean_accuracy: float = 0.0
+
+    def to_text(self) -> str:
+        lines = [
+            f"clean accuracy: {self.clean_accuracy:.3f}",
+            f"{'flips':>6} {'raw acc':>8} {'ECC acc':>8} "
+            f"{'corrected':>10} {'uncorrectable':>14}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.n_flips:>6} {row.raw_accuracy:>8.3f} "
+                f"{row.ecc_accuracy:>8.3f} {row.corrected:>10} "
+                f"{row.uncorrectable:>14}"
+            )
+        return "\n".join(lines)
+
+
+def run_ecc_study(
+    trained_model,
+    flip_counts: tuple[int, ...] = (1, 8, 32, 128),
+    seed: int = 0,
+) -> ECCStudyResult:
+    """Accuracy under stored-weight upsets, raw vs SEC-DED storage.
+
+    For each flip count: corrupt conv1's stored weights (raw arm:
+    in-place float bit flips in data bits; ECC arm: the same number
+    of upsets in the 39-bit codewords, then decode-with-correction)
+    and measure test accuracy.
+    """
+    model = trained_model.model
+    conv1 = model.layer("conv1")
+    pristine = conv1.weight.value.copy()
+    result = ECCStudyResult(clean_accuracy=trained_model.test_accuracy)
+    x, y = trained_model.test_x, trained_model.test_y
+    try:
+        for n_flips in flip_counts:
+            rng = np.random.default_rng(seed + n_flips)
+            # Raw storage arm: flips land in the 32 data bits.
+            from repro.faults.injector import corrupt_tensor
+
+            corrupted, _ = corrupt_tensor(pristine, n_flips, rng)
+            conv1.weight.value = corrupted
+            with np.errstate(over="ignore", invalid="ignore"):
+                raw_acc = accuracy(model, x, y)
+
+            # ECC arm: the same upset count in codeword bits.
+            storage = ECCProtectedTensor(pristine)
+            storage.inject_random_flips(n_flips, rng)
+            recovered, report = storage.read()
+            conv1.weight.value = recovered
+            with np.errstate(over="ignore", invalid="ignore"):
+                ecc_acc = accuracy(model, x, y)
+
+            result.rows.append(ECCRow(
+                n_flips=n_flips,
+                raw_accuracy=raw_acc,
+                ecc_accuracy=ecc_acc,
+                corrected=report.corrected,
+                uncorrectable=report.uncorrectable,
+            ))
+    finally:
+        conv1.weight.value = pristine
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Spatial vs temporal redundancy on permanent faults
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RedundancyKindResult:
+    temporal_correct: bool = False
+    temporal_detected: bool = False
+    spatial_correct: bool = False
+    spatial_detected: bool = False
+    spatial_degraded: bool = False
+    retired_pe: int | None = None
+    health_summary: str = ""
+
+    def to_text(self) -> str:
+        return "\n".join([
+            "permanent stuck-at fault in one execution unit:",
+            f"  temporal DMR: detected={self.temporal_detected}  "
+            f"result correct={self.temporal_correct}   "
+            "(common-mode blind spot)",
+            f"  spatial DMR:  detected={self.spatial_detected}  "
+            f"result correct={self.spatial_correct}  "
+            f"degraded mode={self.spatial_degraded} "
+            f"(PE{self.retired_pe} retired)",
+            self.health_summary,
+        ])
+
+
+def run_spatial_vs_temporal(
+    vector_length: int = 128,
+    n_elements: int = 4,
+    faulty_pe: int = 2,
+    stuck_bit: int = 28,
+    seed: int = 0,
+) -> RedundancyKindResult:
+    """One permanent fault, two redundancy kinds, opposite outcomes."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(vector_length)
+    w = rng.standard_normal(vector_length)
+    golden = 0.0
+    for xi, wi in zip(x, w):
+        golden += float(xi) * float(wi)
+
+    result = RedundancyKindResult()
+
+    # Temporal: both executions on the same (faulty) unit.
+    faulty_unit = FaultyExecutionUnit(
+        PermanentFault(bit=stuck_bit, rng=rng)
+    )
+    stats = ConvolutionStats()
+    try:
+        value = reliable_convolution(
+            x, w, 0.0, RedundantOperator(faulty_unit),
+            bucket=LeakyBucket(ceiling=10_000), stats=stats,
+        ).value
+        result.temporal_correct = abs(value - golden) < 1e-6
+    except PersistentFailureError:
+        result.temporal_detected = True
+    result.temporal_detected = (
+        result.temporal_detected or stats.errors_detected > 0
+    )
+
+    # Spatial: two different PEs; one is permanently faulty.
+    units = [PerfectExecutionUnit() for _ in range(n_elements)]
+    units[faulty_pe] = FaultyExecutionUnit(
+        PermanentFault(bit=stuck_bit, rng=rng)
+    )
+    array = PEArray(units)
+    operator = SpatialRedundantOperator(array)
+    stats = ConvolutionStats()
+    try:
+        value = reliable_convolution(
+            x, w, 0.0, operator,
+            bucket=LeakyBucket(ceiling=10_000), stats=stats,
+        ).value
+        result.spatial_correct = abs(value - golden) < 1e-6
+    except PersistentFailureError:
+        pass
+    result.spatial_detected = stats.errors_detected > 0
+    result.spatial_degraded = array.degraded
+    retired = [pe.index for pe in array.elements if pe.retired]
+    result.retired_pe = retired[0] if retired else None
+    result.health_summary = array.health_summary()
+    return result

@@ -1,0 +1,163 @@
+"""Experiment E5: Sobel pre-initialisation with freeze-during-training.
+
+Paper Section III.B: "We then begin pre-initializing one of the
+three-dimensional AlexNet filters to Sobel filters and train the
+network keeping this initialisation constant.  In theory the training
+tool ... offers the ability to freeze a filter during training.  In
+practice, after every epoch or batch, the filter values are minimally
+changed ... The accuracy of the model is not affected whether the
+kernels are replaced after training is completed or set before
+training has begun and re-set after every epoch or batch."
+
+Three arms reproduce that paragraph:
+
+* **baseline** -- unconstrained training;
+* **pinned** -- filter 0 pre-initialised to the Sobel stack and re-set
+  after every batch (the paper's working method);
+* **frozen-only** -- filter 0 initialised to Sobel and excluded from
+  optimiser updates *without* re-setting, measuring the drift the
+  paper observed ("the (learnt) filter undergoes subtle changes").
+
+In our framework the optimiser honours freezing exactly, so the
+drift channel is different from TensorFlow's: the LRN/pooling-driven
+re-balancing the paper saw appears here when the filter is *not*
+excluded from updates.  The drift arm therefore trains the filter
+normally from the Sobel initialisation and reports how far it moves
+-- the quantity the paper's re-set mechanism exists to cancel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.signs import STOP_CLASS_INDEX
+from repro.analysis.metrics import mean_class_confidence
+from repro.nn import FilterPin
+from repro.vision.filters import sobel_filter_stack
+from repro.workflows.training import TrainedSignModel, conv1_of, train_sign_model
+
+
+@dataclass
+class SobelPretrainResult:
+    """Accuracies and drift for the three training arms."""
+
+    baseline_accuracy: float
+    pinned_accuracy: float
+    drift_accuracy: float
+    drift_l2: float                 # final L2 distance from the Sobel stack
+    pin_drift_history: list[float]  # drift absorbed by each re-set
+    stop_confidence_pinned: float
+
+    @property
+    def accuracy_cost_of_pinning(self) -> float:
+        """Accuracy lost by pinning (paper: "clearly exhibits no
+        negative effects", i.e. ~0)."""
+        return self.baseline_accuracy - self.pinned_accuracy
+
+    def to_text(self) -> str:
+        mean_drift = (
+            float(np.mean(self.pin_drift_history))
+            if self.pin_drift_history else 0.0
+        )
+        return "\n".join([
+            f"baseline accuracy:            {self.baseline_accuracy:.3f}",
+            f"pinned-Sobel accuracy:        {self.pinned_accuracy:.3f} "
+            f"(cost {self.accuracy_cost_of_pinning:+.3f})",
+            f"unpinned-drift accuracy:      {self.drift_accuracy:.3f}",
+            f"filter drift without re-set:  {self.drift_l2:.4f} (L2)",
+            f"mean drift absorbed per re-set: {mean_drift:.6f}",
+            f"stop confidence (pinned):     "
+            f"{self.stop_confidence_pinned:.3f}",
+        ])
+
+
+def run_sobel_pretrain(
+    image_size: int = 32,
+    n_per_class: int = 40,
+    epochs: int = 8,
+    conv1_filters: int = 8,
+    seed: int = 0,
+) -> SobelPretrainResult:
+    """Run the three arms on identical data and seeds."""
+    # Arm 1: unconstrained baseline.
+    baseline = train_sign_model(
+        image_size=image_size, n_per_class=n_per_class, epochs=epochs,
+        conv1_filters=conv1_filters, seed=seed,
+    )
+
+    # Arm 2: Sobel-pinned with per-batch re-set.
+    pinned = _train_pinned(
+        image_size, n_per_class, epochs, conv1_filters, seed
+    )
+    pin = pinned_pin_holder[0]
+
+    # Arm 3: Sobel-initialised, trained without re-set -> drift.
+    drift = _train_drifting(
+        image_size, n_per_class, epochs, conv1_filters, seed
+    )
+    conv1 = conv1_of(drift.model)
+    sobel = sobel_filter_stack(conv1.kernel_size, conv1.in_channels)
+    drift_l2 = float(np.linalg.norm(conv1.get_filter(0) - sobel))
+
+    stop_confidence = mean_class_confidence(
+        pinned.model, pinned.test_x, pinned.test_y, STOP_CLASS_INDEX
+    )
+    return SobelPretrainResult(
+        baseline_accuracy=baseline.test_accuracy,
+        pinned_accuracy=pinned.test_accuracy,
+        drift_accuracy=drift.test_accuracy,
+        drift_l2=drift_l2,
+        pin_drift_history=list(pin.drift_history),
+        stop_confidence_pinned=stop_confidence,
+    )
+
+
+# The pin object is created inside the training helper (it needs the
+# model's conv1); stashing it lets the caller read its drift history.
+pinned_pin_holder: list[FilterPin] = []
+
+
+def _train_pinned(
+    image_size: int, n_per_class: int, epochs: int,
+    conv1_filters: int, seed: int,
+) -> TrainedSignModel:
+    from repro.data.signs import SIGN_CLASSES
+    from repro.models import small_cnn
+
+    rng = np.random.default_rng(seed)
+    model = small_cnn(image_size, len(SIGN_CLASSES),
+                      conv1_filters=conv1_filters, rng=rng)
+    conv1 = conv1_of(model)
+    pin = FilterPin(
+        conv1, 0,
+        sobel_filter_stack(conv1.kernel_size, conv1.in_channels),
+        reset_every="batch",
+    )
+    pinned_pin_holder.clear()
+    pinned_pin_holder.append(pin)
+    return train_sign_model(
+        image_size=image_size, n_per_class=n_per_class, epochs=epochs,
+        seed=seed, pins=[pin], model=model,
+    )
+
+
+def _train_drifting(
+    image_size: int, n_per_class: int, epochs: int,
+    conv1_filters: int, seed: int,
+) -> TrainedSignModel:
+    from repro.data.signs import SIGN_CLASSES
+    from repro.models import small_cnn
+
+    rng = np.random.default_rng(seed)
+    model = small_cnn(image_size, len(SIGN_CLASSES),
+                      conv1_filters=conv1_filters, rng=rng)
+    conv1 = conv1_of(model)
+    conv1.set_filter(
+        0, sobel_filter_stack(conv1.kernel_size, conv1.in_channels)
+    )
+    return train_sign_model(
+        image_size=image_size, n_per_class=n_per_class, epochs=epochs,
+        seed=seed, model=model,
+    )

@@ -1,0 +1,149 @@
+"""Confusion matrices, metrics, reliability statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConfusionMatrix,
+    accuracy,
+    class_confidences,
+    confusion_matrix,
+    empirical_coverage_interval,
+    failure_rate_estimate,
+    mean_class_confidence,
+    top_k_accuracy,
+)
+from repro.analysis.metrics import predictions
+
+
+class TestConfusionMatrix:
+    def test_build_and_accuracy(self):
+        cm = confusion_matrix(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]), 2
+        )
+        np.testing.assert_array_equal(cm.matrix, [[1, 1], [0, 2]])
+        assert cm.accuracy() == 0.75
+
+    def test_per_class_metrics(self):
+        cm = confusion_matrix(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]), 2
+        )
+        np.testing.assert_allclose(cm.per_class_recall(), [0.5, 1.0])
+        np.testing.assert_allclose(cm.per_class_precision(), [1.0, 2 / 3])
+
+    def test_unseen_class_nan(self):
+        cm = confusion_matrix(np.array([0]), np.array([0]), 3)
+        recall = cm.per_class_recall()
+        assert np.isnan(recall[1]) and np.isnan(recall[2])
+
+    def test_max_abs_difference(self):
+        a = confusion_matrix(np.array([0, 1]), np.array([0, 1]), 2)
+        b = confusion_matrix(np.array([0, 1]), np.array([1, 1]), 2)
+        assert a.max_abs_difference(b) == 1
+        assert a.max_abs_difference(a) == 0
+
+    def test_difference_shape_mismatch(self):
+        a = confusion_matrix(np.array([0]), np.array([0]), 2)
+        b = confusion_matrix(np.array([0]), np.array([0]), 3)
+        with pytest.raises(ValueError):
+            a.max_abs_difference(b)
+
+    def test_to_text_with_names(self):
+        cm = confusion_matrix(
+            np.array([0, 1]), np.array([0, 1]), 2, ["stop", "yield"]
+        )
+        text = cm.to_text()
+        assert "stop" in text and "yield" in text
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+    def test_empty_matrix_accuracy_zero(self):
+        cm = ConfusionMatrix(matrix=np.zeros((2, 2), dtype=np.int64))
+        assert cm.accuracy() == 0.0
+
+
+class TestModelMetrics:
+    def test_accuracy_on_trained_model(self, trained_model):
+        value = accuracy(
+            trained_model.model, trained_model.test_x,
+            trained_model.test_y,
+        )
+        assert value == trained_model.test_accuracy
+
+    def test_top_k_monotone(self, trained_model):
+        top1 = top_k_accuracy(
+            trained_model.model, trained_model.test_x,
+            trained_model.test_y, k=1,
+        )
+        top3 = top_k_accuracy(
+            trained_model.model, trained_model.test_x,
+            trained_model.test_y, k=3,
+        )
+        assert top3 >= top1
+
+    def test_confidences_are_probabilities(self, trained_model):
+        conf = class_confidences(
+            trained_model.model, trained_model.test_x[:8], 0
+        )
+        assert conf.shape == (8,)
+        assert (conf >= 0).all() and (conf <= 1).all()
+
+    def test_mean_class_confidence_high_for_trained(self, trained_model):
+        value = mean_class_confidence(
+            trained_model.model, trained_model.test_x,
+            trained_model.test_y, 0,
+        )
+        assert value > 0.5
+
+    def test_mean_confidence_needs_samples(self, trained_model):
+        with pytest.raises(ValueError):
+            mean_class_confidence(
+                trained_model.model, trained_model.test_x,
+                np.full_like(trained_model.test_y, 3), 5,
+            )
+
+    def test_predictions_match_argmax(self, trained_model):
+        preds = predictions(trained_model.model, trained_model.test_x[:4])
+        logits = trained_model.model.forward(trained_model.test_x[:4])
+        np.testing.assert_array_equal(preds, logits.argmax(axis=1))
+
+    def test_empty_set_rejected(self, trained_model):
+        with pytest.raises(ValueError):
+            accuracy(
+                trained_model.model,
+                np.zeros((0, 3, 32, 32), dtype=np.float32),
+                np.zeros(0, dtype=np.int64),
+            )
+
+
+class TestReliabilityStats:
+    def test_rate_estimate(self):
+        assert failure_rate_estimate(5, 100) == 0.05
+        with pytest.raises(ValueError):
+            failure_rate_estimate(5, 0)
+        with pytest.raises(ValueError):
+            failure_rate_estimate(11, 10)
+
+    def test_wilson_interval_contains_point(self):
+        low, high = empirical_coverage_interval(10, 100)
+        assert low < 0.10 < high
+
+    def test_zero_failures_informative_upper(self):
+        low, high = empirical_coverage_interval(0, 100)
+        assert low == 0.0
+        assert 0.0 < high < 0.08  # ~3.7% for n=100 at 95%
+
+    def test_interval_narrows_with_trials(self):
+        _, high_small = empirical_coverage_interval(0, 50)
+        _, high_large = empirical_coverage_interval(0, 5000)
+        assert high_large < high_small
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            empirical_coverage_interval(1, 10, confidence=1.5)

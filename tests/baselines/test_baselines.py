@@ -1,0 +1,121 @@
+"""Activation-range supervision and output caging baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ActivationRangeGuard, OutputCage
+from repro.faults.injector import flip_weight_bits
+
+
+class TestRangeGuard:
+    @pytest.fixture()
+    def guard(self, trained_model):
+        guard = ActivationRangeGuard(trained_model.model)
+        guard.calibrate(trained_model.train_x[:96])
+        return guard
+
+    def test_requires_calibration(self, trained_model):
+        guard = ActivationRangeGuard(trained_model.model)
+        with pytest.raises(RuntimeError):
+            guard.forward(trained_model.test_x[:2])
+
+    def test_clean_inputs_pass_without_violations(self, guard,
+                                                  trained_model):
+        out, violations = guard.forward(trained_model.train_x[:16])
+        native = trained_model.model.forward(trained_model.train_x[:16])
+        np.testing.assert_allclose(out, native, rtol=1e-5)
+        assert violations == []
+
+    def test_bounds_cover_every_layer(self, guard, trained_model):
+        assert set(guard.bounds) == {
+            layer.name for layer in trained_model.model
+        }
+
+    def test_corrupted_weights_trigger_clipping(self, guard,
+                                                trained_model):
+        conv1 = trained_model.model.layer("conv1")
+        pristine = conv1.weight.value.copy()
+        try:
+            rng = np.random.default_rng(3)
+            flip_weight_bits(
+                conv1, 40, rng, bit_range=(24, 31)
+            )
+            with np.errstate(over="ignore", invalid="ignore"):
+                out, violations = guard.forward(
+                    trained_model.test_x[:8]
+                )
+            assert violations, "exponent corruption must violate bounds"
+            # Output is clipped into the final layer's bounds.
+            lo, hi = guard.bounds[trained_model.model.layers[-1].name]
+            assert out.min() >= lo - 1e-5
+            assert out.max() <= hi + 1e-5
+        finally:
+            conv1.weight.value = pristine
+
+    def test_margin_validation(self, trained_model):
+        with pytest.raises(ValueError):
+            ActivationRangeGuard(trained_model.model, margin=-0.1)
+
+    def test_empty_calibration_rejected(self, trained_model):
+        guard = ActivationRangeGuard(trained_model.model)
+        with pytest.raises(ValueError):
+            guard.calibrate(np.zeros((0, 3, 32, 32), dtype=np.float32))
+
+
+class TestOutputCage:
+    @pytest.fixture()
+    def cage(self, trained_model):
+        cage = OutputCage(trained_model.model)
+        cage.calibrate(trained_model.train_x[:96])
+        return cage
+
+    def test_requires_calibration(self, trained_model):
+        cage = OutputCage(trained_model.model)
+        with pytest.raises(RuntimeError):
+            cage.check(np.zeros((1, 8)))
+
+    def test_clean_outputs_mostly_feasible(self, cage, trained_model):
+        # Calibrated at the 1% quantile of *training* outputs, so a
+        # few held-out samples legitimately fall outside the cage.
+        logits = trained_model.model.forward(trained_model.test_x)
+        feasible = cage.check(logits)
+        assert feasible.mean() > 0.8
+
+    def test_nan_logits_infeasible(self, cage):
+        bad = np.full((1, 8), np.nan)
+        assert not cage.check(bad)[0]
+
+    def test_flat_logits_infeasible(self, cage):
+        # Uniform output: max confidence 1/8, far below calibration.
+        assert not cage.check(np.zeros((1, 8)))[0]
+
+    def test_infer_returns_predictions_and_mask(self, cage,
+                                                trained_model):
+        preds, feasible = cage.infer(trained_model.test_x[:4])
+        assert preds.shape == (4,) and feasible.shape == (4,)
+
+    def test_quantile_validation(self, trained_model):
+        with pytest.raises(ValueError):
+            OutputCage(trained_model.model, min_confidence_quantile=1.0)
+
+
+class TestBaselineComparisonWorkflow:
+    def test_hybrid_never_false_confirms(self, trained_model):
+        from repro.workflows import run_baseline_comparison
+
+        result = run_baseline_comparison(
+            trained_model, trials=25, seed=1
+        )
+        by_name = {row.protection: row for row in result.rows}
+        hybrid = by_name["hybrid-qualifier"]
+        unprotected = by_name["unprotected"]
+        assert hybrid.false_confirms == 0
+        assert (
+            unprotected.false_confirms
+            >= by_name["output-cage"].false_confirms
+        )
+        # Every stop-claim the CNN made is either rejected by the
+        # qualifier or was never made dependable.
+        assert hybrid.rejected == unprotected.false_confirms

@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Expensive artefacts (the trained sign classifier) are session-scoped
+so the whole suite trains once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset, render_sign, train_test_split
+from repro.workflows.training import train_sign_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def stop_image() -> np.ndarray:
+    """A slightly angled stop sign at qualifier-friendly resolution."""
+    return render_sign(0, size=128, rotation=np.deg2rad(7))
+
+
+@pytest.fixture(scope="session")
+def circle_image() -> np.ndarray:
+    return render_sign(1, size=128)
+
+
+@pytest.fixture(scope="session")
+def sign_data():
+    """Small train/test split of the synthetic sign dataset."""
+    dataset = make_dataset(12, size=32, seed=99)
+    return train_test_split(dataset, test_fraction=0.25, seed=99)
+
+
+@pytest.fixture(scope="session")
+def trained_model():
+    """A small CNN trained once for the whole session (~10 s)."""
+    return train_sign_model(
+        arch="small", image_size=32, n_per_class=30, epochs=6, seed=7
+    )

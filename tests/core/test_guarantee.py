@@ -1,0 +1,171 @@
+"""Reliability guarantee math and the cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.guarantee import (
+    CostModel,
+    ReliabilityGuarantee,
+    bucket_overflow_probability,
+    dmr_residual_risk,
+    plain_sdc_probability,
+    tmr_residual_risk,
+)
+from repro.core.partition import HybridPartition
+from repro.models import small_cnn
+
+
+class TestBasicFormulas:
+    def test_plain_sdc_limits(self):
+        assert plain_sdc_probability(0.0, 1000) == 0.0
+        assert plain_sdc_probability(1.0, 1) == 1.0
+        assert plain_sdc_probability(0.5, 0) == 0.0
+
+    def test_plain_sdc_small_p_linear(self):
+        p, n = 1e-9, 10_000
+        np.testing.assert_allclose(
+            plain_sdc_probability(p, n), p * n, rtol=1e-4
+        )
+
+    def test_dmr_quadratic_suppression(self):
+        p, n = 1e-4, 100_000
+        plain = plain_sdc_probability(p, n)
+        dmr = dmr_residual_risk(p, n)
+        assert dmr < plain * 1e-3
+
+    def test_tmr_three_pairs(self):
+        p, n = 1e-4, 1000
+        np.testing.assert_allclose(
+            tmr_residual_risk(p, n),
+            1.0 - (1.0 - 3.0 * p * p / 32.0) ** n,
+            rtol=1e-9,
+        )
+
+    def test_collision_scales_dmr_risk(self):
+        base = dmr_residual_risk(1e-3, 1000, collision=1 / 32)
+        certain = dmr_residual_risk(1e-3, 1000, collision=1.0)
+        assert certain > base * 10
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            plain_sdc_probability(-0.1, 10)
+        with pytest.raises(ValueError):
+            dmr_residual_risk(2.0, 10)
+        with pytest.raises(ValueError):
+            plain_sdc_probability(0.5, -1)
+
+
+class TestBucketOverflow:
+    def test_zero_error_rate_never_overflows(self):
+        assert bucket_overflow_probability(0.0, 10_000) == 0.0
+
+    def test_certain_error_rate_overflows(self):
+        assert bucket_overflow_probability(1.0, 10) == 1.0
+
+    def test_monotone_in_ops(self):
+        p_short = bucket_overflow_probability(0.01, 100)
+        p_long = bucket_overflow_probability(0.01, 10_000)
+        assert p_long > p_short
+
+    def test_matches_simulation(self):
+        """Markov DP must agree with a direct Monte-Carlo simulation."""
+        from repro.reliable.leaky_bucket import LeakyBucket
+
+        p_err, n_ops, trials = 0.05, 200, 4000
+        rng = np.random.default_rng(0)
+        overflows = 0
+        for _ in range(trials):
+            bucket = LeakyBucket(factor=2)
+            for _ in range(n_ops):
+                if rng.random() < p_err:
+                    if bucket.record_error():
+                        overflows += 1
+                        break
+                else:
+                    bucket.record_success()
+        simulated = overflows / trials
+        analytic = bucket_overflow_probability(p_err, n_ops, factor=2)
+        assert abs(simulated - analytic) < 0.03
+
+    def test_ceiling_validation(self):
+        with pytest.raises(ValueError):
+            bucket_overflow_probability(0.1, 10, factor=3, ceiling=2)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return small_cnn(32, 8, conv1_filters=8)
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return HybridPartition(reliable_filters={"conv1": (0, 1)})
+
+
+class TestCostModel:
+    def test_duplication_is_double(self, model, partition):
+        cost = CostModel(model, (3, 32, 32), partition)
+        assert cost.full_duplication_ops() == 2 * cost.native_ops()
+        assert cost.full_duplication_ops(3) == 3 * cost.native_ops()
+
+    def test_hybrid_cheaper_than_duplication(self, model, partition):
+        cost = CostModel(model, (3, 32, 32), partition)
+        assert cost.hybrid_ops() < cost.full_duplication_ops()
+        assert 0.0 < cost.savings_vs_duplication() < 1.0
+
+    def test_hybrid_costlier_than_native(self, model, partition):
+        cost = CostModel(model, (3, 32, 32), partition)
+        assert cost.hybrid_ops() > cost.native_ops()
+
+    def test_qualifier_ops_positive(self, model, partition):
+        cost = CostModel(model, (3, 32, 32), partition)
+        assert cost.qualifier_ops() > 0
+
+    def test_copies_validation(self, model, partition):
+        with pytest.raises(ValueError):
+            CostModel(model, (3, 32, 32), partition).full_duplication_ops(1)
+
+
+class TestGuarantee:
+    def test_protected_path_beats_unprotected(self, model, partition):
+        guarantee = ReliabilityGuarantee(
+            model, (3, 32, 32), partition, fault_probability=1e-6
+        )
+        assert (
+            guarantee.protected_path_sdc()
+            < guarantee.unprotected_sdc() / 1e3
+        )
+        assert guarantee.improvement_factor() > 1e3
+
+    def test_tmr_partition_uses_tmr_formula(self, model):
+        partition = HybridPartition(
+            reliable_filters={"conv1": (0, 1)}, redundancy="tmr"
+        )
+        g_tmr = ReliabilityGuarantee(
+            model, (3, 32, 32), partition, fault_probability=1e-5
+        )
+        g_dmr = ReliabilityGuarantee(
+            model, (3, 32, 32), HybridPartition(
+                reliable_filters={"conv1": (0, 1)},
+            ),
+            fault_probability=1e-5,
+        )
+        # TMR residual is ~3x the DMR residual at equal n (three
+        # colliding pairs instead of one).
+        assert g_tmr.protected_path_sdc() > g_dmr.protected_path_sdc()
+
+    def test_availability_loss_small_for_rare_faults(self, model,
+                                                     partition):
+        guarantee = ReliabilityGuarantee(
+            model, (3, 32, 32), partition, fault_probability=1e-8
+        )
+        assert guarantee.availability_loss() < 1e-6
+
+    def test_summary_mentions_key_numbers(self, model, partition):
+        text = ReliabilityGuarantee(
+            model, (3, 32, 32), partition
+        ).summary()
+        assert "reliable ops" in text
+        assert "improvement factor" in text

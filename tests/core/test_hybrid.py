@@ -1,0 +1,182 @@
+"""Hybrid architectures and the reliable-result block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decision,
+    HybridPartition,
+    IntegratedHybridCNN,
+    ParallelHybridCNN,
+    ReliableResultBlock,
+    ShapeQualifier,
+)
+from repro.core.qualifier import QualifierVerdict
+from repro.data import STOP_CLASS_INDEX, render_sign
+from repro.models import alexnet_scaled, small_cnn
+from repro.vision.filters import sobel_axis_stack
+
+
+class TestReliableResultBlock:
+    def setup_method(self):
+        self.block = ReliableResultBlock(safety_class=0)
+
+    @staticmethod
+    def probs(winner, n=4):
+        p = np.full(n, 0.1 / (n - 1))
+        p[winner] = 0.9
+        return p
+
+    def test_confirmed(self):
+        verdict = QualifierVerdict(True, 0.0, "w")
+        predicted, decision = self.block.combine(self.probs(0), verdict)
+        assert predicted == 0 and decision is Decision.CONFIRMED
+
+    def test_rejected_by_qualifier(self):
+        verdict = QualifierVerdict(False, 9.0, "w")
+        _, decision = self.block.combine(self.probs(0), verdict)
+        assert decision is Decision.REJECTED_BY_QUALIFIER
+
+    def test_not_safety_critical(self):
+        verdict = QualifierVerdict(False, 9.0, "w")
+        predicted, decision = self.block.combine(self.probs(2), verdict)
+        assert predicted == 2
+        assert decision is Decision.NOT_SAFETY_CRITICAL
+
+    def test_shape_without_class_flags_possible_false_negative(self):
+        verdict = QualifierVerdict(True, 0.0, "w")
+        _, decision = self.block.combine(self.probs(2), verdict)
+        assert decision is Decision.SHAPE_WITHOUT_CLASS
+
+    def test_unreliable_qualifier_never_confirms(self):
+        verdict = QualifierVerdict(True, 0.0, "w", reliable=False)
+        _, decision = self.block.combine(self.probs(0), verdict)
+        assert decision is Decision.QUALIFIER_UNAVAILABLE
+
+
+class TestPartition:
+    def test_defaults_are_paper_plus_xy(self):
+        partition = HybridPartition()
+        assert partition.reliable_filters == {"conv1": (0, 1)}
+        assert partition.bifurcation_layer == "conv1"
+        assert partition.redundancy == "dmr"
+        assert partition.redundancy_multiplier() == 2
+
+    def test_validation_rules(self):
+        with pytest.raises(ValueError):
+            HybridPartition(reliable_filters={"conv2": (0,)})
+        with pytest.raises(ValueError):
+            HybridPartition(
+                reliable_filters={"conv1": ()},
+            )
+        with pytest.raises(ValueError):
+            HybridPartition(
+                reliable_filters={"conv1": (0, 0)},
+            )
+        with pytest.raises(ValueError):
+            HybridPartition(redundancy="qmr")
+
+    def test_validate_against_model(self):
+        model = small_cnn(32, 8, conv1_filters=4)
+        HybridPartition(
+            reliable_filters={"conv1": (0, 3)}
+        ).validate_against(model)
+        with pytest.raises(ValueError):
+            HybridPartition(
+                reliable_filters={"conv1": (0, 9)}
+            ).validate_against(model)
+        with pytest.raises(KeyError):
+            HybridPartition(
+                reliable_filters={"convX": (0,)},
+                bifurcation_layer="convX",
+            ).validate_against(model)
+        with pytest.raises(TypeError):
+            HybridPartition(
+                reliable_filters={"relu1": (0,)},
+                bifurcation_layer="relu1",
+            ).validate_against(model)
+
+    def test_reliable_op_count_scales_with_filters(self):
+        model = small_cnn(32, 8, conv1_filters=8)
+        one = HybridPartition(reliable_filters={"conv1": (0,)})
+        two = HybridPartition(reliable_filters={"conv1": (0, 1)})
+        n1 = one.reliable_operation_count(model, (3, 32, 32))
+        n2 = two.reliable_operation_count(model, (3, 32, 32))
+        assert n2 == 2 * n1
+        # One filter: 32x32 output (padding 2, stride 1), 5x5x3 taps.
+        assert n1 == 32 * 32 * 75
+
+
+@pytest.fixture(scope="module")
+def hybrid_model():
+    """Scaled AlexNet at 128px with Sobel x/y pinned in conv1."""
+    model = alexnet_scaled(n_classes=8, input_size=128)
+    conv1 = model.layer("conv1")
+    conv1.set_filter(0, sobel_axis_stack("x", 7, 3))
+    conv1.set_filter(1, sobel_axis_stack("y", 7, 3))
+    return model
+
+
+class TestParallelHybrid:
+    def test_stop_sign_qualifier_path(self, hybrid_model):
+        hybrid = ParallelHybridCNN(
+            hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX
+        )
+        result = hybrid.infer(
+            render_sign(0, size=128, rotation=np.deg2rad(5))
+        )
+        assert result.verdict.matches
+        assert result.decision in (
+            Decision.CONFIRMED, Decision.SHAPE_WITHOUT_CLASS
+        )
+        np.testing.assert_allclose(result.probabilities.sum(), 1.0,
+                                   rtol=1e-5)
+
+    def test_circle_never_confirmed(self, hybrid_model):
+        hybrid = ParallelHybridCNN(
+            hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX
+        )
+        result = hybrid.infer(render_sign(1, size=128))
+        assert not result.verdict.matches
+        assert result.decision is not Decision.CONFIRMED
+
+
+class TestIntegratedHybrid:
+    @pytest.fixture(scope="class")
+    def hybrid(self, hybrid_model):
+        return IntegratedHybridCNN(
+            hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX
+        )
+
+    def test_stop_sign_bifurcated_path(self, hybrid):
+        result = hybrid.infer(
+            render_sign(0, size=128, rotation=np.deg2rad(5))
+        )
+        assert result.verdict.matches
+        assert result.reliable_report is not None
+        assert result.reliable_report.operations > 0
+        assert result.reliable_report.persistent_failures == 0
+
+    def test_circle_rejected_on_feature_path(self, hybrid):
+        result = hybrid.infer(render_sign(1, size=128))
+        assert not result.verdict.matches
+        assert result.decision is not Decision.CONFIRMED
+
+    def test_confirmed_property(self, hybrid):
+        result = hybrid.infer(
+            render_sign(0, size=128, rotation=np.deg2rad(5))
+        )
+        assert result.confirmed == (
+            result.decision is Decision.CONFIRMED
+        )
+
+    def test_partition_must_fit_model(self, hybrid_model):
+        with pytest.raises(ValueError):
+            IntegratedHybridCNN(
+                hybrid_model, ShapeQualifier(), STOP_CLASS_INDEX,
+                HybridPartition(
+                    reliable_filters={"conv1": (0, 99)}
+                ),
+            )

@@ -1,0 +1,132 @@
+"""Shape qualifier: templates, calibration, redundant execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.qualifier import (
+    QualifierVerdict,
+    ShapeQualifier,
+    octagon_template_word,
+    shape_template_word,
+    shape_template_words,
+)
+from repro.data import SIGN_CLASSES, render_sign
+from repro.sax.sax import SaxEncoder
+
+
+@pytest.fixture(scope="module")
+def qualifier():
+    return ShapeQualifier()
+
+
+class TestTemplates:
+    def test_octagon_word_deterministic(self):
+        assert octagon_template_word() == octagon_template_word()
+
+    def test_phase_variants_nonempty_and_unique(self):
+        encoder = SaxEncoder(32, 8)
+        variants = shape_template_words("octagon", encoder)
+        assert 1 <= len(variants) <= 4
+        assert len(set(variants)) == len(variants)
+
+    def test_different_shapes_different_words(self):
+        encoder = SaxEncoder(32, 8)
+        octagon = set(shape_template_words("octagon", encoder))
+        triangle = set(shape_template_words("triangle", encoder))
+        assert octagon.isdisjoint(triangle)
+
+    def test_circle_template_flat(self):
+        encoder = SaxEncoder(32, 8)
+        word = shape_template_word("circle", encoder)
+        assert len(set(word)) == 1  # one symbol throughout
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            shape_template_word("heptadecagon", SaxEncoder(32, 8))
+
+
+class TestCalibration:
+    """Threshold separation on the synthetic data: the reliability
+    claim of the qualifier rests on this margin."""
+
+    def test_stop_signs_match_across_rotations(self, qualifier):
+        for deg in (-12.0, -5.0, 0.0, 7.0, 12.0):
+            image = render_sign(0, size=128, rotation=np.deg2rad(deg))
+            verdict = qualifier.check(image)
+            assert verdict.matches, f"stop at {deg} deg must match"
+            assert verdict.distance <= qualifier.threshold
+
+    def test_all_other_classes_rejected(self, qualifier):
+        for index, spec in enumerate(SIGN_CLASSES):
+            if spec.name == "stop":
+                continue
+            image = render_sign(index, size=128)
+            verdict = qualifier.check(image)
+            assert not verdict.matches, f"{spec.name} must not match"
+
+    def test_margin_is_comfortable(self, qualifier):
+        """Non-octagons stay at least 2x the threshold away."""
+        worst = min(
+            qualifier.check(render_sign(i, size=128)).distance
+            for i, spec in enumerate(SIGN_CLASSES)
+            if spec.name != "stop"
+        )
+        assert worst >= 2.0 * qualifier.threshold
+
+    def test_blank_image_rejected(self, qualifier):
+        blank = np.zeros((3, 128, 128), dtype=np.float32)
+        verdict = qualifier.check(blank)
+        assert not verdict.matches
+        assert verdict.distance == float("inf")
+
+
+class TestVerdict:
+    def test_truthiness(self):
+        assert QualifierVerdict(True, 0.0, "w")
+        assert not QualifierVerdict(False, 9.0, "w")
+        assert not QualifierVerdict(True, 0.0, "w", reliable=False)
+
+    def test_word_exposed_for_explainability(self, qualifier, stop_image):
+        verdict = qualifier.check(stop_image)
+        assert len(verdict.word) == qualifier.encoder.word_length
+
+
+class TestRedundantExecution:
+    def test_redundant_and_plain_agree_on_clean_input(self, stop_image):
+        redundant = ShapeQualifier(redundant=True).check(stop_image)
+        plain = ShapeQualifier(redundant=False).check(stop_image)
+        assert redundant.matches == plain.matches
+        assert redundant.distance == plain.distance
+
+    def test_verdict_reliable_flag_on_clean_execution(self, qualifier,
+                                                      stop_image):
+        assert qualifier.check(stop_image).reliable
+
+
+class TestFeatureMapPath:
+    def test_two_map_magnitude_form(self, qualifier):
+        from repro.nn import Conv2D
+        from repro.vision.filters import sobel_axis_stack
+
+        conv = Conv2D(3, 4, 7, stride=2, name="c")
+        conv.set_filter(0, sobel_axis_stack("x", 7, 3))
+        conv.set_filter(1, sobel_axis_stack("y", 7, 3))
+        image = render_sign(0, size=128, rotation=np.deg2rad(5))
+        maps = conv.forward(image[None])[0, :2]
+        assert qualifier.check_feature_map(maps).matches
+
+    def test_rejects_too_many_maps(self, qualifier, rng):
+        with pytest.raises(ValueError):
+            qualifier.check_feature_map(
+                rng.standard_normal((3, 10, 10))
+            )
+
+    def test_zero_map_rejected(self, qualifier):
+        verdict = qualifier.check_feature_map(np.zeros((16, 16)))
+        assert not verdict.matches
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ShapeQualifier(threshold=-1.0)

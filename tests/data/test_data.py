@@ -1,0 +1,198 @@
+"""Shapes, sign rendering, datasets, augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SIGN_CLASSES,
+    STOP_CLASS_INDEX,
+    add_noise,
+    adjust_brightness,
+    class_names,
+    disk_mask,
+    make_dataset,
+    polygon_mask,
+    regular_polygon,
+    render_sign,
+    ring_mask,
+    rotate_image,
+    train_test_split,
+)
+
+
+class TestShapes2D:
+    def test_regular_polygon_vertex_count_and_radius(self):
+        verts = regular_polygon((10.0, 10.0), 5.0, 8)
+        assert verts.shape == (8, 2)
+        radii = np.hypot(verts[:, 0] - 10.0, verts[:, 1] - 10.0)
+        np.testing.assert_allclose(radii, 5.0, rtol=1e-9)
+
+    def test_polygon_validation(self):
+        with pytest.raises(ValueError):
+            regular_polygon((0, 0), 1.0, 2)
+        with pytest.raises(ValueError):
+            regular_polygon((0, 0), -1.0, 4)
+
+    def test_polygon_mask_square(self):
+        verts = np.array([[2.0, 2.0], [2.0, 7.0], [7.0, 7.0], [7.0, 2.0]])
+        mask = polygon_mask((10, 10), verts)
+        assert mask[4, 4]
+        assert not mask[0, 0]
+        assert not mask[9, 9]
+
+    def test_polygon_area_close_to_analytic(self):
+        verts = regular_polygon((32.0, 32.0), 20.0, 8, np.pi / 8)
+        mask = polygon_mask((64, 64), verts)
+        analytic = 2.0 * np.sqrt(2.0) * 20.0**2  # octagon area
+        assert abs(mask.sum() - analytic) / analytic < 0.05
+
+    def test_disk_mask_area(self):
+        mask = disk_mask((50, 50), (25.0, 25.0), 10.0)
+        assert abs(mask.sum() - np.pi * 100.0) / (np.pi * 100.0) < 0.05
+
+    def test_disk_validation(self):
+        with pytest.raises(ValueError):
+            disk_mask((10, 10), (5, 5), 0.0)
+
+    def test_ring_mask(self):
+        ring = ring_mask((40, 40), (20.0, 20.0), 15.0, 10.0)
+        assert not ring[20, 20]
+        assert ring[20, 20 + 12]
+        with pytest.raises(ValueError):
+            ring_mask((40, 40), (20, 20), 5.0, 10.0)
+
+
+class TestSigns:
+    def test_catalogue(self):
+        assert len(SIGN_CLASSES) == 8
+        assert SIGN_CLASSES[STOP_CLASS_INDEX].name == "stop"
+        assert SIGN_CLASSES[STOP_CLASS_INDEX].board == "octagon"
+        assert class_names()[0] == "stop"
+
+    def test_render_shape_and_range(self):
+        image = render_sign(0, size=48)
+        assert image.shape == (3, 48, 48)
+        assert image.dtype == np.float32
+        assert 0.0 <= image.min() and image.max() <= 1.0
+
+    def test_stop_sign_is_red_in_centre(self):
+        image = render_sign(0, size=64)
+        r, g, b = image[:, 32, 32]
+        assert r > 0.5 and g < 0.3 and b < 0.3
+
+    def test_background_outside_sign(self):
+        image = render_sign(0, size=64, scale=0.5)
+        # Corner pixel is background grey.
+        np.testing.assert_allclose(image[:, 1, 1], 0.55, atol=0.01)
+
+    def test_index_and_spec_agree(self):
+        by_index = render_sign(3, size=32)
+        by_spec = render_sign(SIGN_CLASSES[3], size=32)
+        np.testing.assert_array_equal(by_index, by_spec)
+
+    def test_all_classes_render_distinct(self):
+        images = [render_sign(i, size=32) for i in range(len(SIGN_CLASSES))]
+        for i in range(len(images)):
+            for j in range(i + 1, len(images)):
+                assert not np.array_equal(images[i], images[j])
+
+    def test_rotation_changes_octagon(self):
+        a = render_sign(0, size=64)
+        b = render_sign(0, size=64, rotation=0.3)
+        assert not np.array_equal(a, b)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            render_sign(0, size=32, scale=0.05)
+
+
+class TestDataset:
+    def test_balanced_and_shuffled(self):
+        ds = make_dataset(5, size=24, seed=3)
+        assert len(ds) == 5 * len(SIGN_CLASSES)
+        counts = np.bincount(ds.labels)
+        assert (counts == 5).all()
+        # Shuffled: the first 8 labels should not be 8 distinct
+        # classes in order.
+        assert not (ds.labels[:8] == np.arange(8)).all()
+
+    def test_reproducible_from_seed(self):
+        a = make_dataset(3, size=16, seed=11)
+        b = make_dataset(3, size=16, seed=11)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(3, size=16, seed=1)
+        b = make_dataset(3, size=16, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_class_subset(self):
+        ds = make_dataset(4, size=16, seed=0)
+        subset = ds.class_subset(STOP_CLASS_INDEX)
+        assert len(subset) == 4
+
+    def test_split_partitions(self):
+        ds = make_dataset(8, size=16, seed=0)
+        (tr_x, tr_y), (te_x, te_y) = train_test_split(ds, 0.25, seed=0)
+        assert len(tr_x) + len(te_x) == len(ds)
+        assert len(te_x) == round(0.25 * len(ds))
+        assert len(tr_x) == len(tr_y) and len(te_x) == len(te_y)
+
+    def test_split_validation(self):
+        ds = make_dataset(2, size=16, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(ds, 1.5)
+
+    def test_n_per_class_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset(0)
+
+
+class TestAugment:
+    def test_noise_bounded_and_seeded(self, rng):
+        image = np.full((3, 8, 8), 0.5, dtype=np.float32)
+        noisy = add_noise(image, 0.1, np.random.default_rng(5))
+        again = add_noise(image, 0.1, np.random.default_rng(5))
+        np.testing.assert_array_equal(noisy, again)
+        assert 0.0 <= noisy.min() and noisy.max() <= 1.0
+        assert not np.array_equal(noisy, image)
+
+    def test_zero_noise_copy(self, rng):
+        image = np.full((3, 4, 4), 0.5, dtype=np.float32)
+        out = add_noise(image, 0.0, rng)
+        np.testing.assert_array_equal(out, image)
+        assert out is not image
+
+    def test_noise_validation(self, rng):
+        with pytest.raises(ValueError):
+            add_noise(np.zeros((3, 2, 2)), -0.1, rng)
+
+    def test_brightness(self):
+        image = np.full((3, 4, 4), 0.5, dtype=np.float32)
+        np.testing.assert_allclose(
+            adjust_brightness(image, 1.5), 0.75, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            adjust_brightness(image, 3.0), 1.0
+        )
+        with pytest.raises(ValueError):
+            adjust_brightness(image, 0.0)
+
+    def test_rotate_identity(self):
+        image = render_sign(0, size=32)
+        out = rotate_image(image, 0.0)
+        np.testing.assert_array_equal(out, image)
+
+    def test_rotate_quarter_turn_moves_content(self):
+        image = np.zeros((1, 9, 9), dtype=np.float32)
+        image[0, 1, 4] = 1.0  # north of centre
+        out = rotate_image(image, np.pi / 2)
+        assert out[0, 1, 4] == 0.0
+        assert out.sum() > 0.0
+
+    def test_rotate_validation(self):
+        with pytest.raises(ValueError):
+            rotate_image(np.zeros((4, 4)), 0.5)

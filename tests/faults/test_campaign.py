@@ -1,0 +1,130 @@
+"""Fault-injection campaigns and outcome classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.campaign import (
+    CampaignResult,
+    Outcome,
+    classify_outcome,
+    run_operator_campaign,
+)
+from repro.faults.models import PermanentFault, TransientFault
+
+
+class TestClassification:
+    def test_clean(self):
+        outcome = classify_outcome(
+            1.0, 1.0, fault_fired=False, errors_detected=0, aborted=False
+        )
+        assert outcome is Outcome.CLEAN
+
+    def test_masked(self):
+        outcome = classify_outcome(
+            1.0, 1.0, fault_fired=True, errors_detected=0, aborted=False
+        )
+        assert outcome is Outcome.MASKED
+
+    def test_detected_recovered(self):
+        outcome = classify_outcome(
+            1.0, 1.0, fault_fired=True, errors_detected=3, aborted=False
+        )
+        assert outcome is Outcome.DETECTED_RECOVERED
+
+    def test_aborted(self):
+        outcome = classify_outcome(
+            1.0, None, fault_fired=True, errors_detected=5, aborted=True
+        )
+        assert outcome is Outcome.DETECTED_ABORTED
+
+    def test_silent_corruption(self):
+        outcome = classify_outcome(
+            1.0, 2.0, fault_fired=True, errors_detected=0, aborted=False
+        )
+        assert outcome is Outcome.SILENT_CORRUPTION
+
+    def test_wrong_value_despite_detection_is_sdc(self):
+        outcome = classify_outcome(
+            1.0, 2.0, fault_fired=True, errors_detected=1, aborted=False
+        )
+        assert outcome is Outcome.SILENT_CORRUPTION
+
+    def test_missing_value_requires_abort(self):
+        with pytest.raises(ValueError):
+            classify_outcome(
+                1.0, None, fault_fired=True,
+                errors_detected=0, aborted=False,
+            )
+
+
+class TestCampaignResult:
+    def test_rates(self):
+        result = CampaignResult()
+        result.record(Outcome.CLEAN)
+        result.record(Outcome.SILENT_CORRUPTION)
+        result.record(Outcome.DETECTED_RECOVERED)
+        assert result.runs == 3
+        assert result.silent_corruption_rate == 0.5
+        assert result.detection_coverage == 0.5
+
+    def test_no_faults_full_coverage(self):
+        result = CampaignResult()
+        result.record(Outcome.CLEAN)
+        assert result.detection_coverage == 1.0
+        assert result.silent_corruption_rate == 0.0
+
+    def test_summary_mentions_counts(self):
+        result = CampaignResult()
+        result.record(Outcome.MASKED)
+        text = result.summary()
+        assert "masked=1" in text and "coverage" in text
+
+
+class TestOperatorCampaigns:
+    def test_plain_is_fully_vulnerable(self):
+        result = run_operator_campaign(
+            lambda rng: TransientFault(0.01, rng),
+            operator_kind="plain", runs=60, seed=1,
+        )
+        faulted = result.runs - result.counts[Outcome.CLEAN]
+        assert faulted > 0
+        assert result.counts[Outcome.SILENT_CORRUPTION] == faulted
+
+    def test_dmr_full_coverage_on_transients(self):
+        result = run_operator_campaign(
+            lambda rng: TransientFault(0.01, rng),
+            operator_kind="dmr", runs=60, seed=1,
+        )
+        assert result.counts[Outcome.SILENT_CORRUPTION] == 0
+        assert result.detection_coverage == 1.0
+        assert result.counts[Outcome.DETECTED_RECOVERED] > 0
+
+    def test_tmr_masks_transients(self):
+        result = run_operator_campaign(
+            lambda rng: TransientFault(0.01, rng),
+            operator_kind="tmr", runs=60, seed=1,
+        )
+        assert result.counts[Outcome.SILENT_CORRUPTION] == 0
+        assert result.counts[Outcome.MASKED] > 0
+
+    def test_permanent_faults_defeat_temporal_redundancy(self):
+        result = run_operator_campaign(
+            lambda rng: PermanentFault(bit=28, rng=rng),
+            operator_kind="dmr", runs=25, seed=2,
+        )
+        # Common-mode: every run silently corrupted.
+        assert result.counts[Outcome.SILENT_CORRUPTION] == 25
+
+    def test_campaign_is_seeded(self):
+        a = run_operator_campaign(
+            lambda rng: TransientFault(0.01, rng),
+            operator_kind="dmr", runs=40, seed=7,
+        )
+        b = run_operator_campaign(
+            lambda rng: TransientFault(0.01, rng),
+            operator_kind="dmr", runs=40, seed=7,
+        )
+        assert a.counts == b.counts
+        assert a.errors_detected == b.errors_detected

@@ -1,0 +1,179 @@
+"""Bit flips, fault models, injectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.bitflip import flip_bit32, flip_bit64, random_bitflip
+from repro.faults.injector import (
+    FaultyExecutionUnit,
+    corrupt_tensor,
+    flip_weight_bits,
+)
+from repro.faults.models import (
+    IntermittentFault,
+    PermanentFault,
+    TransientFault,
+)
+from repro.nn import Conv2D
+
+
+class TestBitflip:
+    def test_sign_bit(self):
+        assert flip_bit32(1.0, 31) == -1.0
+        assert flip_bit64(2.5, 63) == -2.5
+
+    def test_flip_changes_value(self):
+        for bit in (0, 10, 23, 30):
+            assert flip_bit32(1.5, bit) != 1.5
+
+    def test_double_flip_is_identity(self):
+        value = 3.14159
+        for bit in (0, 5, 22, 27, 31):
+            assert flip_bit32(flip_bit32(value, bit), bit) == np.float32(
+                value
+            )
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            flip_bit32(1.0, 32)
+        with pytest.raises(ValueError):
+            flip_bit64(1.0, 64)
+
+    def test_random_flip_respects_bit_range(self, rng):
+        # Exponent-only flips of 1.0 never just tweak the mantissa.
+        for _ in range(50):
+            flipped = random_bitflip(1.0, rng, bit_range=(23, 31))
+            assert flipped != 1.0
+            # Mantissa of 1.0 is zero; exponent flip keeps it zero, so
+            # result is a power of two (or subnormal edge).
+            mantissa = np.float32(flipped).view(np.uint32) & 0x7FFFFF
+            assert mantissa == 0
+
+    def test_random_flip_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_bitflip(1.0, rng, width=16)
+        with pytest.raises(ValueError):
+            random_bitflip(1.0, rng, bit_range=(8, 40))
+
+
+@given(st.floats(-1e30, 1e30, allow_nan=False), st.integers(0, 31))
+@settings(max_examples=100, deadline=None)
+def test_flip32_involution_property(value, bit):
+    once = flip_bit32(value, bit)
+    twice = flip_bit32(once, bit)
+    assert twice == float(np.float32(value))
+
+
+class TestTransient:
+    def test_zero_probability_never_fires(self, rng):
+        fault = TransientFault(0.0, rng)
+        assert all(not fault.fires() for _ in range(100))
+
+    def test_one_probability_always_fires(self, rng):
+        fault = TransientFault(1.0, rng)
+        assert all(fault.fires() for _ in range(100))
+
+    def test_rate_approximates_probability(self):
+        fault = TransientFault(0.3, np.random.default_rng(0))
+        hits = sum(fault.fires() for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_apply_counts_activations(self, rng):
+        fault = TransientFault(1.0, rng)
+        fault.apply(1.0)
+        fault.apply(2.0)
+        assert fault.activations == 2
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            TransientFault(1.5)
+
+
+class TestIntermittent:
+    def test_burst_structure(self):
+        fault = IntermittentFault(
+            burst_start=0.05, burst_end=0.3,
+            rng=np.random.default_rng(3),
+        )
+        fires = [fault.fires() for _ in range(2000)]
+        # Bursty: consecutive-fire pairs must far exceed the
+        # independent-fault expectation for the same rate.
+        rate = sum(fires) / len(fires)
+        pairs = sum(
+            1 for a, b in zip(fires, fires[1:]) if a and b
+        )
+        expected_pairs_independent = rate * rate * len(fires)
+        assert pairs > 2 * expected_pairs_independent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntermittentFault(burst_start=2.0, burst_end=0.5)
+
+
+class TestPermanent:
+    def test_always_fires_same_corruption(self, rng):
+        fault = PermanentFault(bit=28, rng=rng)
+        a = fault.apply(7.0)
+        b = fault.apply(7.0)
+        assert a == b != 7.0
+
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            PermanentFault(bit=33)
+
+
+class TestFaultyUnit:
+    def test_targets_multiply_only(self, rng):
+        unit = FaultyExecutionUnit(
+            PermanentFault(bit=30, rng=rng), targets="multiply"
+        )
+        assert unit.multiply(2.0, 3.0) != 6.0
+        assert unit.add(2.0, 3.0) == 5.0
+
+    def test_targets_add_only(self, rng):
+        unit = FaultyExecutionUnit(
+            PermanentFault(bit=30, rng=rng), targets="add"
+        )
+        assert unit.multiply(2.0, 3.0) == 6.0
+        assert unit.add(2.0, 3.0) != 5.0
+
+    def test_invalid_target(self, rng):
+        with pytest.raises(ValueError):
+            FaultyExecutionUnit(TransientFault(0.1, rng), targets="sub")
+
+
+class TestTensorCorruption:
+    def test_corrupt_returns_copy_and_flips(self, rng):
+        tensor = np.ones((4, 4), dtype=np.float32)
+        corrupted, flips = corrupt_tensor(tensor, 3, rng)
+        assert len(flips) == 3
+        assert (tensor == 1.0).all()          # original untouched
+        assert (corrupted != 1.0).sum() >= 1  # flips may collide
+
+    def test_flip_positions_reported(self, rng):
+        tensor = np.zeros((2, 3), dtype=np.float32)
+        corrupted, flips = corrupt_tensor(tensor, 1, rng)
+        (position, bit) = flips[0]
+        assert corrupted[position] != 0.0 or bit < 23  # 0.0 mantissa flips stay tiny but nonzero
+        assert 0 <= bit < 32
+
+    def test_zero_flips(self, rng):
+        tensor = np.ones(5, dtype=np.float32)
+        corrupted, flips = corrupt_tensor(tensor, 0, rng)
+        np.testing.assert_array_equal(corrupted, tensor)
+        assert flips == []
+
+    def test_weight_injection_in_place(self, rng):
+        conv = Conv2D(1, 2, 3, rng=rng)
+        before = conv.weight.value.copy()
+        flips = flip_weight_bits(conv, 4, rng)
+        assert len(flips) == 4
+        assert not np.array_equal(conv.weight.value, before)
+
+    def test_negative_flips_rejected(self, rng):
+        with pytest.raises(ValueError):
+            corrupt_tensor(np.ones(3, dtype=np.float32), -1, rng)

@@ -1,0 +1,188 @@
+"""Hybrid interchange format: schema, export, validation, rebuild."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import HybridPartition, ShapeQualifier
+from repro.data import render_sign
+from repro.hybridir import (
+    HybridGraph,
+    LayerNode,
+    QualifierSpec,
+    ReliabilityAnnotation,
+    ValidationError,
+    build_hybrid,
+    build_model,
+    export_hybrid,
+    load_hybrid,
+    save_hybrid,
+    validate_graph,
+)
+from repro.models import alexnet_scaled, small_cnn
+from repro.vision.filters import sobel_axis_stack
+
+
+@pytest.fixture(scope="module")
+def live_setup():
+    model = small_cnn(32, 8, conv1_filters=4)
+    conv1 = model.layer("conv1")
+    conv1.set_filter(0, sobel_axis_stack("x", conv1.kernel_size, 3))
+    conv1.set_filter(1, sobel_axis_stack("y", conv1.kernel_size, 3))
+    partition = HybridPartition(reliable_filters={"conv1": (0, 1)})
+    qualifier = ShapeQualifier(threshold=2.5)
+    return model, partition, qualifier
+
+
+@pytest.fixture(scope="module")
+def graph(live_setup):
+    model, partition, qualifier = live_setup
+    return export_hybrid(model, partition, qualifier, 0, (3, 32, 32))
+
+
+class TestExport:
+    def test_topology_captured(self, graph, live_setup):
+        model, _, _ = live_setup
+        assert graph.layer_names() == [layer.name for layer in model]
+        conv_node = graph.layers[0]
+        assert conv_node.op == "conv2d"
+        assert conv_node.attrs["out_channels"] == 4
+
+    def test_reliability_annotation_captured(self, graph):
+        annotation = graph.reliability
+        assert annotation.reliable_filters == {"conv1": [0, 1]}
+        assert annotation.redundancy == "dmr"
+        assert annotation.qualifier.threshold == 2.5
+        assert annotation.qualifier.shape == "octagon"
+
+    def test_json_round_trip(self, graph):
+        data = json.loads(json.dumps(graph.to_dict()))
+        rebuilt = HybridGraph.from_dict(data)
+        assert rebuilt.to_dict() == graph.to_dict()
+
+    def test_schema_version_enforced(self, graph):
+        data = graph.to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(ValueError):
+            HybridGraph.from_dict(data)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, graph):
+        validate_graph(graph)
+
+    def _mutate(self, graph, fn):
+        data = graph.to_dict()
+        fn(data)
+        return HybridGraph.from_dict(data)
+
+    def test_unknown_op_rejected(self, graph):
+        bad = self._mutate(
+            graph, lambda d: d["layers"][0].update({"op": "conv9d"})
+        )
+        with pytest.raises(ValidationError, match="unknown op"):
+            validate_graph(bad)
+
+    def test_missing_attr_rejected(self, graph):
+        bad = self._mutate(
+            graph,
+            lambda d: d["layers"][0]["attrs"].pop("stride"),
+        )
+        with pytest.raises(ValidationError, match="missing attrs"):
+            validate_graph(bad)
+
+    def test_channel_mismatch_rejected(self, graph):
+        bad = self._mutate(
+            graph,
+            lambda d: d["layers"][0]["attrs"].update(
+                {"in_channels": 5}
+            ),
+        )
+        with pytest.raises(ValidationError, match="channels"):
+            validate_graph(bad)
+
+    def test_unknown_reliable_layer_rejected(self, graph):
+        def mutate(d):
+            d["reliability"]["reliable_filters"] = {"ghost": [0]}
+            d["reliability"]["bifurcation_layer"] = "ghost"
+
+        with pytest.raises(ValidationError, match="unknown layer"):
+            validate_graph(self._mutate(graph, mutate))
+
+    def test_non_conv_reliable_layer_rejected(self, graph):
+        def mutate(d):
+            d["reliability"]["reliable_filters"] = {"relu1": [0]}
+            d["reliability"]["bifurcation_layer"] = "relu1"
+
+        with pytest.raises(ValidationError, match="only conv2d"):
+            validate_graph(self._mutate(graph, mutate))
+
+    def test_filter_out_of_range_rejected(self, graph):
+        def mutate(d):
+            d["reliability"]["reliable_filters"]["conv1"] = [0, 7]
+
+        with pytest.raises(ValidationError, match="outside"):
+            validate_graph(self._mutate(graph, mutate))
+
+    def test_safety_class_out_of_range(self, graph):
+        def mutate(d):
+            d["reliability"]["safety_class"] = 12
+
+        with pytest.raises(ValidationError, match="safety class"):
+            validate_graph(self._mutate(graph, mutate))
+
+    def test_bad_qualifier_params_rejected(self, graph):
+        def mutate(d):
+            d["reliability"]["qualifier"]["word_length"] = 4096
+
+        with pytest.raises(ValidationError, match="word_length"):
+            validate_graph(self._mutate(graph, mutate))
+
+    def test_duplicate_names_rejected(self, graph):
+        def mutate(d):
+            d["layers"][1]["name"] = d["layers"][0]["name"]
+
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_graph(self._mutate(graph, mutate))
+
+
+class TestRebuild:
+    def test_build_model_matches_topology(self, graph, live_setup):
+        model, _, _ = live_setup
+        rebuilt = build_model(graph)
+        assert rebuilt.output_shape((3, 32, 32)) == (8,)
+        assert [l.name for l in rebuilt] == [l.name for l in model]
+
+    def test_build_hybrid_runs(self, graph):
+        hybrid = build_hybrid(graph)
+        result = hybrid.infer(
+            render_sign(0, size=32).astype(np.float32)
+        )
+        assert result.decision is not None
+
+    def test_save_load_preserves_weights_and_behaviour(
+        self, graph, live_setup, tmp_path
+    ):
+        model, _, _ = live_setup
+        base = tmp_path / "net"
+        save_hybrid(graph, model, base)
+        assert (tmp_path / "net.json").exists()
+        assert (tmp_path / "net.npz").exists()
+        hybrid = load_hybrid(base)
+        x = render_sign(3, size=32).astype(np.float32)
+        np.testing.assert_allclose(
+            hybrid.model.forward(x[None]),
+            model.forward(x[None]),
+            rtol=1e-6,
+        )
+
+    def test_full_alexnet_exports(self):
+        model = alexnet_scaled(n_classes=8, input_size=64)
+        graph = export_hybrid(
+            model, HybridPartition(), ShapeQualifier(), 0, (3, 64, 64)
+        )
+        validate_graph(graph)
+        assert len(graph.layers) == len(model)

@@ -1,0 +1,103 @@
+"""AlexNet variants and the small CNN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AlexNetConfig,
+    alexnet,
+    alexnet_full,
+    alexnet_scaled,
+    small_cnn,
+)
+from repro.models.alexnet import FULL_CONFIG, SCALED_CONFIG
+
+
+class TestFullAlexNet:
+    def test_paper_geometry(self):
+        model = alexnet_full()
+        conv1 = model.layer("conv1")
+        # "96 11*11*3 filters" on a 227*227*3 input.
+        assert conv1.weight.value.shape == (96, 3, 11, 11)
+        assert conv1.stride == 4
+        assert model.output_shape((3, 227, 227)) == (43,)
+
+    def test_parameter_count_near_original(self):
+        # Krizhevsky's AlexNet has ~60M parameters (ours differs only
+        # in the 43-class head).
+        count = alexnet_full().parameter_count()
+        assert 55e6 < count < 63e6
+
+    def test_layer_names_stable(self):
+        model = alexnet_full()
+        for name in ("conv1", "conv2", "conv3", "conv4", "conv5",
+                     "fc6", "fc7", "fc8", "lrn1", "lrn2"):
+            model.layer(name)  # must not raise
+
+
+class TestScaledAlexNet:
+    def test_same_topology_as_full(self):
+        full_names = [type(l).__name__ for l in alexnet_full()]
+        scaled_names = [type(l).__name__ for l in alexnet_scaled()]
+        assert full_names == scaled_names
+
+    def test_forward_shape(self, rng):
+        model = alexnet_scaled(n_classes=8, input_size=64)
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        assert model.forward(x).shape == (2, 8)
+
+    def test_conv1_filters_configurable(self):
+        model = alexnet_scaled(conv1_filters=24)
+        assert model.layer("conv1").out_channels == 24
+
+    def test_input_size_128_supported(self):
+        model = alexnet_scaled(input_size=128)
+        assert model.output_shape((3, 128, 128)) == (8,)
+
+    def test_seeded_construction_reproducible(self):
+        a = alexnet_scaled(rng=np.random.default_rng(5))
+        b = alexnet_scaled(rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(
+            a.layer("conv1").weight.value,
+            b.layer("conv1").weight.value,
+        )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlexNetConfig(input_size=8, conv1_kernel=11).validate()
+        with pytest.raises(ValueError):
+            AlexNetConfig(conv_channels=(1, 2, 3)).validate()
+
+    def test_no_lrn_variant(self, rng):
+        config = AlexNetConfig(
+            input_size=64, conv1_kernel=7, conv1_stride=2,
+            conv_channels=(8, 8, 8, 8, 8), dense_units=(16, 16),
+            n_classes=4, use_lrn=False,
+        )
+        model = alexnet(config, rng)
+        with pytest.raises(KeyError):
+            model.layer("lrn1")
+        assert model.output_shape((3, 64, 64)) == (4,)
+
+    def test_reference_configs_valid(self):
+        FULL_CONFIG.validate()
+        SCALED_CONFIG.validate()
+
+
+class TestSmallCNN:
+    def test_forward_and_shapes(self, rng):
+        model = small_cnn(32, 8, rng=rng)
+        x = rng.standard_normal((3, 3, 32, 32)).astype(np.float32)
+        assert model.forward(x).shape == (3, 8)
+
+    def test_has_addressable_conv1(self):
+        model = small_cnn(conv1_filters=12)
+        assert model.layer("conv1").out_channels == 12
+
+    def test_trains_fast_on_signs(self, trained_model):
+        # Session fixture: small CNN on the synthetic signs.
+        assert trained_model.test_accuracy > 0.9

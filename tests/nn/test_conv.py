@@ -1,0 +1,239 @@
+"""Conv2D: geometry, forward correctness, gradients, filter access."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.conv import (
+    Conv2D,
+    col2im,
+    conv_output_size,
+    im2col,
+    pad_nchw,
+)
+
+
+def numerical_gradient(f, x, eps=1e-3):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        plus = f()
+        x[i] = orig - eps
+        minus = f()
+        x[i] = orig
+        grad[i] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestGeometry:
+    def test_output_size_basic(self):
+        assert conv_output_size(32, 5, 1, 0) == 28
+        assert conv_output_size(32, 5, 1, 2) == 32
+        assert conv_output_size(227, 11, 4, 0) == 55  # AlexNet conv1
+
+    def test_output_size_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            conv_output_size(3, 5, 1, 0)
+
+    def test_layer_output_shape(self):
+        conv = Conv2D(3, 96, 11, stride=4)
+        assert conv.output_shape((3, 227, 227)) == (96, 55, 55)
+
+    def test_output_shape_channel_mismatch(self):
+        conv = Conv2D(3, 8, 3)
+        with pytest.raises(ValueError):
+            conv.output_shape((4, 16, 16))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D(3, 8, 0)
+        with pytest.raises(ValueError):
+            Conv2D(3, 8, 3, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D(3, 8, 3, padding=-1)
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, (3, 3), stride=1, padding=0)
+        assert cols.shape == (2, 6, 6, 27)
+
+    def test_values_match_direct_slicing(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        cols = im2col(x, (2, 2), stride=2, padding=0)
+        patch = x[0, :, 2:4, 4:6].reshape(-1)
+        np.testing.assert_array_equal(cols[0, 1, 2], patch)
+
+    def test_padding_adds_zeros(self, rng):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        cols = im2col(x, (3, 3), stride=1, padding=1)
+        # Top-left output: only the bottom-right 2x2 of the kernel
+        # overlaps the image.
+        corner = cols[0, 0, 0].reshape(3, 3)
+        assert corner[0].sum() == 0.0
+        assert corner[:, 0].sum() == 0.0
+
+    def test_col2im_inverts_scatter(self, rng):
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        cols = im2col(x, (3, 3), 2, 1)
+        back = col2im(cols, x.shape, (3, 3), 2, 1)
+        # Each pixel is restored multiplied by how many windows cover
+        # it; verify via an all-ones scatter count.
+        ones = np.ones_like(cols)
+        counts = col2im(ones, x.shape, (3, 3), 2, 1)
+        assert (counts > 0).any()
+        np.testing.assert_allclose(back, x * counts, rtol=1e-5)
+
+    def test_pad_nchw_zero_is_noop(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        assert pad_nchw(x, 0) is x
+
+
+class TestForward:
+    def test_matches_manual_convolution(self, rng):
+        conv = Conv2D(2, 3, 3, stride=1, padding=0, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        out = conv.forward(x)
+        # Manual: one output element.
+        w = conv.weight.value
+        b = conv.bias.value
+        manual = (x[0, :, 1:4, 2:5] * w[1]).sum() + b[1]
+        np.testing.assert_allclose(out[0, 1, 1, 2], manual, rtol=1e-5)
+
+    def test_identity_kernel_passthrough(self):
+        conv = Conv2D(1, 1, 1)
+        conv.weight.value[:] = 1.0
+        conv.bias.value[:] = 0.0
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        np.testing.assert_array_equal(conv.forward(x), x)
+
+    def test_bias_applied_per_channel(self, rng):
+        conv = Conv2D(1, 2, 1, rng=rng)
+        conv.weight.value[:] = 0.0
+        conv.bias.value[:] = [1.5, -2.0]
+        out = conv.forward(np.zeros((1, 1, 3, 3), dtype=np.float32))
+        assert (out[0, 0] == 1.5).all()
+        assert (out[0, 1] == -2.0).all()
+
+    def test_rejects_wrong_input_rank(self, rng):
+        conv = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_rejects_wrong_channels(self, rng):
+        conv = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+
+class TestBackward:
+    def test_input_gradient_matches_numerical(self, rng):
+        conv = Conv2D(2, 3, 3, stride=2, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 6, 6))
+        target = rng.standard_normal(
+            conv.forward(x.astype(np.float32)).shape
+        ).astype(np.float32)
+
+        def loss():
+            out = conv.forward(x.astype(np.float32), training=True)
+            return float(((out - target) ** 2).sum())
+
+        out = conv.forward(x.astype(np.float32), training=True)
+        conv.zero_grad()
+        dx = conv.backward(2 * (out - target))
+        ndx = numerical_gradient(loss, x)
+        np.testing.assert_allclose(dx, ndx, atol=5e-2)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        conv = Conv2D(1, 2, 3, rng=rng)
+        x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        target = rng.standard_normal(conv.forward(x).shape).astype(
+            np.float32
+        )
+
+        def loss():
+            out = conv.forward(x, training=True)
+            return float(((out - target) ** 2).sum())
+
+        out = conv.forward(x, training=True)
+        conv.zero_grad()
+        conv.backward(2 * (out - target))
+        nw = numerical_gradient(loss, conv.weight.value)
+        np.testing.assert_allclose(conv.weight.grad, nw, atol=5e-2)
+
+    def test_bias_gradient_is_sum(self, rng):
+        conv = Conv2D(1, 2, 3, rng=rng)
+        x = rng.standard_normal((2, 1, 5, 5)).astype(np.float32)
+        conv.forward(x, training=True)
+        conv.zero_grad()
+        grad = np.ones((2, 2, 3, 3), dtype=np.float32)
+        conv.backward(grad)
+        np.testing.assert_allclose(conv.bias.grad, [18.0, 18.0])
+
+    def test_backward_without_forward_raises(self, rng):
+        conv = Conv2D(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 3, 3), dtype=np.float32))
+
+    def test_gradients_accumulate(self, rng):
+        conv = Conv2D(1, 1, 3, rng=rng)
+        x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        grad = np.ones((1, 1, 3, 3), dtype=np.float32)
+        conv.forward(x, training=True)
+        conv.backward(grad)
+        first = conv.weight.grad.copy()
+        conv.forward(x, training=True)
+        conv.backward(grad)
+        np.testing.assert_allclose(conv.weight.grad, 2 * first, rtol=1e-5)
+
+
+class TestFilterAccess:
+    def test_set_get_roundtrip(self, rng):
+        conv = Conv2D(3, 8, 5, rng=rng)
+        kernel = rng.standard_normal((3, 5, 5)).astype(np.float32)
+        conv.set_filter(2, kernel)
+        np.testing.assert_array_equal(conv.get_filter(2), kernel)
+
+    def test_get_returns_copy(self, rng):
+        conv = Conv2D(3, 8, 5, rng=rng)
+        got = conv.get_filter(0)
+        got[:] = 99.0
+        assert not (conv.get_filter(0) == 99.0).all()
+
+    def test_set_rejects_wrong_shape(self, rng):
+        conv = Conv2D(3, 8, 5, rng=rng)
+        with pytest.raises(ValueError):
+            conv.set_filter(0, np.zeros((3, 3, 3), dtype=np.float32))
+
+    def test_replacement_changes_only_that_map(self, rng):
+        conv = Conv2D(3, 4, 3, rng=rng)
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        before = conv.forward(x)
+        conv.set_filter(1, np.zeros((3, 3, 3), dtype=np.float32))
+        after = conv.forward(x)
+        assert not np.array_equal(before[0, 1], after[0, 1])
+        np.testing.assert_array_equal(before[0, 0], after[0, 0])
+        np.testing.assert_array_equal(before[0, 2:], after[0, 2:])
+
+
+class TestOpsCount:
+    def test_operations_per_image(self):
+        conv = Conv2D(3, 96, 11, stride=4)
+        ops = conv.operations_per_image((3, 227, 227))
+        assert ops == 96 * 55 * 55 * 11 * 11 * 3
+
+    def test_patches_match_forward(self, rng):
+        conv = Conv2D(2, 3, 3, stride=2, rng=rng)
+        x = rng.standard_normal((1, 2, 7, 7)).astype(np.float32)
+        patches = conv.input_patches(x)
+        wmat = conv.weight.value.reshape(3, -1)
+        manual = patches @ wmat.T + conv.bias.value
+        np.testing.assert_allclose(
+            manual.transpose(0, 3, 1, 2), conv.forward(x), rtol=1e-5
+        )

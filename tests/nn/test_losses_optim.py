@@ -1,0 +1,115 @@
+"""Losses and optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.parameter import Parameter
+from repro.nn.optim import SGD, Adam, Momentum
+from tests.nn.test_conv import numerical_gradient
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_is_log_classes(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((3, 4))
+        value = loss.forward(logits, np.array([0, 1, 2]))
+        np.testing.assert_allclose(value, np.log(4.0), rtol=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([1, 4, 0])
+
+        def f():
+            return loss.forward(logits, labels)
+
+        f()
+        analytic = loss.backward()
+        numeric = numerical_gradient(f, logits, eps=1e-5)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_shape_validation(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3, 4)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0]))
+
+
+class TestMSE:
+    def test_zero_for_equal(self, rng):
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        assert MSELoss().forward(x, x) == 0.0
+
+    def test_value_and_gradient(self):
+        loss = MSELoss()
+        pred = np.array([1.0, 3.0], dtype=np.float32)
+        target = np.array([0.0, 1.0], dtype=np.float32)
+        value = loss.forward(pred, target)
+        np.testing.assert_allclose(value, (1.0 + 4.0) / 2.0)
+        np.testing.assert_allclose(loss.backward(), [1.0, 2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros(3), np.zeros(4))
+
+
+def quadratic_param():
+    """A parameter whose loss is ||x - 3||^2 (minimum at 3)."""
+    return Parameter(np.array([0.0, 0.0], dtype=np.float32))
+
+
+def quadratic_grad(param):
+    param.grad = 2.0 * (param.value - 3.0)
+
+
+@pytest.mark.parametrize("opt_cls, kwargs", [
+    (SGD, {"lr": 0.1}),
+    (Momentum, {"lr": 0.05, "momentum": 0.8}),
+    (Adam, {"lr": 0.3}),
+])
+def test_optimizers_minimise_quadratic(opt_cls, kwargs):
+    param = quadratic_param()
+    opt = opt_cls([param], **kwargs)
+    for _ in range(100):
+        opt.zero_grad()
+        quadratic_grad(param)
+        opt.step()
+    np.testing.assert_allclose(param.value, [3.0, 3.0], atol=0.05)
+
+
+def test_frozen_parameter_not_updated():
+    param = quadratic_param()
+    param.frozen = True
+    opt = SGD([param], lr=0.1)
+    quadratic_grad(param)
+    opt.step()
+    np.testing.assert_array_equal(param.value, [0.0, 0.0])
+
+
+def test_sgd_weight_decay_shrinks():
+    param = Parameter(np.array([1.0], dtype=np.float32))
+    opt = SGD([param], lr=0.1, weight_decay=0.5)
+    opt.step()  # zero gradient, decay only
+    np.testing.assert_allclose(param.value, [0.95], rtol=1e-6)
+
+def test_adam_bias_correction_first_step():
+    param = Parameter(np.array([0.0], dtype=np.float32))
+    opt = Adam([param], lr=0.1)
+    param.grad = np.array([1.0], dtype=np.float32)
+    opt.step()
+    # With bias correction the first step is ~lr regardless of betas.
+    np.testing.assert_allclose(param.value, [-0.1], atol=1e-6)
+
+
+def test_learning_rate_must_be_positive():
+    with pytest.raises(ValueError):
+        SGD([quadratic_param()], lr=0.0)

@@ -1,0 +1,206 @@
+"""Sequential container, trainer, filter pinning, serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    FilterPin,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Trainer,
+    load_model,
+    save_model,
+)
+from repro.vision.filters import sobel_filter_stack
+
+
+def tiny_model(rng=None, name_prefix=""):
+    rng = rng or np.random.default_rng(0)
+    return Sequential([
+        Conv2D(1, 4, 3, rng=rng, name=f"{name_prefix}conv1"),
+        ReLU(name=f"{name_prefix}relu1"),
+        MaxPool2D(2, name=f"{name_prefix}pool1"),
+        Flatten(name=f"{name_prefix}flat"),
+        Dense(4 * 3 * 3, 2, rng=rng, name=f"{name_prefix}fc"),
+    ])
+
+
+def tiny_task(rng, n=160):
+    x = rng.standard_normal((n, 1, 8, 8)).astype(np.float32)
+    y = (x.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+    return x, y
+
+
+class TestSequential:
+    def test_duplicate_names_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Sequential([ReLU(name="a"), ReLU(name="a")])
+
+    def test_layer_lookup(self, rng):
+        model = tiny_model(rng)
+        assert model.layer("conv1") is model[0]
+        assert model.index_of("fc") == 4
+        with pytest.raises(KeyError):
+            model.layer("nope")
+
+    def test_forward_until_from_composes(self, rng):
+        model = tiny_model(rng)
+        x = rng.standard_normal((2, 1, 8, 8)).astype(np.float32)
+        full = model.forward(x)
+        mid = model.forward_until(x, 2)
+        resumed = model.forward_from(mid, 2)
+        np.testing.assert_allclose(full, resumed, rtol=1e-6)
+
+    def test_output_shape_chain(self, rng):
+        model = tiny_model(rng)
+        assert model.output_shape((1, 8, 8)) == (2,)
+
+    def test_shapes_lists_every_stage(self, rng):
+        shapes = tiny_model(rng).shapes((1, 8, 8))
+        assert shapes[0] == (1, 8, 8)
+        assert shapes[-1] == (2,)
+        assert len(shapes) == 6
+
+    def test_operation_counts(self, rng):
+        counts = tiny_model(rng).operation_counts((1, 8, 8))
+        assert counts["conv1"] == 4 * 6 * 6 * 9
+        assert counts["relu1"] == 0
+        assert counts["fc"] == 36 * 2
+
+    def test_parameter_count(self, rng):
+        model = tiny_model(rng)
+        expected = (4 * 1 * 9 + 4) + (36 * 2 + 2)
+        assert model.parameter_count() == expected
+
+    def test_summary_mentions_layers(self, rng):
+        text = tiny_model(rng).summary((1, 8, 8))
+        assert "conv1" in text and "fc" in text
+
+
+class TestTrainer:
+    def test_learns_separable_task(self, rng):
+        model = tiny_model(rng)
+        x, y = tiny_task(rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), rng=rng)
+        history = trainer.fit(x, y, epochs=12, batch_size=32)
+        assert history.accuracy[-1] > 0.85
+        assert history.loss[-1] < history.loss[0]
+        assert history.epochs == 12
+
+    def test_validation_tracked(self, rng):
+        model = tiny_model(rng)
+        x, y = tiny_task(rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), rng=rng)
+        history = trainer.fit(
+            x[:100], y[:100], epochs=2, validation=(x[100:], y[100:])
+        )
+        assert len(history.val_accuracy) == 2
+
+    def test_empty_dataset_rejected(self, rng):
+        model = tiny_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()))
+        with pytest.raises(ValueError):
+            trainer.fit(
+                np.zeros((0, 1, 8, 8), dtype=np.float32),
+                np.zeros(0, dtype=np.int64),
+                epochs=1,
+            )
+
+
+class TestFilterPin:
+    def test_pin_sets_kernel_at_construction(self, rng):
+        model = tiny_model(rng)
+        conv = model.layer("conv1")
+        kernel = sobel_filter_stack(3, 1)
+        FilterPin(conv, 0, kernel)
+        np.testing.assert_array_equal(conv.get_filter(0), kernel)
+
+    def test_pinned_filter_constant_through_training(self, rng):
+        model = tiny_model(rng)
+        conv = model.layer("conv1")
+        kernel = sobel_filter_stack(3, 1)
+        pin = FilterPin(conv, 0, kernel, reset_every="batch")
+        x, y = tiny_task(rng)
+        trainer = Trainer(
+            model, Adam(model.parameters(), lr=0.01), pins=[pin], rng=rng
+        )
+        trainer.fit(x, y, epochs=3)
+        np.testing.assert_array_equal(conv.get_filter(0), kernel)
+        # Other filters trained freely.
+        assert pin.drift_history, "drift must have been recorded"
+
+    def test_unpinned_filter_drifts(self, rng):
+        model = tiny_model(rng)
+        conv = model.layer("conv1")
+        kernel = sobel_filter_stack(3, 1)
+        conv.set_filter(0, kernel)
+        x, y = tiny_task(rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), rng=rng)
+        trainer.fit(x, y, epochs=3)
+        drift = np.linalg.norm(conv.get_filter(0) - kernel)
+        assert drift > 1e-3
+
+    def test_epoch_mode_resets_once_per_epoch(self, rng):
+        model = tiny_model(rng)
+        conv = model.layer("conv1")
+        pin = FilterPin(
+            conv, 1, np.zeros((1, 3, 3), dtype=np.float32),
+            reset_every="epoch",
+        )
+        x, y = tiny_task(rng, n=64)
+        trainer = Trainer(
+            model, Adam(model.parameters(), lr=0.01), pins=[pin], rng=rng
+        )
+        trainer.fit(x, y, epochs=4, batch_size=16)
+        assert len(pin.drift_history) == 4
+
+    def test_invalid_reset_mode(self, rng):
+        model = tiny_model(rng)
+        with pytest.raises(ValueError):
+            FilterPin(
+                model.layer("conv1"), 0,
+                np.zeros((1, 3, 3), dtype=np.float32),
+                reset_every="step",
+            )
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng, tmp_path):
+        model = tiny_model(rng)
+        path = tmp_path / "weights.npz"
+        save_model(model, path)
+        clone = tiny_model(np.random.default_rng(42))
+        load_model(clone, path)
+        x = rng.standard_normal((2, 1, 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            model.forward(x), clone.forward(x), rtol=1e-6
+        )
+
+    def test_missing_parameter_raises(self, rng, tmp_path):
+        model = tiny_model(rng)
+        path = tmp_path / "weights.npz"
+        save_model(model, path)
+        other = tiny_model(rng, name_prefix="x")
+        with pytest.raises(KeyError):
+            load_model(other, path)
+
+    def test_shape_mismatch_raises(self, rng, tmp_path):
+        model = tiny_model(rng)
+        path = tmp_path / "weights.npz"
+        save_model(model, path)
+        bigger = Sequential([
+            Conv2D(1, 8, 3, rng=rng, name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(2, name="pool1"),
+            Flatten(name="flat"),
+            Dense(8 * 3 * 3, 2, rng=rng, name="fc"),
+        ])
+        with pytest.raises(ValueError):
+            load_model(bigger, path)

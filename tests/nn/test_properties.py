@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the NN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.nn.initializers import glorot_uniform, he_normal
+from repro.nn.layers import Flatten, MaxPool2D, ReLU
+from repro.nn.layers.activations import softmax
+from repro.nn.layers.conv import conv_output_size, im2col
+
+
+finite_images = npst.arrays(
+    dtype=np.float32,
+    shape=st.tuples(
+        st.integers(1, 3), st.integers(1, 3),
+        st.integers(4, 10), st.integers(4, 10),
+    ),
+    elements=st.floats(-100, 100, width=32),
+)
+
+
+@given(finite_images)
+@settings(max_examples=30, deadline=None)
+def test_relu_idempotent(x):
+    relu = ReLU()
+    once = relu.forward(x)
+    np.testing.assert_array_equal(relu.forward(once), once)
+
+
+@given(finite_images)
+@settings(max_examples=30, deadline=None)
+def test_relu_output_nonnegative(x):
+    assert (ReLU().forward(x) >= 0).all()
+
+
+@given(finite_images)
+@settings(max_examples=30, deadline=None)
+def test_flatten_preserves_content(x):
+    out = Flatten().forward(x)
+    np.testing.assert_array_equal(out.ravel(), x.ravel())
+
+
+@given(finite_images)
+@settings(max_examples=30, deadline=None)
+def test_maxpool_never_exceeds_input_max(x):
+    pool = MaxPool2D(2, stride=2)
+    if x.shape[2] < 2 or x.shape[3] < 2:
+        return
+    out = pool.forward(x)
+    assert out.max() <= x.max() + 1e-6
+    assert out.min() >= x.min() - 1e-6
+
+
+@given(
+    npst.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 8)),
+        elements=st.floats(-50, 50),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_distribution(x):
+    out = softmax(x)
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-6)
+
+
+@given(
+    size=st.integers(1, 64),
+    kernel=st.integers(1, 11),
+    stride=st.integers(1, 4),
+    padding=st.integers(0, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_conv_output_size_consistent_with_im2col(
+    size, kernel, stride, padding
+):
+    if size + 2 * padding < kernel:
+        return
+    out = conv_output_size(size, kernel, stride, padding)
+    x = np.zeros((1, 1, size, size), dtype=np.float32)
+    cols = im2col(x, (kernel, kernel), stride, padding)
+    assert cols.shape[1] == out and cols.shape[2] == out
+
+
+@given(
+    shape=st.sampled_from([(4, 8), (8, 4), (4, 4, 3, 3), (16,)]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_initializers_finite_and_seeded(shape, seed):
+    rng1 = np.random.default_rng(seed)
+    rng2 = np.random.default_rng(seed)
+    a = glorot_uniform(shape, rng1)
+    b = glorot_uniform(shape, rng2)
+    np.testing.assert_array_equal(a, b)
+    assert np.isfinite(a).all()
+    h = he_normal(shape, np.random.default_rng(seed))
+    assert h.shape == shape and np.isfinite(h).all()

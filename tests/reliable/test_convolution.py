@@ -1,0 +1,168 @@
+"""Algorithm 3: reliable convolution with rollback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import PermanentFault, TransientFault
+from repro.reliable.convolution import (
+    ConvolutionStats,
+    reliable_convolution,
+    reliable_dot,
+)
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import (
+    PlainOperator,
+    RedundantOperator,
+    TMROperator,
+)
+
+
+def expected_dot(x, w, bias=0.0):
+    total = 0.0
+    for xi, wi in zip(x, w):
+        total += float(xi) * float(wi)
+    return total + bias
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("operator", [
+        PlainOperator(), RedundantOperator(), TMROperator(),
+    ])
+    def test_matches_reference_dot(self, rng, operator):
+        x = rng.standard_normal(20)
+        w = rng.standard_normal(20)
+        result = reliable_convolution(x, w, 0.75, operator)
+        assert result.ok
+        np.testing.assert_allclose(
+            result.value, expected_dot(x, w, 0.75), rtol=1e-12
+        )
+
+    def test_empty_patch_is_bias(self):
+        result = reliable_convolution([], [], 1.25, PlainOperator())
+        assert result.value == 1.25
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            reliable_dot([1.0], [1.0, 2.0], PlainOperator(), LeakyBucket())
+
+    def test_stats_count_operations(self, rng):
+        x = rng.standard_normal(10)
+        w = rng.standard_normal(10)
+        stats = ConvolutionStats()
+        reliable_convolution(x, w, 0.0, PlainOperator(), stats=stats)
+        # 10 multiplies + 10 accumulates + 1 bias add.
+        assert stats.operations == 21
+        assert stats.errors_detected == 0
+        assert stats.rollbacks == 0
+
+
+class TestRollback:
+    def test_transient_faults_recovered_exactly(self, rng):
+        x = rng.standard_normal(50)
+        w = rng.standard_normal(50)
+        golden = expected_dot(x, w, 0.5)
+        unit = FaultyExecutionUnit(TransientFault(0.02, rng))
+        stats = ConvolutionStats()
+        result = reliable_convolution(
+            x, w, 0.5, RedundantOperator(unit),
+            bucket=LeakyBucket(), stats=stats,
+        )
+        assert result.ok
+        np.testing.assert_allclose(result.value, golden, rtol=1e-9)
+        assert stats.rollbacks == stats.errors_detected > 0
+
+    def test_persistent_disagreement_aborts(self):
+        class AlwaysDisagree(PlainOperator):
+            def multiply(self, a, b):
+                from repro.reliable.qualified import QualifiedValue
+
+                return QualifiedValue(a * b, False)
+
+        with pytest.raises(PersistentFailureError) as exc_info:
+            reliable_convolution(
+                [1.0, 2.0], [3.0, 4.0], 0.0, AlwaysDisagree()
+            )
+        assert exc_info.value.errors_detected >= 2
+
+    def test_abort_carries_progress_diagnostics(self):
+        class FailAfter(PlainOperator):
+            def __init__(self, n):
+                super().__init__()
+                self.n = n
+
+            def multiply(self, a, b):
+                from repro.reliable.qualified import QualifiedValue
+
+                self.n -= 1
+                return QualifiedValue(a * b, self.n > 0)
+
+            def add(self, a, b):
+                from repro.reliable.qualified import QualifiedValue
+
+                return QualifiedValue(a + b, True)
+
+        with pytest.raises(PersistentFailureError) as exc_info:
+            reliable_convolution(
+                [1.0] * 10, [1.0] * 10, 0.0, FailAfter(5)
+            )
+        assert exc_info.value.operations_completed > 0
+
+    def test_shared_bucket_accumulates_across_outputs(self, rng):
+        """Algorithm 3 keeps the counter as a global across a layer."""
+        bucket = LeakyBucket(factor=2, ceiling=50)
+        unit = FaultyExecutionUnit(TransientFault(0.05, rng))
+        op = RedundantOperator(unit)
+        for _ in range(5):
+            reliable_convolution(
+                rng.standard_normal(20), rng.standard_normal(20),
+                0.0, op, bucket=bucket,
+            )
+        assert bucket.total_successes > 100
+
+    def test_bucket_drains_with_success_stream(self, rng):
+        # After a recovered error burst, continued clean operation
+        # leaves the bucket empty.
+        bucket = LeakyBucket(factor=2, ceiling=100)
+        unit = FaultyExecutionUnit(TransientFault(0.3, rng))
+        reliable_convolution(
+            rng.standard_normal(5), rng.standard_normal(5), 0.0,
+            RedundantOperator(unit), bucket=bucket,
+        )
+        clean = RedundantOperator()
+        reliable_convolution(
+            rng.standard_normal(60), rng.standard_normal(60), 0.0,
+            clean, bucket=bucket,
+        )
+        assert bucket.level == 0
+
+
+class TestProtectionLevels:
+    def test_plain_operator_never_detects(self, rng):
+        unit = FaultyExecutionUnit(TransientFault(0.1, rng))
+        stats = ConvolutionStats()
+        result = reliable_convolution(
+            rng.standard_normal(30), rng.standard_normal(30), 0.0,
+            PlainOperator(unit), stats=stats,
+        )
+        assert result.ok                  # blissfully unaware
+        assert stats.errors_detected == 0
+
+    def test_tmr_masks_without_rollback(self, rng):
+        unit = FaultyExecutionUnit(TransientFault(0.05, rng))
+        stats = ConvolutionStats()
+        x = rng.standard_normal(40)
+        w = rng.standard_normal(40)
+        result = reliable_convolution(
+            x, w, 0.0, TMROperator(unit),
+            bucket=LeakyBucket(ceiling=1000), stats=stats,
+        )
+        np.testing.assert_allclose(
+            result.value, expected_dot(x, w), rtol=1e-9
+        )
+        # Voting masks most faults; rollbacks should be rare compared
+        # to the DMR case at the same fault rate.
+        assert stats.rollbacks <= 3

@@ -1,0 +1,121 @@
+"""Fixed-point execution unit (FPGA DSP model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliable.convolution import reliable_convolution
+from repro.reliable.fixed_point import (
+    Q7_8,
+    Q15_16,
+    FixedPointExecutionUnit,
+    QFormat,
+)
+from repro.reliable.operators import PlainOperator, RedundantOperator
+
+
+class TestQFormat:
+    def test_q7_8_ranges(self):
+        assert Q7_8.scale == 256
+        assert Q7_8.max_value == pytest.approx(127.99609375)
+        assert Q7_8.min_value == -128.0
+        assert Q7_8.resolution == 1 / 256
+
+    def test_quantize_rounds_to_grid(self):
+        assert Q7_8.quantize(0.5) == 0.5
+        assert Q7_8.quantize(1 / 512) in (0.0, 1 / 256)
+        assert Q7_8.quantize(0.123) == pytest.approx(
+            round(0.123 * 256) / 256
+        )
+
+    def test_quantize_saturates(self):
+        assert Q7_8.quantize(1e9) == Q7_8.max_value
+        assert Q7_8.quantize(-1e9) == Q7_8.min_value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 8)
+        with pytest.raises(ValueError):
+            QFormat(0, 0)
+
+
+class TestUnit:
+    def test_exact_small_products(self):
+        unit = FixedPointExecutionUnit(Q7_8)
+        assert unit.multiply(2.0, 3.0) == 6.0
+        assert unit.add(1.5, 2.25) == 3.75
+
+    def test_rounding_error_bounded_by_resolution(self, rng):
+        unit = FixedPointExecutionUnit(Q15_16)
+        for _ in range(100):
+            a = float(rng.uniform(-10, 10))
+            b = float(rng.uniform(-10, 10))
+            result = unit.multiply(a, b)
+            # Quantising both inputs can each be off by res/2; the
+            # product error is bounded by ~(|a|+|b|+1) * resolution.
+            bound = (abs(a) + abs(b) + 1.0) * Q15_16.resolution
+            assert abs(result - a * b) <= bound
+
+    def test_saturation_counted(self):
+        unit = FixedPointExecutionUnit(Q7_8)
+        result = unit.multiply(100.0, 100.0)
+        assert result == Q7_8.max_value
+        assert unit.saturations == 1
+        result = unit.add(-120.0, -120.0)
+        assert result == Q7_8.min_value
+        assert unit.saturations == 2
+
+    def test_deterministic_for_redundancy(self, rng):
+        """Fixed point is bit-exact reproducible, so DMR comparison
+        never false-positives on clean hardware."""
+        unit = FixedPointExecutionUnit(Q15_16)
+        operator = RedundantOperator(unit)
+        for _ in range(200):
+            a = float(rng.uniform(-100, 100))
+            b = float(rng.uniform(-100, 100))
+            assert operator.multiply(a, b).ok
+            assert operator.add(a, b).ok
+
+
+class TestFixedPointConvolution:
+    def test_quantized_conv_close_to_float(self, rng):
+        x = rng.uniform(-1, 1, 27)
+        w = rng.uniform(-1, 1, 27)
+        exact = reliable_convolution(x, w, 0.1, PlainOperator()).value
+        quantized = reliable_convolution(
+            x, w, 0.1,
+            PlainOperator(FixedPointExecutionUnit(Q15_16)),
+        ).value
+        assert abs(exact - quantized) < 27 * 4 * Q15_16.resolution
+
+    def test_coarse_format_larger_error(self, rng):
+        x = rng.uniform(-1, 1, 27)
+        w = rng.uniform(-1, 1, 27)
+        exact = reliable_convolution(x, w, 0.0, PlainOperator()).value
+        err_q78 = abs(exact - reliable_convolution(
+            x, w, 0.0, PlainOperator(FixedPointExecutionUnit(Q7_8))
+        ).value)
+        err_q1516 = abs(exact - reliable_convolution(
+            x, w, 0.0, PlainOperator(FixedPointExecutionUnit(Q15_16))
+        ).value)
+        assert err_q1516 <= err_q78 + 1e-9
+
+
+@given(
+    st.floats(-100.0, 100.0),
+    st.floats(-100.0, 100.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_add_commutative_property(a, b):
+    unit = FixedPointExecutionUnit(Q15_16)
+    assert unit.add(a, b) == unit.add(b, a)
+
+
+@given(st.floats(-50.0, 50.0))
+@settings(max_examples=100, deadline=None)
+def test_quantize_idempotent(value):
+    q = Q7_8.quantize(value)
+    assert Q7_8.quantize(q) == q

@@ -1,0 +1,131 @@
+"""Leaky bucket: the paper's Algorithm 3 error-counter semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.workflows.fault_study import drive_bucket
+
+
+class TestGeometry:
+    def test_default_ceiling_is_2f_minus_1(self):
+        assert LeakyBucket(factor=2).ceiling == 3
+        assert LeakyBucket(factor=3).ceiling == 5
+
+    def test_explicit_ceiling(self):
+        assert LeakyBucket(factor=2, ceiling=10).ceiling == 10
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LeakyBucket(factor=0)
+        with pytest.raises(ValueError):
+            LeakyBucket(factor=3, ceiling=2)
+
+
+class TestPaperSemantics:
+    """'A stream of correctly executed operations will cancel one,
+    but not two successive errors.'"""
+
+    def test_single_error_survives(self):
+        bucket = LeakyBucket()
+        assert not drive_bucket(bucket, "ssssEssss")
+        assert bucket.level == 0  # fully drained
+
+    def test_two_successive_errors_abort(self):
+        assert drive_bucket(LeakyBucket(), "ssssEEssss")
+
+    def test_two_separated_errors_survive(self):
+        assert not drive_bucket(LeakyBucket(), "EssssssE")
+
+    def test_one_success_between_errors_still_aborts(self):
+        # One success leaks only 1 of the 2 added per error.
+        assert drive_bucket(LeakyBucket(), "EsE")
+
+    def test_two_successes_between_errors_survive(self):
+        assert not drive_bucket(LeakyBucket(), "EssE")
+
+
+class TestMechanics:
+    def test_error_adds_factor(self):
+        bucket = LeakyBucket(factor=2, ceiling=100)
+        bucket.record_error()
+        assert bucket.level == 2
+
+    def test_success_leaks_one_floored(self):
+        bucket = LeakyBucket(factor=2, ceiling=100)
+        bucket.record_success()
+        assert bucket.level == 0
+        bucket.record_error()
+        bucket.record_success()
+        assert bucket.level == 1
+
+    def test_overflow_flag(self):
+        bucket = LeakyBucket(factor=2, ceiling=3)
+        assert not bucket.record_error()
+        assert bucket.record_error()
+        assert bucket.overflowed
+
+    def test_statistics(self):
+        bucket = LeakyBucket(ceiling=100)
+        drive_bucket(bucket, "EsEss")
+        assert bucket.total_errors == 2
+        assert bucket.total_successes == 3
+
+    def test_reset(self):
+        bucket = LeakyBucket(ceiling=100)
+        drive_bucket(bucket, "EEE")
+        bucket.reset()
+        assert bucket.level == 0
+        assert bucket.total_errors == 0
+
+
+@given(st.integers(1, 5), st.integers(0, 200))
+@settings(max_examples=50, deadline=None)
+def test_successes_never_overflow(factor, n_successes):
+    bucket = LeakyBucket(factor=factor)
+    for _ in range(n_successes):
+        bucket.record_success()
+    assert bucket.level == 0
+    assert not bucket.overflowed
+
+
+@given(
+    st.integers(1, 4),
+    st.lists(st.sampled_from("Es"), min_size=0, max_size=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_level_invariants(factor, events):
+    """Level stays within [0, ceiling+factor) and matches a simple
+    reference recomputation."""
+    bucket = LeakyBucket(factor=factor)
+    reference = 0
+    for event in events:
+        if event == "E":
+            bucket.record_error()
+            reference += factor
+        else:
+            bucket.record_success()
+            reference = max(0, reference - 1)
+    assert bucket.level == reference
+    assert 0 <= bucket.level
+
+
+@given(st.integers(2, 4))
+@settings(max_examples=20, deadline=None)
+def test_isolated_errors_never_abort_with_enough_spacing(factor):
+    """For factor >= 2, errors separated by >= factor successes can
+    never overflow (each error fully drains before the next arrives).
+    factor == 1 is excluded: its default ceiling (2*1-1 = 1) makes any
+    single error an immediate abort, by design."""
+    bucket = LeakyBucket(factor=factor)
+    pattern = ("E" + "s" * factor) * 10
+    assert not drive_bucket(bucket, pattern)
+
+
+def test_factor_one_aborts_on_first_error():
+    """With factor 1 the default ceiling is 1: fail-fast semantics."""
+    assert drive_bucket(LeakyBucket(factor=1), "sssEsss")

@@ -1,0 +1,169 @@
+"""Qualified values, operators (Algorithms 1 and 2), voting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import PermanentFault, TransientFault
+from repro.reliable.execution_unit import (
+    Float32ExecutionUnit,
+    PerfectExecutionUnit,
+)
+from repro.reliable.operators import (
+    PlainOperator,
+    RedundantOperator,
+    TMROperator,
+    make_operator,
+)
+from repro.reliable.qualified import QualifiedValue
+from repro.reliable.voting import majority_vote
+
+
+class TestQualifiedValue:
+    def test_truthiness_is_qualifier(self):
+        assert QualifiedValue(1.0, True)
+        assert not QualifiedValue(1.0, False)
+
+    def test_unwrap(self):
+        assert QualifiedValue(2.5, True).unwrap() == 2.5
+        with pytest.raises(ValueError):
+            QualifiedValue(2.5, False).unwrap()
+
+    def test_combine_ands_qualifiers(self):
+        good = QualifiedValue(1.0, True)
+        bad = QualifiedValue(2.0, False)
+        assert QualifiedValue.combine(good, good, 3.0).ok
+        assert not QualifiedValue.combine(good, bad, 3.0).ok
+
+    def test_frozen(self):
+        value = QualifiedValue(1.0, True)
+        with pytest.raises(Exception):
+            value.value = 2.0
+
+
+class TestExecutionUnits:
+    def test_perfect_unit_exact(self):
+        unit = PerfectExecutionUnit()
+        assert unit.multiply(3.0, 4.0) == 12.0
+        assert unit.add(1.5, 2.5) == 4.0
+
+    def test_float32_unit_rounds(self):
+        unit = Float32ExecutionUnit()
+        # 0.1 is not representable; float32 product differs from
+        # float64 product.
+        exact = 0.1 * 0.1
+        rounded = unit.multiply(0.1, 0.1)
+        assert rounded != exact
+        assert abs(rounded - exact) < 1e-8
+
+
+class TestPlainOperator:
+    """Algorithm 1: qualifier preset True."""
+
+    def test_returns_product_and_true(self):
+        op = PlainOperator()
+        result = op.multiply(3.0, 5.0)
+        assert result.value == 15.0 and result.ok
+
+    def test_qualifies_corrupted_result(self, rng):
+        # The defining weakness: a fault slips through qualified True.
+        unit = FaultyExecutionUnit(PermanentFault(bit=30, rng=rng))
+        op = PlainOperator(unit)
+        result = op.multiply(3.0, 5.0)
+        assert result.ok
+        assert result.value != 15.0
+
+    def test_executions_per_op(self):
+        assert PlainOperator.executions_per_op == 1
+
+
+class TestRedundantOperator:
+    """Algorithm 2: dual execution, compare."""
+
+    def test_agreement_qualifies(self):
+        op = RedundantOperator()
+        result = op.add(2.0, 3.0)
+        assert result.value == 5.0 and result.ok
+
+    def test_transient_disagreement_detected(self, rng):
+        unit = FaultyExecutionUnit(TransientFault(0.5, rng))
+        op = RedundantOperator(unit)
+        outcomes = [op.multiply(2.0, 3.0) for _ in range(200)]
+        flagged = [r for r in outcomes if not r.ok]
+        assert flagged, "50% transient faults must trip comparisons"
+
+    def test_permanent_fault_is_common_mode_blind_spot(self, rng):
+        unit = FaultyExecutionUnit(PermanentFault(bit=28, rng=rng))
+        op = RedundantOperator(unit)
+        result = op.multiply(2.0, 3.0)
+        assert result.ok          # both copies equally wrong -> agree
+        assert result.value != 6.0
+
+    def test_executions_per_op(self):
+        assert RedundantOperator.executions_per_op == 2
+
+
+class TestTMROperator:
+    def test_clean_execution(self):
+        result = TMROperator().multiply(4.0, 2.5)
+        assert result.value == 10.0 and result.ok
+
+    def test_single_fault_masked(self, rng):
+        # A fault hitting one of three executions is outvoted.
+        unit = FaultyExecutionUnit(TransientFault(0.2, rng))
+        op = TMROperator(unit)
+        masked = 0
+        for _ in range(300):
+            result = op.multiply(2.0, 3.0)
+            if result.ok and result.value == 6.0:
+                masked += 1
+        assert masked > 250
+
+    def test_all_disagree_unqualified(self):
+        class Countdown(PerfectExecutionUnit):
+            def __init__(self):
+                self.n = 0
+
+            def multiply(self, a, b):
+                self.n += 1
+                return a * b + self.n  # three distinct wrong values
+
+        result = TMROperator(Countdown()).multiply(1.0, 1.0)
+        assert not result.ok
+
+
+class TestVoting:
+    def test_majority(self):
+        assert majority_vote([1.0, 1.0, 2.0]) == (1.0, 2)
+
+    def test_unanimous(self):
+        assert majority_vote([3.0, 3.0, 3.0]) == (3.0, 3)
+
+    def test_tie_prefers_earliest(self):
+        value, agreement = majority_vote([2.0, 1.0, 1.0, 2.0])
+        assert value == 2.0 and agreement == 2
+
+    def test_all_distinct(self):
+        value, agreement = majority_vote([1.0, 2.0, 3.0])
+        assert value == 1.0 and agreement == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind, cls", [
+        ("plain", PlainOperator),
+        ("dmr", RedundantOperator),
+        ("redundant", RedundantOperator),
+        ("tmr", TMROperator),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_operator(kind), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_operator("quintuple")

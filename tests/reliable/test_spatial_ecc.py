@@ -1,0 +1,230 @@
+"""Spatial redundancy (PE arrays) and SEC-DED weight storage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import PermanentFault, TransientFault
+from repro.reliable.convolution import ConvolutionStats, reliable_convolution
+from repro.reliable.ecc import (
+    DecodeReport,
+    ECCProtectedTensor,
+    decode_words,
+    encode_words,
+)
+from repro.reliable.execution_unit import PerfectExecutionUnit
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.spatial import (
+    ArrayExhaustedError,
+    PEArray,
+    SpatialRedundantOperator,
+)
+
+
+class TestPEArray:
+    def test_needs_two_elements(self):
+        with pytest.raises(ValueError):
+            PEArray(n_elements=1)
+
+    def test_round_robin_pairs_distinct(self):
+        array = PEArray(n_elements=4)
+        for _ in range(10):
+            first, second = array.pick_pair()
+            assert first.index != second.index
+
+    def test_retirement_on_bucket_overflow(self):
+        array = PEArray(n_elements=3, bucket_factor=2, bucket_ceiling=4)
+        pe = array.elements[0]
+        array.report_disagreement(pe)
+        assert not pe.retired
+        array.report_disagreement(pe)
+        assert pe.retired
+        assert array.degraded
+
+    def test_exhaustion_raises(self):
+        array = PEArray(n_elements=2, bucket_ceiling=2)
+        for pe in array.elements:
+            array.report_disagreement(pe)
+        with pytest.raises(ArrayExhaustedError):
+            array.pick_pair()
+
+    def test_health_summary_text(self):
+        array = PEArray(n_elements=2)
+        text = array.health_summary()
+        assert "PE0" in text and "PE1" in text
+
+
+class TestSpatialOperator:
+    def test_clean_array_agrees(self, rng):
+        operator = SpatialRedundantOperator(PEArray(n_elements=4))
+        result = operator.multiply(3.0, 4.0)
+        assert result.ok and result.value == 12.0
+
+    def test_permanent_fault_detected_not_silent(self, rng):
+        """The case temporal DMR silently loses (common mode)."""
+        units = [PerfectExecutionUnit() for _ in range(4)]
+        units[1] = FaultyExecutionUnit(PermanentFault(bit=28, rng=rng))
+        operator = SpatialRedundantOperator(PEArray(units))
+        detections = 0
+        for _ in range(16):
+            if not operator.multiply(2.0, 3.0).ok:
+                detections += 1
+        assert detections > 0
+
+    def test_graceful_degradation_completes_correctly(self, rng):
+        units = [PerfectExecutionUnit() for _ in range(4)]
+        units[2] = FaultyExecutionUnit(PermanentFault(bit=28, rng=rng))
+        array = PEArray(units)
+        x = rng.standard_normal(100)
+        w = rng.standard_normal(100)
+        golden = sum(float(a) * float(b) for a, b in zip(x, w))
+        stats = ConvolutionStats()
+        result = reliable_convolution(
+            x, w, 0.0, SpatialRedundantOperator(array),
+            bucket=LeakyBucket(ceiling=100_000), stats=stats,
+        )
+        assert abs(result.value - golden) < 1e-9
+        assert stats.errors_detected > 0
+        assert array.degraded
+        assert array.elements[2].retired
+        healthy = [pe for pe in array.elements if not pe.retired]
+        assert len(healthy) == 3
+
+    def test_transient_faults_recovered_without_retirement(self, rng):
+        units = [
+            FaultyExecutionUnit(TransientFault(0.01, rng))
+            for _ in range(4)
+        ]
+        array = PEArray(units)
+        x = rng.standard_normal(50)
+        w = rng.standard_normal(50)
+        reliable_convolution(
+            x, w, 0.0, SpatialRedundantOperator(array),
+            bucket=LeakyBucket(ceiling=100_000),
+        )
+        # Isolated transients must not retire healthy silicon.
+        assert not array.degraded
+
+
+class TestECC:
+    def test_clean_roundtrip(self, rng):
+        values = rng.standard_normal((4, 4)).astype(np.float32)
+        storage = ECCProtectedTensor(values)
+        out, report = storage.read()
+        np.testing.assert_array_equal(out, values)
+        assert report.clean
+
+    def test_every_single_bit_flip_corrected(self, rng):
+        values = rng.standard_normal(3).astype(np.float32)
+        for bit in range(39):
+            storage = ECCProtectedTensor(values)
+            storage.flip_stored_bit(1, bit)
+            out, report = storage.read()
+            np.testing.assert_array_equal(out, values)
+            assert report.corrected == 1, f"bit {bit}"
+            assert report.uncorrectable == 0
+
+    def test_double_flip_detected_uncorrectable(self, rng):
+        values = rng.standard_normal(4).astype(np.float32)
+        storage = ECCProtectedTensor(values)
+        storage.flip_stored_bit(2, 5)
+        storage.flip_stored_bit(2, 17)
+        _, report = storage.read()
+        assert report.uncorrectable == 1
+        assert report.uncorrectable_indices == [2]
+
+    def test_scrubbing_on_read(self, rng):
+        values = rng.standard_normal(8).astype(np.float32)
+        storage = ECCProtectedTensor(values)
+        storage.flip_stored_bit(3, 10)
+        storage.read()
+        _, second = storage.read()
+        assert second.clean
+
+    def test_flip_validation(self, rng):
+        storage = ECCProtectedTensor(np.zeros(2, dtype=np.float32))
+        with pytest.raises(IndexError):
+            storage.flip_stored_bit(5, 0)
+        with pytest.raises(ValueError):
+            storage.flip_stored_bit(0, 39)
+
+    def test_shape_preserved(self, rng):
+        values = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out, _ = ECCProtectedTensor(values).read()
+        assert out.shape == (2, 3, 4)
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_encode_decode_identity_property(words):
+    data = np.array(words, dtype=np.uint32)
+    decoded, report = decode_words(encode_words(data))
+    np.testing.assert_array_equal(decoded, data)
+    assert report.clean
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 38),
+)
+@settings(max_examples=100, deadline=None)
+def test_single_flip_always_corrected_property(word, bit):
+    code = encode_words(np.array([word], dtype=np.uint32))
+    code[0] ^= np.uint64(1 << bit)
+    decoded, report = decode_words(code)
+    assert decoded[0] == word
+    assert report.corrected == 1
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 38),
+    st.integers(0, 38),
+)
+@settings(max_examples=100, deadline=None)
+def test_double_flip_never_silent_property(word, bit_a, bit_b):
+    """SEC-DED contract: two flips are either corrected back to the
+    original (impossible -- they'd cancel only if equal, which we
+    exclude) or flagged uncorrectable; never silently wrong."""
+    if bit_a == bit_b:
+        return
+    code = encode_words(np.array([word], dtype=np.uint32))
+    code[0] ^= np.uint64((1 << bit_a) | (1 << bit_b))
+    decoded, report = decode_words(code)
+    if report.uncorrectable == 0:
+        # If the decoder claims success the data must be right.
+        assert decoded[0] == word
+    else:
+        assert report.uncorrectable == 1
+
+
+class TestMemoryProtectionWorkflows:
+    def test_spatial_vs_temporal_outcomes(self):
+        from repro.workflows import run_spatial_vs_temporal
+
+        result = run_spatial_vs_temporal()
+        assert not result.temporal_detected       # silent common mode
+        assert not result.temporal_correct
+        assert result.spatial_detected
+        assert result.spatial_correct
+        assert result.spatial_degraded
+        assert result.retired_pe == 2
+
+    def test_ecc_study_protects_moderate_flips(self, trained_model):
+        from repro.workflows import run_ecc_study
+
+        result = run_ecc_study(
+            trained_model, flip_counts=(8, 32), seed=1
+        )
+        for row in result.rows:
+            # ECC accuracy stays at clean level while flips remain
+            # mostly single-per-word.
+            if row.uncorrectable == 0:
+                assert row.ecc_accuracy == pytest.approx(
+                    result.clean_accuracy, abs=0.02
+                )
+        assert "flips" in result.to_text()

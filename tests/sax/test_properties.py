@@ -1,0 +1,102 @@
+"""Hypothesis properties of the SAX pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.sax.distance import hamming_distance, mindist
+from repro.sax.paa import paa, znormalize
+from repro.sax.sax import SaxEncoder
+
+series_strategy = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(16, 200),
+    elements=st.floats(-1e6, 1e6),
+)
+
+words = st.integers(2, 16)
+alphabets = st.integers(2, 10)
+
+
+@given(series_strategy)
+@settings(max_examples=50, deadline=None)
+def test_znormalize_idempotent_up_to_tolerance(series):
+    once = znormalize(series)
+    twice = znormalize(once)
+    np.testing.assert_allclose(twice, once, atol=1e-9)
+
+
+@given(series_strategy, st.integers(1, 16))
+@settings(max_examples=50, deadline=None)
+def test_paa_output_within_input_range(series, segments):
+    assume(segments <= len(series))
+    out = paa(series, segments)
+    assert out.min() >= series.min() - 1e-9
+    assert out.max() <= series.max() + 1e-9
+
+
+@given(series_strategy, st.integers(1, 16))
+@settings(max_examples=50, deadline=None)
+def test_paa_preserves_global_mean(series, segments):
+    assume(len(series) % segments == 0)
+    out = paa(series, segments)
+    np.testing.assert_allclose(out.mean(), series.mean(), atol=1e-6)
+
+
+@given(series_strategy, words, alphabets)
+@settings(max_examples=50, deadline=None)
+def test_encode_deterministic_and_valid(series, w, a):
+    assume(w <= len(series))
+    enc = SaxEncoder(w, a)
+    word = enc.encode(series)
+    assert word == enc.encode(series)
+    assert len(word) == w
+    assert all("a" <= ch < chr(ord("a") + a) for ch in word)
+
+
+@given(series_strategy, words, alphabets, st.floats(0.1, 10.0),
+       st.floats(-100.0, 100.0))
+@settings(max_examples=50, deadline=None)
+def test_encode_invariant_to_affine_scaling(series, w, a, scale, shift):
+    """Z-normalisation makes SAX affine-invariant up to one symbol of
+    boundary rounding: scaling perturbs the normalised values in the
+    last ulp, which can push a PAA mean sitting exactly on a
+    breakpoint into the adjacent region (never further)."""
+    assume(w <= len(series))
+    assume(series.std() > 1e-6)
+    assume((series * scale + shift).std() > 1e-6)
+    enc = SaxEncoder(w, a)
+    original = enc.symbols(series)
+    scaled = enc.symbols(series * scale + shift)
+    assert (np.abs(original - scaled) <= 1).all()
+
+
+@st.composite
+def word_pairs(draw, alphabet="abcdef", max_size=12):
+    length = draw(st.integers(1, max_size))
+    one = st.text(alphabet=alphabet, min_size=length, max_size=length)
+    return draw(one), draw(one)
+
+
+@given(word_pairs(), st.integers(6, 10))
+@settings(max_examples=80, deadline=None)
+def test_mindist_symmetric_nonnegative(pair, a):
+    word_a, word_b = pair
+    d_ab = mindist(word_a, word_b, a, 4 * len(word_a))
+    d_ba = mindist(word_b, word_a, a, 4 * len(word_a))
+    assert d_ab >= 0.0
+    np.testing.assert_allclose(d_ab, d_ba)
+    if word_a == word_b:
+        assert d_ab == 0.0
+
+
+@given(word_pairs(alphabet="abcd", max_size=10))
+@settings(max_examples=80, deadline=None)
+def test_hamming_bounds(pair):
+    word_a, word_b = pair
+    d = hamming_distance(word_a, word_b)
+    assert 0 <= d <= len(word_a)
+    assert hamming_distance(word_a, word_a) == 0

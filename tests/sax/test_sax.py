@@ -1,0 +1,179 @@
+"""SAX: normalisation, PAA, breakpoints, encoding, distances."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sax.breakpoints import gaussian_breakpoints, _normal_ppf
+from repro.sax.distance import (
+    hamming_distance,
+    min_rotation_distance,
+    mindist,
+    symbol_distance_table,
+)
+from repro.sax.paa import paa, znormalize
+from repro.sax.sax import SaxEncoder, sax_word
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        series = rng.standard_normal(200) * 7.0 + 3.0
+        out = znormalize(series)
+        assert abs(out.mean()) < 1e-9
+        assert abs(out.std() - 1.0) < 1e-9
+
+    def test_flat_series_to_zeros(self):
+        np.testing.assert_array_equal(
+            znormalize(np.full(10, 4.2)), np.zeros(10)
+        )
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            znormalize(np.zeros((2, 3)))
+
+
+class TestPAA:
+    def test_even_division_is_block_mean(self):
+        series = np.array([1.0, 3.0, 5.0, 7.0])
+        np.testing.assert_allclose(paa(series, 2), [2.0, 6.0])
+
+    def test_identity_when_segments_equal_length(self, rng):
+        series = rng.standard_normal(16)
+        np.testing.assert_allclose(paa(series, 16), series)
+
+    def test_fractional_frames_preserve_mean(self, rng):
+        series = rng.standard_normal(10)
+        out = paa(series, 3)
+        np.testing.assert_allclose(out.mean(), series.mean(), atol=1e-9)
+
+    def test_fractional_weighting_exact(self):
+        # 3 points into 2 segments: seg0 = x0 + x1/2, seg1 = x1/2 + x2
+        # (each normalised by frame length 1.5).
+        series = np.array([3.0, 6.0, 9.0])
+        out = paa(series, 2)
+        np.testing.assert_allclose(out, [(3 + 3) / 1.5, (3 + 9) / 1.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paa(np.zeros(4), 0)
+        with pytest.raises(ValueError):
+            paa(np.zeros(4), 5)
+
+
+class TestBreakpoints:
+    @pytest.mark.parametrize("a", [3, 5, 8, 10])
+    def test_table_values_monotonic_symmetric(self, a):
+        bp = gaussian_breakpoints(a)
+        assert len(bp) == a - 1
+        assert (np.diff(bp) > 0).all()
+        np.testing.assert_allclose(bp, -bp[::-1], atol=1e-12)
+
+    def test_computed_sizes_match_normal_quantiles(self):
+        bp = gaussian_breakpoints(16)
+        assert len(bp) == 15
+        # Middle breakpoint of an even alphabet is 0.
+        np.testing.assert_allclose(bp[7], 0.0, atol=1e-9)
+
+    def test_ppf_accuracy(self):
+        # Known quantiles of N(0,1).
+        np.testing.assert_allclose(_normal_ppf(0.975), 1.959964, atol=1e-4)
+        np.testing.assert_allclose(_normal_ppf(0.5), 0.0, atol=1e-9)
+        np.testing.assert_allclose(_normal_ppf(0.0013499), -3.0, atol=1e-3)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            gaussian_breakpoints(1)
+        with pytest.raises(ValueError):
+            gaussian_breakpoints(27)
+        with pytest.raises(ValueError):
+            _normal_ppf(0.0)
+
+
+class TestEncoder:
+    def test_word_length_and_alphabet(self, rng):
+        enc = SaxEncoder(word_length=8, alphabet_size=4)
+        word = enc.encode(rng.standard_normal(64))
+        assert len(word) == 8
+        assert set(word) <= set("abcd")
+
+    def test_monotone_ramp_monotone_word(self):
+        enc = SaxEncoder(word_length=8, alphabet_size=8)
+        word = enc.encode(np.linspace(0.0, 1.0, 64))
+        assert list(word) == sorted(word)
+        assert word[0] == "a" and word[-1] == "h"
+
+    def test_flat_series_mid_alphabet(self):
+        enc = SaxEncoder(word_length=4, alphabet_size=4)
+        # Flat normalises to zeros -> symbol index 2 ('c') for a=4
+        # (zero sits at the upper side of the middle breakpoint).
+        word = enc.encode(np.full(16, 5.0))
+        assert word == "cccc"
+
+    def test_scale_invariance_via_znorm(self, rng):
+        enc = SaxEncoder(word_length=8, alphabet_size=6)
+        series = rng.standard_normal(64)
+        assert enc.encode(series) == enc.encode(series * 100.0 + 5.0)
+
+    def test_decode_levels_roundtrip_region(self):
+        enc = SaxEncoder(word_length=4, alphabet_size=8)
+        series = np.repeat([-2.0, -0.5, 0.5, 2.0], 8)
+        word = enc.encode(series)
+        levels = enc.decode_levels(word)
+        assert levels[0] < levels[1] < levels[2] < levels[3]
+
+    def test_decode_rejects_foreign_symbols(self):
+        enc = SaxEncoder(word_length=2, alphabet_size=3)
+        with pytest.raises(ValueError):
+            enc.decode_levels("az")
+
+    def test_sax_word_shortcut(self, rng):
+        series = rng.standard_normal(32)
+        assert sax_word(series, 8, 4) == SaxEncoder(8, 4).encode(series)
+
+
+class TestDistances:
+    def test_symbol_table_adjacent_zero(self):
+        table = symbol_distance_table(8)
+        assert table[3, 3] == 0.0
+        assert table[3, 4] == 0.0
+        assert table[3, 5] > 0.0
+        np.testing.assert_array_equal(table, table.T)
+
+    def test_mindist_identical_words_zero(self):
+        assert mindist("abcd", "abcd", 4, 32) == 0.0
+
+    def test_mindist_scales_with_series_length(self):
+        d1 = mindist("aa", "cc", 4, 16)
+        d2 = mindist("aa", "cc", 4, 64)
+        np.testing.assert_allclose(d2, 2.0 * d1)
+
+    def test_mindist_known_value(self):
+        # a=4: breakpoints [-0.67, 0, 0.67]; dist(a,c) = 0 - (-0.67).
+        expected = math.sqrt(16 / 2) * math.sqrt(2 * 0.67**2)
+        np.testing.assert_allclose(
+            mindist("aa", "cc", 4, 16), expected, rtol=1e-12
+        )
+
+    def test_mindist_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mindist("ab", "abc", 4, 16)
+
+    def test_hamming(self):
+        assert hamming_distance("abcd", "abcd") == 0
+        assert hamming_distance("abcd", "abca") == 1
+        with pytest.raises(ValueError):
+            hamming_distance("ab", "abc")
+
+    def test_rotation_distance_finds_alignment(self):
+        word = "aaaahhhh"
+        rotated = "hhaaaahh"
+        d, rot = min_rotation_distance(word, rotated, 8, 64)
+        assert d == 0.0
+        assert rotated[rot:] + rotated[:rot] == word
+
+    def test_rotation_distance_lower_bound_property(self):
+        d_rot, _ = min_rotation_distance("abab", "baba", 4, 32)
+        assert d_rot <= mindist("abab", "baba", 4, 32)

@@ -1,0 +1,161 @@
+"""Contour tracing, components, centroid-distance series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.shapes2d import disk_mask, polygon_mask, regular_polygon
+from repro.vision.contours import (
+    label_components,
+    largest_contour,
+    trace_boundary,
+)
+from repro.vision.series import (
+    centroid,
+    centroid_distance_series,
+    resample_series,
+    shape_signature,
+)
+
+
+class TestComponents:
+    def test_empty_mask(self):
+        labels, count = label_components(np.zeros((4, 4), dtype=bool))
+        assert count == 0
+        assert (labels == 0).all()
+
+    def test_two_separate_blobs(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[5:7, 5:7] = True
+        labels, count = label_components(mask)
+        assert count == 2
+        assert labels[1, 1] != labels[5, 5]
+
+    def test_diagonal_touch_is_connected(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        mask[1, 1] = True
+        _, count = label_components(mask)
+        assert count == 1
+
+
+class TestTraceBoundary:
+    def test_single_pixel(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[1, 1] = True
+        points = trace_boundary(mask)
+        np.testing.assert_array_equal(points, [[1, 1]])
+
+    def test_square_boundary_complete(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[2:8, 2:8] = True
+        points = trace_boundary(mask)
+        # Perimeter of a 6x6 block is 20 boundary pixels.
+        assert len(points) == 20
+        as_set = {tuple(p) for p in points}
+        assert (2, 2) in as_set and (7, 7) in as_set
+        assert (3, 3) not in as_set  # interior
+
+    def test_disk_boundary_circular(self):
+        mask = disk_mask((30, 30), (15.0, 15.0), 10.0)
+        points = trace_boundary(mask)
+        distances = np.hypot(
+            points[:, 0] - 15.0, points[:, 1] - 15.0
+        )
+        assert abs(distances.mean() - 10.0) < 1.0
+        assert distances.std() < 0.7
+
+    def test_boundary_points_are_foreground(self):
+        mask = disk_mask((20, 20), (10.0, 10.0), 6.0)
+        points = trace_boundary(mask)
+        assert mask[points[:, 0], points[:, 1]].all()
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            trace_boundary(np.zeros((3, 3), dtype=bool))
+
+    def test_ring_traces_outer_edge(self):
+        outer = disk_mask((40, 40), (20.0, 20.0), 15.0)
+        inner = disk_mask((40, 40), (20.0, 20.0), 10.0)
+        ring = outer & ~inner
+        points = trace_boundary(ring)
+        distances = np.hypot(points[:, 0] - 20.0, points[:, 1] - 20.0)
+        # Moore tracing from the topmost pixel walks the outer edge.
+        assert distances.min() > 13.0
+
+
+class TestLargestContour:
+    def test_picks_bigger_component(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[1:4, 1:4] = True      # 9 px
+        mask[8:16, 8:16] = True    # 64 px
+        contour = largest_contour(mask)
+        assert contour.area == 64
+        assert (contour.points >= 8).all()
+
+    def test_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            largest_contour(np.zeros((5, 5), dtype=bool))
+
+    def test_contour_centroid(self):
+        mask = disk_mask((21, 21), (10.0, 10.0), 7.0)
+        contour = largest_contour(mask)
+        cr, cc = contour.centroid()
+        assert abs(cr - 10.0) < 0.5 and abs(cc - 10.0) < 0.5
+
+
+class TestCentroid:
+    def test_simple_mean(self):
+        points = np.array([[0, 0], [0, 2], [2, 0], [2, 2]])
+        assert centroid(points) == (1.0, 1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            centroid(np.zeros((3,)))
+
+
+class TestDistanceSeries:
+    def test_circle_series_flat(self):
+        mask = disk_mask((64, 64), (32.0, 32.0), 20.0)
+        contour = largest_contour(mask)
+        series = centroid_distance_series(contour, n_samples=90)
+        assert series.shape == (90,)
+        assert series.std() / series.mean() < 0.05
+
+    def test_octagon_series_has_eight_peaks(self):
+        verts = regular_polygon((64.0, 64.0), 50.0, 8, np.pi / 8)
+        mask = polygon_mask((128, 128), verts)
+        contour = largest_contour(mask)
+        series = centroid_distance_series(contour, n_samples=128)
+        from repro.workflows.shape_series import count_corners
+
+        assert count_corners(series) == 8
+
+    def test_series_range_matches_geometry(self):
+        verts = regular_polygon((64.0, 64.0), 50.0, 8, np.pi / 8)
+        mask = polygon_mask((128, 128), verts)
+        series = centroid_distance_series(
+            largest_contour(mask), n_samples=128
+        )
+        # Octagon: apothem = R*cos(pi/8) ~ 0.924 R.
+        assert 44.0 < series.min() < 49.0
+        assert 48.0 < series.max() < 52.0
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            centroid_distance_series(np.array([[0, 0], [1, 1]]), 16)
+
+    def test_resample_series(self):
+        series = np.linspace(0.0, 1.0, 11)
+        out = resample_series(series, 5)
+        np.testing.assert_allclose(out, np.linspace(0, 1, 5))
+        with pytest.raises(ValueError):
+            resample_series(np.array([1.0]), 4)
+
+    def test_shape_signature_end_to_end(self, stop_image):
+        series = shape_signature(stop_image, n_samples=128)
+        assert series.shape == (128,)
+        # Stop sign radius at scale 0.8 on 128px: about 51 px.
+        assert 40.0 < series.mean() < 55.0

@@ -1,0 +1,88 @@
+"""Edge maps, greyscale conversion, morphology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.edges import edge_map, sobel_edges, to_grayscale
+from repro.vision.morphology import binary_dilate, binary_erode
+
+
+class TestGrayscale:
+    def test_passthrough_2d(self, rng):
+        image = rng.random((5, 5)).astype(np.float32)
+        np.testing.assert_array_equal(to_grayscale(image), image)
+
+    def test_luma_weights_for_rgb(self):
+        image = np.zeros((3, 2, 2), dtype=np.float32)
+        image[1] = 1.0  # pure green
+        np.testing.assert_allclose(to_grayscale(image), 0.587, rtol=1e-5)
+
+    def test_mean_for_other_channel_counts(self):
+        image = np.stack([
+            np.zeros((2, 2)), np.ones((2, 2)),
+        ]).astype(np.float32)
+        np.testing.assert_allclose(to_grayscale(image), 0.5)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((1, 2, 3, 4)))
+
+
+class TestEdgeMap:
+    def test_detects_square_outline(self):
+        image = np.zeros((20, 20), dtype=np.float32)
+        image[5:15, 5:15] = 1.0
+        mask = edge_map(image)
+        assert mask.any()
+        # Edges near the square boundary, none in the centre.
+        assert not mask[9:11, 9:11].any()
+        assert mask[4:7, 8:12].any()
+
+    def test_blank_image_no_edges(self):
+        assert not edge_map(np.zeros((8, 8), dtype=np.float32)).any()
+
+    def test_explicit_threshold(self):
+        image = np.zeros((10, 10), dtype=np.float32)
+        image[:, 5:] = 1.0
+        strict = edge_map(image, threshold=1e9)
+        assert not strict.any()
+        lax = edge_map(image, threshold=1e-3)
+        assert lax.sum() >= edge_map(image).sum()
+
+    def test_works_on_rgb(self, stop_image):
+        assert edge_map(stop_image).any()
+
+    def test_sobel_edges_shape(self, stop_image):
+        assert sobel_edges(stop_image).shape == (128, 128)
+
+
+class TestMorphology:
+    def test_dilate_grows_single_pixel(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        grown = binary_dilate(mask)
+        assert grown.sum() == 9
+        assert grown[1:4, 1:4].all()
+
+    def test_dilate_connects_gap(self):
+        mask = np.zeros((3, 5), dtype=bool)
+        mask[1, 0] = True
+        mask[1, 4] = True
+        grown = binary_dilate(mask, iterations=2)
+        assert grown[1].all()
+
+    def test_erode_inverse_of_dilate_on_large_blob(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[2:7, 2:7] = True
+        restored = binary_erode(binary_dilate(mask))
+        np.testing.assert_array_equal(restored, mask)
+
+    def test_zero_iterations_identity(self):
+        mask = np.random.default_rng(0).random((6, 6)) > 0.5
+        np.testing.assert_array_equal(binary_dilate(mask, 0), mask)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            binary_dilate(np.zeros((2, 2), dtype=bool), -1)

@@ -1,0 +1,117 @@
+"""Sobel kernels, stacks, correlation, gradient magnitude."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.filters import (
+    SOBEL_X,
+    SOBEL_Y,
+    correlate2d,
+    embed_kernel,
+    gradient_magnitude,
+    prewitt_kernels,
+    scharr_kernels,
+    sobel_axis_stack,
+    sobel_filter_stack,
+)
+
+
+class TestKernels:
+    def test_sobel_shapes_and_antisymmetry(self):
+        assert SOBEL_X.shape == (3, 3)
+        np.testing.assert_array_equal(SOBEL_Y, SOBEL_X.T)
+        # Derivative kernels must sum to zero (no DC response).
+        assert SOBEL_X.sum() == 0.0
+        assert SOBEL_Y.sum() == 0.0
+
+    def test_scharr_prewitt_zero_dc(self):
+        for gx, gy in (scharr_kernels(), prewitt_kernels()):
+            assert gx.sum() == 0.0
+            assert gy.sum() == 0.0
+            np.testing.assert_array_equal(gy, gx.T)
+
+    def test_embed_centres_kernel(self):
+        out = embed_kernel(SOBEL_X, 7)
+        assert out.shape == (7, 7)
+        np.testing.assert_array_equal(out[2:5, 2:5], SOBEL_X)
+        assert out.sum() == 0.0
+
+    def test_embed_rejects_too_small_target(self):
+        with pytest.raises(ValueError):
+            embed_kernel(SOBEL_X, 2)
+
+    def test_filter_stack_alternates_axes(self):
+        stack = sobel_filter_stack(3, 3)
+        assert stack.shape == (3, 3, 3)
+        np.testing.assert_array_equal(stack[0], SOBEL_X)
+        np.testing.assert_array_equal(stack[1], SOBEL_Y)
+        np.testing.assert_array_equal(stack[2], SOBEL_X)
+
+    def test_filter_stack_embedded_at_11(self):
+        stack = sobel_filter_stack(11, 3)
+        assert stack.shape == (3, 11, 11)
+        np.testing.assert_array_equal(stack[0, 4:7, 4:7], SOBEL_X)
+
+    def test_axis_stack_uniform(self):
+        sx = sobel_axis_stack("x", 5, 3)
+        assert sx.shape == (3, 5, 5)
+        np.testing.assert_array_equal(sx[0], sx[1])
+        np.testing.assert_array_equal(sx[0], sx[2])
+        with pytest.raises(ValueError):
+            sobel_axis_stack("z", 5, 3)
+
+
+class TestCorrelate:
+    def test_output_shape_same(self, rng):
+        image = rng.standard_normal((12, 15)).astype(np.float32)
+        assert correlate2d(image, SOBEL_X).shape == (12, 15)
+
+    def test_vertical_edge_detected_by_sobel_x(self):
+        image = np.zeros((8, 8), dtype=np.float32)
+        image[:, 4:] = 1.0
+        response = correlate2d(image, SOBEL_X)
+        # Peak response along the edge column, zero far from it.
+        assert abs(response[4, 3]) + abs(response[4, 4]) > 0
+        assert response[4, 1] == 0.0
+
+    def test_horizontal_edge_invisible_to_sobel_x(self):
+        image = np.zeros((8, 8), dtype=np.float32)
+        image[4:, :] = 1.0
+        response = correlate2d(image, SOBEL_X)
+        np.testing.assert_allclose(response, 0.0, atol=1e-6)
+
+    def test_constant_image_zero_response(self):
+        image = np.full((6, 6), 3.3, dtype=np.float32)
+        np.testing.assert_allclose(
+            correlate2d(image, SOBEL_X), 0.0, atol=1e-5
+        )
+
+    def test_border_replication_no_frame_artifacts(self):
+        # A constant image must produce zero response at the borders
+        # too (zero padding would create a spurious frame).
+        image = np.full((10, 10), 5.0, dtype=np.float32)
+        mag = gradient_magnitude(image)
+        np.testing.assert_allclose(mag, 0.0, atol=1e-4)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            correlate2d(np.zeros((2, 2, 2)), SOBEL_X)
+
+
+class TestGradientMagnitude:
+    def test_isotropy_of_edges(self):
+        # A vertical and a horizontal edge of equal contrast must give
+        # equal peak magnitudes.
+        vert = np.zeros((16, 16), dtype=np.float32)
+        vert[:, 8:] = 1.0
+        horiz = vert.T.copy()
+        assert np.isclose(
+            gradient_magnitude(vert).max(),
+            gradient_magnitude(horiz).max(),
+        )
+
+    def test_nonnegative(self, rng):
+        image = rng.standard_normal((9, 9)).astype(np.float32)
+        assert (gradient_magnitude(image) >= 0).all()

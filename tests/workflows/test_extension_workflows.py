@@ -1,0 +1,92 @@
+"""Extension workflows: rollback distance, hybrid under faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workflows import (
+    expected_cost,
+    optimal_segment_size,
+    run_hybrid_under_faults,
+    run_rollback_distance,
+)
+
+
+class TestExpectedCost:
+    def test_zero_faults_favor_large_segments(self):
+        # Without faults, cost/op -> 2 + c/s: monotone decreasing in s.
+        costs = [expected_cost(s, 0.0, 8.0) for s in (1, 4, 64, 1024)]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == pytest.approx(2.0, abs=0.01)
+
+    def test_high_faults_favor_small_segments(self):
+        assert expected_cost(1, 0.05, 8.0) < expected_cost(256, 0.05, 8.0)
+
+    def test_optimum_shrinks_with_fault_rate(self):
+        sizes = (1, 4, 16, 64, 256, 1024)
+        optima = [
+            optimal_segment_size(p, 8.0, candidates=sizes)
+            for p in (1e-5, 1e-3, 1e-1)
+        ]
+        assert optima[0] >= optima[1] >= optima[2]
+        assert optima[2] <= 4
+
+    def test_no_compare_cost_makes_op_level_optimal(self):
+        # With free comparisons, the paper's s = 1 is always best.
+        assert optimal_segment_size(0.01, 0.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_cost(0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            expected_cost(4, 1.0, 1.0)
+
+
+class TestRollbackDistanceWorkflow:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_rollback_distance(trials=25, seed=1)
+
+    def test_grid_complete(self, result):
+        assert len(result.analytic) == 4 * 5
+
+    def test_simulation_tracks_analytic(self, result):
+        for (p, s), simulated in result.simulated.items():
+            analytic = result.analytic[(p, s)]
+            assert simulated == pytest.approx(analytic, rel=0.35), (
+                f"p={p} s={s}"
+            )
+
+    def test_text_marks_optima(self, result):
+        assert "*" in result.to_text()
+
+
+class TestHybridUnderFaults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One clean and one moderately-faulty inference at a small
+        # input size keeps this test under ~10 s.
+        return run_hybrid_under_faults(
+            probabilities=(0.0, 1e-4), input_size=96, seed=0
+        )
+
+    def test_clean_run_confirms(self, result):
+        clean = result.rows[0]
+        assert clean.fault_probability == 0.0
+        assert clean.decision == "confirmed"
+        assert clean.errors_detected == 0
+
+    def test_faulty_run_recovers_and_still_confirms(self, result):
+        faulty = result.rows[1]
+        assert faulty.errors_detected > 0
+        assert faulty.rollbacks == faulty.errors_detected
+        assert faulty.persistent_failures == 0
+        assert faulty.decision == "confirmed"
+        assert faulty.qualifier_matches
+
+    def test_safety_invariant(self, result):
+        assert result.never_silently_confirmed_under_abort()
+
+    def test_text_table(self, result):
+        assert "decision" in result.to_text()
