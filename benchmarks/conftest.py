@@ -20,6 +20,19 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ is ``slow``.
+
+    The default run (``testpaths = tests`` in pytest.ini) skips this
+    directory entirely; the marker additionally lets a combined run
+    (``pytest tests benchmarks``) deselect benches with
+    ``-m "not slow"``.
+    """
+    del config
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def trained_model():
     """One trained sign classifier shared by all benches."""

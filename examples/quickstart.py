@@ -5,10 +5,11 @@ Builds the paper's architecture end to end:
 
 1. render a synthetic stop sign (stand-in for GTSRB),
 2. train a small CNN on the synthetic sign dataset,
-3. pin two first-layer filters to Sobel stacks (the dependable
-   partition),
+3. describe the hybrid in a :class:`repro.api.PipelineConfig` and
+   build it with :func:`repro.api.build_pipeline`,
 4. run the parallel hybrid (Figure 1): CNN classification qualified
-   by the reliably-executed octagon detector.
+   by the reliably-executed octagon detector -- one image at a time,
+   then as one vectorised batch.
 
 Run:  python examples/quickstart.py
 """
@@ -17,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ParallelHybridCNN, ShapeQualifier
+from repro.api import PipelineConfig, build_pipeline
 from repro.data import STOP_CLASS_INDEX, class_names, render_sign
 from repro.workflows.training import train_sign_model
 
@@ -29,43 +30,43 @@ def main() -> None:
     )
     print(f"  test accuracy: {trained.test_accuracy:.3f}")
 
+    config = PipelineConfig(
+        architecture="parallel",
+        safety_class=STOP_CLASS_INDEX,
+        name="quickstart",
+    )
+    pipeline = build_pipeline(config, trained.model)
     # The qualifier is deterministic and reliably executed: its
     # octagon template comes from geometry, not training data.
-    qualifier = ShapeQualifier()
-    print(f"  octagon template word: {qualifier.templates[0]}")
-
-    hybrid = ParallelHybridCNN(
-        trained.model, qualifier, safety_class=STOP_CLASS_INDEX
-    )
+    print(f"  octagon template word: {pipeline.qualifier.templates[0]}")
 
     names = class_names()
+    scenes = [(0, 5.0), (0, -10.0), (1, 0.0), (4, 0.0)]
+    # The CNN sees its training resolution; the qualifier sees a
+    # shape-recognition-friendly resolution of the same scene.
+    cnn_views = np.stack([
+        render_sign(c, size=32, rotation=np.deg2rad(r)) for c, r in scenes
+    ])
+    qualifier_views = np.stack([
+        render_sign(c, size=128, rotation=np.deg2rad(r)) for c, r in scenes
+    ])
+
     print("\nhybrid inference (CNN at 32px + qualifier at 128px):")
-    for class_index, rotation in [(0, 5.0), (0, -10.0), (1, 0.0), (4, 0.0)]:
-        # The CNN sees its training resolution; the qualifier sees a
-        # shape-recognition-friendly resolution of the same scene.
-        cnn_view = render_sign(
-            class_index, size=32, rotation=np.deg2rad(rotation)
-        )
-        qualifier_view = render_sign(
-            class_index, size=128, rotation=np.deg2rad(rotation)
-        )
-        logits = trained.model.forward(cnn_view[None])
-        verdict = qualifier.check(qualifier_view)
-        predicted, decision = hybrid.result_block.combine(
-            _softmax(logits[0]), verdict
-        )
+    for (class_index, _), cnn_view, qualifier_view in zip(
+        scenes, cnn_views, qualifier_views
+    ):
+        result = pipeline.infer(cnn_view, qualifier_view=qualifier_view)
+        verdict = result.verdict
         print(
             f"  true={names[class_index]:<16} "
-            f"predicted={names[predicted]:<16} "
+            f"predicted={names[result.predicted_class]:<16} "
             f"qualifier={'octagon' if verdict.matches else 'no-octagon':<10} "
-            f"decision={decision.value}"
+            f"decision={result.decision.value}"
         )
 
-
-def _softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max()
-    exp = np.exp(shifted)
-    return exp / exp.sum()
+    batch = pipeline.infer_batch(cnn_views, qualifier_views=qualifier_views)
+    print("\nthe same scenes as one vectorised batch:")
+    print(batch.summary())
 
 
 if __name__ == "__main__":

@@ -17,32 +17,36 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import IntegratedHybridCNN, ShapeQualifier
+from repro.api import PipelineConfig, build_pipeline
 from repro.data import STOP_CLASS_INDEX, class_names, render_sign
 from repro.models import alexnet_scaled
-from repro.vision.filters import sobel_axis_stack
 from repro.workflows.shape_series import ascii_plot
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
     model = alexnet_scaled(n_classes=8, input_size=128, rng=rng)
-    conv1 = model.layer("conv1")
-    conv1.set_filter(0, sobel_axis_stack("x", conv1.kernel_size, 3))
-    conv1.set_filter(1, sobel_axis_stack("y", conv1.kernel_size, 3))
     print(model.summary((3, 128, 128)))
 
-    qualifier = ShapeQualifier()
-    hybrid = IntegratedHybridCNN(
-        model, qualifier, safety_class=STOP_CLASS_INDEX
+    # pin_sobel installs the Sobel-x/-y stacks into the partition's
+    # dependable filters -- the paper's Section III.B determination.
+    pipeline = build_pipeline(
+        PipelineConfig(
+            architecture="integrated",
+            safety_class=STOP_CLASS_INDEX,
+            pin_sobel=True,
+            name="stop-sign-pipeline",
+        ),
+        model,
     )
+    qualifier = pipeline.qualifier
 
     for class_index, label in [(0, "stop"), (1, "speed_limit_50")]:
         print(f"\n=== {label} ===")
         image = render_sign(
             class_index, size=128, rotation=np.deg2rad(6)
         )
-        result = hybrid.infer(image)
+        result = pipeline.infer(image)
         report = result.reliable_report
         print(f"reliable DMR ops executed: {report.operations:,} "
               f"(errors detected: {report.errors_detected})")

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 tests plus the quickstart example, each under a
+# timeout.  Intended as the minimal pre-merge gate:
+#
+#   scripts/smoke.sh            # ~2-3 minutes
+#   SMOKE_TEST_TIMEOUT=1200 scripts/smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+TEST_TIMEOUT="${SMOKE_TEST_TIMEOUT:-600}"
+EXAMPLE_TIMEOUT="${SMOKE_EXAMPLE_TIMEOUT:-300}"
+
+echo "== tier-1 tests (timeout ${TEST_TIMEOUT}s) =="
+timeout "${TEST_TIMEOUT}" python -m pytest -x -q -m "not slow"
+
+echo "== examples/quickstart.py (timeout ${EXAMPLE_TIMEOUT}s) =="
+timeout "${EXAMPLE_TIMEOUT}" python examples/quickstart.py
+
+echo "smoke: OK"

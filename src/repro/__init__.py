@@ -3,6 +3,13 @@ Reliability Guarantee* (Doran & Veljanovska, DSN 2024).
 
 Subpackages
 -----------
+``repro.api``
+    The unified pipeline layer and canonical entry point:
+    config-driven construction (``PipelineConfig`` ->
+    ``build_pipeline``), string-keyed registries for architectures,
+    qualifiers, operators and baselines, and the batch-first
+    ``HybridPipeline`` facade (``infer`` / ``infer_batch`` /
+    ``infer_stream``).  See ``docs/api-reference.md``.
 ``repro.core``
     The paper's contribution: the hybrid CNN (reliable + non-reliable
     execution paths), the SAX shape qualifier and the reliable-result

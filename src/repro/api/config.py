@@ -1,0 +1,219 @@
+"""Declarative configuration for the hybrid pipeline.
+
+Three dataclasses describe everything :func:`repro.api.build_pipeline`
+needs beyond trained weights: which architecture, which qualifier,
+which reliable partition.  All of them validate eagerly in
+``__post_init__`` and round-trip losslessly through
+``to_dict``/``from_dict`` so a pipeline's wiring can live in JSON next
+to its weights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.core.partition import HybridPartition
+
+#: Index of the synthetic dataset's "Stop" sign -- the paper's
+#: safety-critical class (see :data:`repro.data.STOP_CLASS_INDEX`).
+DEFAULT_SAFETY_CLASS = 0
+
+
+class Architecture(str, enum.Enum):
+    """The two hybrid shapes of the paper (Figures 1 and 2).
+
+    The enum names the built-ins; the :data:`~repro.api.ARCHITECTURES`
+    registry accepts additional keys beyond these.
+    """
+
+    PARALLEL = "parallel"
+    INTEGRATED = "integrated"
+
+
+class Redundancy(str, enum.Enum):
+    """Redundant-execution flavours of the reliable partition."""
+
+    DMR = "dmr"
+    TMR = "tmr"
+
+
+def _check_no_unknown_keys(cls, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__}: unknown keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class QualifierConfig:
+    """How to build the dependable shape qualifier.
+
+    ``kind`` selects a builder from :data:`repro.api.QUALIFIERS`
+    (``"shape"`` is the built-in SAX octagon detector); the remaining
+    fields mirror :class:`repro.core.qualifier.ShapeQualifier`.
+    """
+
+    kind: str = "shape"
+    shape: str = "octagon"
+    word_length: int = 32
+    alphabet_size: int = 8
+    threshold: float = 3.0
+    redundant: bool = True
+    edge_threshold: float | None = None
+    n_samples: int = 128
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("qualifier kind must be non-empty")
+        if self.word_length <= 0:
+            raise ValueError("word_length must be positive")
+        if self.alphabet_size < 2:
+            raise ValueError("alphabet_size must be at least 2")
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.n_samples < self.word_length:
+            raise ValueError(
+                "n_samples must be at least word_length "
+                f"({self.n_samples} < {self.word_length})"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> QualifierConfig:
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True, kw_only=True)
+class PartitionConfig:
+    """Which filters execute reliably (integrated hybrid only).
+
+    A serialisable twin of :class:`repro.core.partition.HybridPartition`
+    -- same defaults (Sobel-x/-y of ``conv1`` under DMR), same
+    validation, plus dict round-tripping.  :meth:`to_partition`
+    produces the core object.
+    """
+
+    reliable_filters: dict[str, tuple[int, ...]] = field(
+        default_factory=lambda: {"conv1": (0, 1)}
+    )
+    bifurcation_layer: str = "conv1"
+    redundancy: str = Redundancy.DMR.value
+
+    def __post_init__(self) -> None:
+        # Normalise JSON-style lists to tuples so equality (and thus
+        # from_dict(to_dict(c)) == c) holds regardless of source.
+        object.__setattr__(
+            self,
+            "reliable_filters",
+            {
+                name: tuple(int(f) for f in filters)
+                for name, filters in self.reliable_filters.items()
+            },
+        )
+        if isinstance(self.redundancy, Redundancy):
+            object.__setattr__(self, "redundancy", self.redundancy.value)
+        # Reuse the core validation rules by constructing the twin.
+        self.to_partition()
+
+    def to_partition(self) -> HybridPartition:
+        return HybridPartition(
+            reliable_filters=dict(self.reliable_filters),
+            bifurcation_layer=self.bifurcation_layer,
+            redundancy=self.redundancy,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "reliable_filters": {
+                name: list(filters)
+                for name, filters in self.reliable_filters.items()
+            },
+            "bifurcation_layer": self.bifurcation_layer,
+            "redundancy": self.redundancy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> PartitionConfig:
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True, kw_only=True)
+class PipelineConfig:
+    """Everything :func:`repro.api.build_pipeline` needs to wire a
+    hybrid around a trained model.
+
+    Attributes
+    ----------
+    architecture:
+        Key into :data:`repro.api.ARCHITECTURES` -- ``"parallel"``
+        (Figure 1), ``"integrated"`` (Figure 2), or any registered
+        extension.  :class:`Architecture` members are accepted and
+        stored as their string value.
+    safety_class:
+        Class index the reliable-result block qualifies.
+    qualifier:
+        The dependable block's configuration.
+    partition:
+        Reliable/non-reliable split; only meaningful for architectures
+        with an in-network dependable path.  ``None`` means the
+        architecture's default (the paper's conv1 Sobel pair).
+    pin_sobel:
+        When True the factory pins Sobel-x/-y stacks into the first
+        two reliable filters of the bifurcation layer (or ``conv1``),
+        the paper's Section III.B pre-initialisation.
+    name:
+        Display name carried through to results and summaries.
+    """
+
+    architecture: str = Architecture.PARALLEL.value
+    safety_class: int = DEFAULT_SAFETY_CLASS
+    qualifier: QualifierConfig = field(default_factory=QualifierConfig)
+    partition: PartitionConfig | None = None
+    pin_sobel: bool = False
+    name: str = "hybrid-pipeline"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.architecture, Architecture):
+            object.__setattr__(
+                self, "architecture", self.architecture.value
+            )
+        if not self.architecture:
+            raise ValueError("architecture must be non-empty")
+        if self.safety_class < 0:
+            raise ValueError("safety_class must be non-negative")
+        if not isinstance(self.qualifier, QualifierConfig):
+            raise TypeError("qualifier must be a QualifierConfig")
+        if self.partition is not None and not isinstance(
+            self.partition, PartitionConfig
+        ):
+            raise TypeError("partition must be a PartitionConfig or None")
+
+    def to_dict(self) -> dict:
+        return {
+            "architecture": self.architecture,
+            "safety_class": self.safety_class,
+            "qualifier": self.qualifier.to_dict(),
+            "partition": (
+                None if self.partition is None else self.partition.to_dict()
+            ),
+            "pin_sobel": self.pin_sobel,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> PipelineConfig:
+        _check_no_unknown_keys(cls, data)
+        data = dict(data)
+        if "qualifier" in data and isinstance(data["qualifier"], dict):
+            data["qualifier"] = QualifierConfig.from_dict(data["qualifier"])
+        if "partition" in data and isinstance(data["partition"], dict):
+            data["partition"] = PartitionConfig.from_dict(data["partition"])
+        return cls(**data)

@@ -1,0 +1,308 @@
+"""The :class:`HybridPipeline` facade and config-driven factory.
+
+This module is the canonical entry point for hybrid inference:
+
+>>> from repro.api import PipelineConfig, build_pipeline
+>>> pipeline = build_pipeline(PipelineConfig(architecture="integrated"),
+...                           model)
+>>> batch = pipeline.infer_batch(images)
+>>> batch.decision_counts
+{'confirmed': 30, 'rejected_by_qualifier': 2, ...}
+
+Construction is driven entirely by :class:`~repro.api.config.
+PipelineConfig`; the architecture, qualifier, operator and baseline
+axes resolve through the registries in :mod:`repro.api.registry`, so
+new scenarios extend the system without touching ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.api.config import (
+    Architecture,
+    PartitionConfig,
+    PipelineConfig,
+    QualifierConfig,
+)
+from repro.api.registry import ARCHITECTURES, BASELINES, OPERATORS, QUALIFIERS
+from repro.api.results import BatchResult
+from repro.core.hybrid import (
+    HybridResult,
+    IntegratedHybridCNN,
+    ParallelHybridCNN,
+)
+from repro.core.qualifier import ShapeQualifier
+from repro.nn.layers.conv import Conv2D
+from repro.nn.network import Sequential
+from repro.reliable.operators import Operator
+from repro.vision.filters import sobel_axis_stack
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+
+@QUALIFIERS.register("shape")
+def _build_shape_qualifier(config: QualifierConfig) -> ShapeQualifier:
+    return ShapeQualifier(
+        shape=config.shape,
+        word_length=config.word_length,
+        alphabet_size=config.alphabet_size,
+        threshold=config.threshold,
+        redundant=config.redundant,
+        edge_threshold=config.edge_threshold,
+        n_samples=config.n_samples,
+    )
+
+
+@ARCHITECTURES.register("parallel")
+def _build_parallel(
+    model: Sequential, qualifier, config: PipelineConfig
+) -> ParallelHybridCNN:
+    return ParallelHybridCNN(model, qualifier, config.safety_class)
+
+
+@ARCHITECTURES.register("integrated")
+def _build_integrated(
+    model: Sequential, qualifier, config: PipelineConfig
+) -> IntegratedHybridCNN:
+    partition = (config.partition or PartitionConfig()).to_partition()
+    return IntegratedHybridCNN(
+        model, qualifier, config.safety_class, partition
+    )
+
+
+# ---------------------------------------------------------------------------
+# Component factories
+# ---------------------------------------------------------------------------
+
+
+def build_qualifier(config: QualifierConfig):
+    """Instantiate the qualifier a config describes (via the
+    :data:`~repro.api.registry.QUALIFIERS` registry)."""
+    return QUALIFIERS.get(config.kind)(config)
+
+
+def build_operator(kind: str, unit=None) -> Operator:
+    """Instantiate a redundancy operator by registry key."""
+    return OPERATORS.get(kind)(unit)
+
+
+def build_baseline(name: str, model: Sequential, **kwargs):
+    """Instantiate a protection baseline (``"ranger"``, ``"caging"``,
+    or any registered extension) around ``model``."""
+    return BASELINES.get(name)(model, **kwargs)
+
+
+def _pin_sobel_filters(model: Sequential, config: PipelineConfig) -> None:
+    """Pin Sobel-x/-y into the first two reliable filters."""
+    # Pinning mutates the trained conv1 in place, so it is only
+    # meaningful for architectures whose in-network dependable
+    # partition consumes the pinned filters.  "parallel" qualifies the
+    # raw image and never reads the partition -- pinning there would
+    # silently degrade the classifier for nothing.
+    if config.architecture == Architecture.PARALLEL.value:
+        raise ValueError(
+            "pin_sobel is meaningless for the 'parallel' architecture: "
+            "its qualifier runs on the raw image, so pinning would only "
+            "overwrite trained filters"
+        )
+    if (
+        config.partition is None
+        and config.architecture != Architecture.INTEGRATED.value
+    ):
+        raise ValueError(
+            f"pin_sobel with architecture {config.architecture!r} "
+            "requires an explicit partition: only an in-network "
+            "dependable partition consumes pinned filters"
+        )
+    layer_name = (
+        config.partition.bifurcation_layer if config.partition else "conv1"
+    )
+    layer = model.layer(layer_name)
+    if not isinstance(layer, Conv2D):
+        raise TypeError(
+            f"pin_sobel requires a Conv2D at {layer_name!r}, "
+            f"got {type(layer).__name__}"
+        )
+    filters = (
+        config.partition.reliable_filters[layer_name]
+        if config.partition
+        else (0, 1)
+    )
+    if len(filters) < 2:
+        # A single directional filter leaves gaps in contours parallel
+        # to its direction (see ShapeQualifier.check_feature_map);
+        # silently pinning only Sobel-x would degrade the qualifier
+        # while the config reads as the paper's x/y pair.
+        raise ValueError(
+            "pin_sobel needs at least two reliable filters on "
+            f"{layer_name!r} (one per Sobel axis); the partition "
+            f"lists {filters}"
+        )
+    for index, axis in zip(filters[:2], ("x", "y")):
+        layer.set_filter(
+            index,
+            sobel_axis_stack(axis, layer.kernel_size, layer.in_channels),
+        )
+
+
+def build_pipeline(
+    config: PipelineConfig, model: Sequential
+) -> HybridPipeline:
+    """Wire a :class:`HybridPipeline` around a trained model.
+
+    The config supplies everything but the weights: the architecture
+    builder comes from :data:`~repro.api.registry.ARCHITECTURES`, the
+    qualifier from :data:`~repro.api.registry.QUALIFIERS`, and
+    ``pin_sobel=True`` applies the paper's Sobel pre-initialisation to
+    the dependable filters before the hybrid is assembled.
+    """
+    if not isinstance(config, PipelineConfig):
+        raise TypeError(
+            f"expected a PipelineConfig, got {type(config).__name__}"
+        )
+    if config.pin_sobel:
+        _pin_sobel_filters(model, config)
+    qualifier = build_qualifier(config.qualifier)
+    hybrid = ARCHITECTURES.get(config.architecture)(
+        model, qualifier, config
+    )
+    return HybridPipeline(hybrid, config)
+
+
+# ---------------------------------------------------------------------------
+# The facade
+# ---------------------------------------------------------------------------
+
+
+class HybridPipeline:
+    """Batch-first facade over a constructed hybrid.
+
+    Wraps whichever architecture the config selected behind three
+    uniform entry points -- :meth:`infer`, :meth:`infer_batch` and
+    :meth:`infer_stream` -- and decorates batched runs with the
+    aggregates of :class:`~repro.api.results.BatchResult`.
+
+    Attributes
+    ----------
+    hybrid:
+        The underlying architecture object (e.g.
+        :class:`~repro.core.hybrid.ParallelHybridCNN`); exposed for
+        callers that need architecture-specific hooks such as fault
+        injection into the reliable executor.
+    config:
+        The :class:`~repro.api.config.PipelineConfig` it was built
+        from.
+    """
+
+    def __init__(self, hybrid, config: PipelineConfig) -> None:
+        self.hybrid = hybrid
+        self.config = config
+
+    # -- delegated component access --------------------------------------
+    @property
+    def model(self) -> Sequential:
+        return self.hybrid.model
+
+    @property
+    def qualifier(self):
+        return self.hybrid.qualifier
+
+    @property
+    def safety_class(self) -> int:
+        # From the config, not the hybrid's internals: custom
+        # registered architectures need not expose a result_block.
+        return self.config.safety_class
+
+    @property
+    def supports_qualifier_views(self) -> bool:
+        """True when the architecture qualifies a separate view of the
+        scene (its ``infer`` accepts ``qualifier_view``); integrated
+        hybrids qualify the bifurcated feature map instead.  Probed by
+        capability, not by type, so registered custom architectures
+        participate.
+        """
+        try:
+            parameters = inspect.signature(self.hybrid.infer).parameters
+        except (TypeError, ValueError):
+            return False
+        return "qualifier_view" in parameters
+
+    # -- inference -------------------------------------------------------
+    def infer(
+        self,
+        image: np.ndarray,
+        qualifier_view: np.ndarray | None = None,
+    ) -> HybridResult:
+        """Classify one ``(3, h, w)`` image."""
+        if qualifier_view is not None:
+            self._require_view_support()
+            return self.hybrid.infer(image, qualifier_view=qualifier_view)
+        return self.hybrid.infer(image)
+
+    def infer_batch(
+        self,
+        images: np.ndarray,
+        qualifier_views: np.ndarray | None = None,
+    ) -> BatchResult:
+        """Classify ``(n, 3, h, w)`` images in one vectorised pass.
+
+        The CNN half of the work runs as a single batched
+        :meth:`~repro.nn.network.Sequential.forward`; probabilities
+        and decisions are bitwise identical to n :meth:`infer` calls
+        (see ``benchmarks/test_batch_inference.py``).
+        """
+        start = time.perf_counter()
+        if qualifier_views is not None:
+            self._require_view_support()
+            results = self.hybrid.infer_batch(
+                images, qualifier_views=qualifier_views
+            )
+        else:
+            results = self.hybrid.infer_batch(images)
+        return BatchResult(
+            results, elapsed_seconds=time.perf_counter() - start
+        )
+
+    def infer_stream(
+        self,
+        images: Iterable[np.ndarray],
+        batch_size: int = 32,
+    ) -> Iterator[HybridResult]:
+        """Lazily classify an image stream in ``batch_size`` chunks.
+
+        Yields one :class:`~repro.core.hybrid.HybridResult` per image,
+        in order, while only ever materialising ``batch_size`` images
+        -- the serving shape for an unbounded camera feed.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        chunk: list[np.ndarray] = []
+        for image in images:
+            chunk.append(np.asarray(image, dtype=np.float32))
+            if len(chunk) == batch_size:
+                yield from self.hybrid.infer_batch(np.stack(chunk))
+                chunk = []
+        if chunk:
+            yield from self.hybrid.infer_batch(np.stack(chunk))
+
+    def _require_view_support(self) -> None:
+        if not self.supports_qualifier_views:
+            raise ValueError(
+                f"architecture {self.config.architecture!r} qualifies "
+                "the bifurcated feature map; it does not accept a "
+                "separate qualifier view"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridPipeline({self.config.name!r}, "
+            f"architecture={self.config.architecture!r}, "
+            f"safety_class={self.safety_class})"
+        )

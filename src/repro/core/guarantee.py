@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.partition import HybridPartition
 from repro.nn.network import Sequential
+from repro.reliable.operators import operator_masks
 
 
 def plain_sdc_probability(p: float, n_ops: int) -> float:
@@ -210,10 +211,22 @@ class ReliabilityGuarantee:
         comparison, leaving the collision residual.
         """
         n = self.reliable_ops()
-        if self.partition.redundancy == "tmr":
+        masks = operator_masks(self.partition.redundancy)
+        copies = self.partition.redundancy_multiplier()
+        if masks and copies == 3:
             return tmr_residual_risk(self.fault_probability, n,
                                      self.collision)
-        return dmr_residual_risk(self.fault_probability, n, self.collision)
+        if not masks and copies == 2:
+            return dmr_residual_risk(self.fault_probability, n,
+                                     self.collision)
+        # A custom operator kind the analytic model has no formula
+        # for: refuse loudly rather than publish wrong numbers.
+        raise NotImplementedError(
+            f"no analytic residual-risk model for operator kind "
+            f"{self.partition.redundancy!r} ({copies} copies, "
+            f"masks_faults={masks}); only 2-copy detection (dmr) and "
+            "3-copy voting (tmr) are modelled"
+        )
 
     def availability_loss(self) -> float:
         """P(the reliable path aborts on transients) per inference."""

@@ -20,6 +20,7 @@ Both produce a :class:`HybridResult` via the same
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,8 +28,35 @@ import numpy as np
 from repro.core.partition import HybridPartition
 from repro.core.qualifier import QualifierVerdict, ShapeQualifier
 from repro.nn.layers.activations import softmax
+from repro.nn.layers.dense import Dense
 from repro.nn.network import Sequential
 from repro.reliable.executor import ExecutionReport, ReliableConv2D
+
+
+@contextmanager
+def _batch_invariant_inference(model: Sequential):
+    """Run the model's Dense layers in batch-size-invariant mode.
+
+    A model serving a hybrid must produce bitwise-identical outputs
+    whether images arrive one at a time or batched (``infer`` vs
+    ``infer_batch``); Dense is the one layer whose naive batched GEMM
+    breaks that.  At n=1 the invariant form equals the blocked GEMM
+    bitwise, so entering this context never changes single-image
+    results.  Scoped to each inference call -- the model object may be
+    shared with baselines, calibration or training, which keep the
+    blocked GEMM outside hybrid inference.
+    """
+    dense_layers = [
+        layer for layer in model if isinstance(layer, Dense)
+    ]
+    previous = [layer.batch_invariant for layer in dense_layers]
+    for layer in dense_layers:
+        layer.batch_invariant = True
+    try:
+        yield
+    finally:
+        for layer, value in zip(dense_layers, previous):
+            layer.batch_invariant = value
 
 
 class Decision(enum.Enum):
@@ -136,15 +164,76 @@ class ParallelHybridCNN:
         self.qualifier = qualifier
         self.result_block = ReliableResultBlock(safety_class)
 
-    def infer(self, image: np.ndarray) -> HybridResult:
-        """Classify one ``(3, h, w)`` image with qualification."""
-        logits = self.model.forward(image[None])
+    def infer(
+        self,
+        image: np.ndarray,
+        qualifier_view: np.ndarray | None = None,
+    ) -> HybridResult:
+        """Classify one ``(3, h, w)`` image with qualification.
+
+        ``qualifier_view`` optionally gives the qualifier a different
+        rendering of the same scene (e.g. the CNN at its 32px training
+        resolution, the shape detector at 128px); by default the
+        qualifier sees ``image`` itself.
+        """
+        # Cast exactly like infer_batch so single and batched calls
+        # feed the qualifier identical pixels (the model casts to
+        # float32 internally either way).
+        image = np.asarray(image, dtype=np.float32)
+        with _batch_invariant_inference(self.model):
+            logits = self.model.forward(image[None])
         probabilities = softmax(logits)[0]
-        verdict = self.qualifier.check(image)
+        verdict = self.qualifier.check(
+            image if qualifier_view is None
+            else np.asarray(qualifier_view, dtype=np.float32)
+        )
         predicted, decision = self.result_block.combine(
             probabilities, verdict
         )
         return HybridResult(probabilities, predicted, verdict, decision)
+
+    def infer_batch(
+        self,
+        images: np.ndarray,
+        qualifier_views: np.ndarray | None = None,
+    ) -> list[HybridResult]:
+        """Classify ``(n, 3, h, w)`` images in one vectorised pass.
+
+        The CNN half runs as a single batched
+        :meth:`~repro.nn.network.Sequential.forward` instead of n
+        per-image passes; the qualifier (contour tracing and SAX
+        encoding are inherently per-shape) still runs per image.
+        Probabilities and decisions are bitwise identical to n
+        :meth:`infer` calls -- every layer's batched arithmetic is
+        per-sample shape-stable (see
+        :class:`repro.nn.layers.dense.Dense`).
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if qualifier_views is not None and len(qualifier_views) != len(
+            images
+        ):
+            raise ValueError(
+                f"{len(images)} images but {len(qualifier_views)} "
+                "qualifier views; each image needs exactly one view"
+            )
+        if len(images) == 0:
+            return []
+        with _batch_invariant_inference(self.model):
+            logits = self.model.forward(images)
+        probabilities = softmax(logits)
+        results = []
+        for i in range(len(images)):
+            verdict = self.qualifier.check(
+                images[i] if qualifier_views is None
+                else np.asarray(qualifier_views[i], dtype=np.float32)
+            )
+            predicted, decision = self.result_block.combine(
+                probabilities[i], verdict
+            )
+            results.append(
+                HybridResult(probabilities[i], predicted, verdict, decision)
+            )
+        return results
 
 
 class IntegratedHybridCNN:
@@ -200,7 +289,35 @@ class IntegratedHybridCNN:
 
     def infer(self, image: np.ndarray) -> HybridResult:
         """Classify one ``(3, h, w)`` image through the hybrid path."""
-        x = image[None]
+        return self._infer_stack(
+            np.asarray(image, dtype=np.float32)[None]
+        )[0]
+
+    def infer_batch(self, images: np.ndarray) -> list[HybridResult]:
+        """Classify ``(n, 3, h, w)`` images in one vectorised pass.
+
+        The shared prefix, the reliable partition
+        (:class:`~repro.reliable.executor.ReliableConv2D` is already
+        batch-aware) and the non-reliable remainder each run once on
+        the whole batch; only the per-shape qualifier stays a
+        per-image loop.  Probabilities and decisions are bitwise
+        identical to n :meth:`infer` calls; the reliable executor
+        allocates its leaky bucket per image, so even abort points
+        match single-image inference.  The one shared artefact is the
+        :class:`~repro.reliable.executor.ExecutionReport`: every
+        result of the batch carries the same aggregate report, and
+        per-image failure attribution comes from
+        ``report.failed_outputs``.
+        """
+        return self._infer_stack(np.asarray(images, dtype=np.float32))
+
+    def _infer_stack(self, x: np.ndarray) -> list[HybridResult]:
+        if len(x) == 0:
+            return []
+        with _batch_invariant_inference(self.model):
+            return self._infer_stack_invariant(x)
+
+    def _infer_stack_invariant(self, x: np.ndarray) -> list[HybridResult]:
         # Shared prefix up to the bifurcation layer (usually empty:
         # conv1 is the first layer).
         x = self.model.forward_until(x, self._bif_index)
@@ -210,21 +327,26 @@ class IntegratedHybridCNN:
         features, report = self._reliable_conv.forward(
             x, filters=reliable_filters
         )
-        # Bifurcation: reliable maps to the qualifier...
-        reliable_map = features[0, reliable_filters]
-        if report.persistent_failures:
-            verdict = QualifierVerdict(
-                False, float("inf"), "", reliable=False
-            )
-        else:
-            verdict = self.qualifier.check_feature_map(reliable_map)
-        # ... and the full stack onward through the CNN.
+        # Images whose dependable arithmetic aborted persistently:
+        # their verdict is unavailable, never computed from NaN maps.
+        failed_images = {pos[0] for pos in report.failed_outputs}
+        # The full stack continues onward through the CNN...
         logits = self.model.forward_from(features, self._bif_index + 1)
-        probabilities = softmax(logits)[0]
-        predicted, decision = self.result_block.combine(
-            probabilities, verdict
-        )
-        return HybridResult(
-            probabilities, predicted, verdict, decision,
-            reliable_report=report,
-        )
+        probabilities = softmax(logits)
+        results = []
+        for i in range(len(features)):
+            # ... while each reliable map bifurcates to the qualifier.
+            if i in failed_images:
+                verdict = QualifierVerdict.unavailable()
+            else:
+                verdict = self.qualifier.check_feature_map(
+                    features[i, reliable_filters]
+                )
+            predicted, decision = self.result_block.combine(
+                probabilities[i], verdict
+            )
+            results.append(HybridResult(
+                probabilities[i], predicted, verdict, decision,
+                reliable_report=report,
+            ))
+        return results

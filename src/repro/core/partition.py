@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.nn.layers.conv import Conv2D
 from repro.nn.network import Sequential
+from repro.reliable.operators import operator_kinds, operator_multiplier
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,10 @@ class HybridPartition:
         qualifier path (Figure 2).  Must be a key of
         ``reliable_filters``.
     redundancy:
-        Operator kind for the reliable portion: ``"dmr"`` or ``"tmr"``.
+        Operator kind for the reliable portion: ``"dmr"``, ``"tmr"``,
+        or any kind registered with
+        :func:`repro.reliable.operators.register_operator` (e.g. via
+        the ``repro.api.OPERATORS`` registry).
     """
 
     reliable_filters: dict[str, tuple[int, ...]] = field(
@@ -51,8 +55,21 @@ class HybridPartition:
                 f"bifurcation layer {self.bifurcation_layer!r} has no "
                 "reliable filters configured"
             )
-        if self.redundancy not in ("dmr", "tmr"):
-            raise ValueError("redundancy must be 'dmr' or 'tmr'")
+        if self.redundancy not in operator_kinds():
+            raise ValueError(
+                f"redundancy must be a registered operator kind "
+                f"({operator_kinds()}), got {self.redundancy!r}"
+            )
+        if operator_multiplier(self.redundancy) < 2:
+            # A single-execution operator (e.g. "plain") qualifies its
+            # own result by assumption; a partition built on it would
+            # certify verdicts with zero fault detection.  The
+            # dependable CNN must actually be redundant.
+            raise ValueError(
+                f"redundancy {self.redundancy!r} executes only once per "
+                "operation; the reliable partition requires a redundant "
+                "operator (executions_per_op >= 2)"
+            )
         for name, filters in self.reliable_filters.items():
             if len(filters) == 0:
                 raise ValueError(f"empty filter set for layer {name!r}")
@@ -92,5 +109,6 @@ class HybridPartition:
         return total
 
     def redundancy_multiplier(self) -> int:
-        """Executions per qualified operation for the chosen redundancy."""
-        return {"dmr": 2, "tmr": 3}[self.redundancy]
+        """Executions per qualified operation for the chosen redundancy
+        (the registered operator class's ``executions_per_op``)."""
+        return operator_multiplier(self.redundancy)

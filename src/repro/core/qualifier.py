@@ -109,9 +109,16 @@ def octagon_template_word(encoder: SaxEncoder | None = None) -> str:
     return shape_template_word("octagon", encoder)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class QualifierVerdict:
     """Outcome of one qualifier evaluation.
+
+    Construction is keyword-only so call sites read as statements of
+    intent (``QualifierVerdict(matches=False, reliable=False)``)
+    rather than positional puzzles; the defaults describe the null
+    verdict "nothing matched, but the dependable path itself worked".
+    :meth:`unavailable` names the one other state that call sites
+    build by hand.
 
     Attributes
     ----------
@@ -131,13 +138,23 @@ class QualifierVerdict:
         and the verdict must be treated as unavailable.
     """
 
-    matches: bool
-    distance: float
-    word: str
+    matches: bool = False
+    distance: float = float("inf")
+    word: str = ""
     reliable: bool = True
 
     def __bool__(self) -> bool:
         return self.matches and self.reliable
+
+    @classmethod
+    def unavailable(cls) -> QualifierVerdict:
+        """The dependable path itself failed: no verdict is available.
+
+        The hybrid must treat the safety class as unconfirmed (see
+        :class:`repro.core.hybrid.Decision.QUALIFIER_UNAVAILABLE`).
+        """
+        return cls(matches=False, distance=float("inf"), word="",
+                   reliable=False)
 
 
 class ShapeQualifier:
@@ -228,7 +245,8 @@ class ShapeQualifier:
         """
         if not self.redundant:
             matches, distance, word = self._evaluate_once(image)
-            return QualifierVerdict(matches, distance, word)
+            return QualifierVerdict(matches=matches, distance=distance,
+                                word=word)
 
         def compute() -> tuple[bool, float, str]:
             return self._evaluate_once(image)
@@ -243,8 +261,9 @@ class ShapeQualifier:
         try:
             matches, distance, word = segment.run()
         except Exception:
-            return QualifierVerdict(False, float("inf"), "", reliable=False)
-        return QualifierVerdict(matches, distance, word)
+            return QualifierVerdict.unavailable()
+        return QualifierVerdict(matches=matches, distance=distance,
+                                word=word)
 
     def check_feature_map(self, feature_map: np.ndarray) -> QualifierVerdict:
         """Qualifier over already-computed (reliable) edge responses.
@@ -276,7 +295,7 @@ class ShapeQualifier:
             feature_map = np.abs(feature_map)
         peak = float(feature_map.max())
         if peak <= 0.0:
-            return QualifierVerdict(False, float("inf"), "")
+            return QualifierVerdict()
         # Dilation reconnects ridge fragments that strided sampling
         # split; without it the largest component can be a tiny arc.
         mask = binary_dilate(feature_map >= 0.5 * peak)
@@ -295,7 +314,8 @@ class ShapeQualifier:
 
         if not self.redundant:
             matches, distance, word = evaluate()
-            return QualifierVerdict(matches, distance, word)
+            return QualifierVerdict(matches=matches, distance=distance,
+                                word=word)
         segment = CheckpointedSegment(
             evaluate, lambda r: r == evaluate(),
             RollbackPolicy(max_rollbacks=1),
@@ -304,5 +324,6 @@ class ShapeQualifier:
         try:
             matches, distance, word = segment.run()
         except Exception:
-            return QualifierVerdict(False, float("inf"), "", reliable=False)
-        return QualifierVerdict(matches, distance, word)
+            return QualifierVerdict.unavailable()
+        return QualifierVerdict(matches=matches, distance=distance,
+                                word=word)

@@ -17,6 +17,7 @@ reliability-annotation rules:
 from __future__ import annotations
 
 from repro.hybridir import schema
+from repro.reliable.operators import operator_kinds, operator_multiplier
 from repro.hybridir.schema import HybridGraph, LayerNode
 from repro.sax.breakpoints import MAX_ALPHABET
 
@@ -150,9 +151,19 @@ def validate_graph(graph: HybridGraph) -> None:
             raise ValidationError(
                 f"layer {layer_name!r}: duplicate filter indices"
             )
-    if annotation.redundancy not in ("dmr", "tmr"):
+    # Same rule as HybridPartition: any registered operator kind that
+    # actually executes redundantly (so graphs built from custom
+    # OPERATORS registrations round-trip through the IR).
+    if annotation.redundancy not in operator_kinds():
         raise ValidationError(
-            f"unknown redundancy {annotation.redundancy!r}"
+            f"unknown redundancy {annotation.redundancy!r}; "
+            f"registered kinds: {operator_kinds()}"
+        )
+    if operator_multiplier(annotation.redundancy) < 2:
+        raise ValidationError(
+            f"redundancy {annotation.redundancy!r} executes only once "
+            "per operation; the dependable partition requires a "
+            "redundant operator"
         )
 
     final_shape = shapes[-1]

@@ -62,8 +62,10 @@ class ReliableConv2D:
         A qualified operator instance, or a kind string accepted by
         :func:`repro.reliable.operators.make_operator`.
     bucket_factor, bucket_ceiling:
-        Leaky-bucket geometry; one bucket is shared across the whole
-        layer execution, like the paper's global error counter.
+        Leaky-bucket geometry; one bucket is shared across the layer
+        execution *of each image* (the paper's global error counter,
+        scoped to one inference), so batched execution aborts exactly
+        where per-image execution would.
     on_persistent_failure:
         ``"raise"`` (default) re-raises the abort; ``"mark"`` records
         the failed output position, writes NaN there and continues --
@@ -138,14 +140,19 @@ class ReliableConv2D:
             native = patches @ wmat[native_filters].T + bias[native_filters]
             out[:, native_filters] = native.transpose(0, 3, 1, 2)
 
-        bucket = LeakyBucket(
-            factor=self.bucket_factor, ceiling=self.bucket_ceiling
-        )
         stats = ConvolutionStats()
-        for f in sorted(reliable_set):
-            weights = wmat[f]
-            b = float(bias[f])
-            for img in range(n):
+        sorted_filters = sorted(reliable_set)
+        for img in range(n):
+            # One bucket per image: the error budget is an attribute
+            # of one inference, so a batched execution aborts exactly
+            # when the same image would abort on its own -- the
+            # batched hybrid path's parity contract depends on this.
+            bucket = LeakyBucket(
+                factor=self.bucket_factor, ceiling=self.bucket_ceiling
+            )
+            for f in sorted_filters:
+                weights = wmat[f]
+                b = float(bias[f])
                 for i in range(out_h):
                     for j in range(out_w):
                         try:

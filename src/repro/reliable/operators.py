@@ -22,6 +22,11 @@ class Operator:
     #: multiplications and a comparison").
     executions_per_op: int = 1
 
+    #: True when the operator *masks* single faults (voting) rather
+    #: than merely detecting them; selects the guarantee math in
+    #: :class:`repro.core.guarantee.ReliabilityGuarantee`.
+    masks_faults: bool = False
+
     def __init__(self, unit: ExecutionUnit | None = None) -> None:
         self.unit = unit or PerfectExecutionUnit()
 
@@ -84,6 +89,7 @@ class TMROperator(Operator):
     """
 
     executions_per_op = 3
+    masks_faults = True
 
     def _vote(self, results: list[float]) -> QualifiedValue:
         value, agreement = majority_vote(results)
@@ -104,13 +110,57 @@ _OPERATOR_KINDS = {
 }
 
 
-def make_operator(kind: str, unit: ExecutionUnit | None = None) -> Operator:
-    """Operator factory: ``"plain"``, ``"dmr"``/``"redundant"``, ``"tmr"``."""
+def register_operator(
+    kind: str, cls: type[Operator], *, overwrite: bool = False
+) -> None:
+    """Add an operator kind to the factory table.
+
+    Registered kinds become valid everywhere a kind string is
+    accepted: :func:`make_operator`,
+    :class:`~repro.reliable.executor.ReliableConv2D` and
+    :class:`repro.core.partition.HybridPartition.redundancy` (the
+    partition derives its redundancy multiplier from the class's
+    ``executions_per_op``).  The ``repro.api.OPERATORS`` registry
+    funnels into this table.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError("operator kind must be a non-empty string")
+    if kind in _OPERATOR_KINDS and not overwrite:
+        raise ValueError(
+            f"operator kind {kind!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    if not (isinstance(cls, type) and issubclass(cls, Operator)):
+        raise TypeError("operator class must subclass Operator")
+    _OPERATOR_KINDS[kind] = cls
+
+
+def operator_kinds() -> list[str]:
+    """All registered operator kind strings."""
+    return sorted(_OPERATOR_KINDS)
+
+
+def operator_multiplier(kind: str) -> int:
+    """Unit executions per qualified operation for a registered kind."""
+    return _operator_class(kind).executions_per_op
+
+
+def operator_masks(kind: str) -> bool:
+    """Whether a registered kind masks faults by voting (TMR-like)."""
+    return _operator_class(kind).masks_faults
+
+
+def _operator_class(kind: str) -> type[Operator]:
     try:
-        cls = _OPERATOR_KINDS[kind]
+        return _OPERATOR_KINDS[kind]
     except KeyError:
         raise ValueError(
             f"unknown operator kind {kind!r}; "
             f"choose from {sorted(_OPERATOR_KINDS)}"
         ) from None
-    return cls(unit)
+
+
+def make_operator(kind: str, unit: ExecutionUnit | None = None) -> Operator:
+    """Operator factory: ``"plain"``, ``"dmr"``/``"redundant"``,
+    ``"tmr"``, or any kind added via :func:`register_operator`."""
+    return _operator_class(kind)(unit)

@@ -50,9 +50,16 @@ def paa(series: np.ndarray, segments: int) -> np.ndarray:
         first = int(np.floor(start))
         last = int(np.ceil(end))
         total = 0.0
+        weight = 0.0
         for i in range(first, min(last, n)):
             overlap = min(end, i + 1) - max(start, i)
             if overlap > 0:
                 total += series[i] * overlap
-        out[seg] = total / frame
-    return out
+                weight += overlap
+        # Normalise by the accumulated weight (not the nominal frame
+        # length): the two differ by float rounding, and dividing by
+        # the nominal length can push a segment mean outside the input
+        # range.  Each mean is a convex combination of input samples,
+        # so clipping into the observed range removes only rounding.
+        out[seg] = total / weight
+    return np.clip(out, series.min(), series.max())

@@ -20,13 +20,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines import ActivationRangeGuard, OutputCage
-from repro.core import (
-    Decision,
-    HybridPartition,
-    IntegratedHybridCNN,
-    ShapeQualifier,
+from repro.api import (
+    PipelineConfig,
+    QualifierConfig,
+    build_baseline,
+    build_pipeline,
+    build_qualifier,
 )
+from repro.core import Decision
 from repro.data import STOP_CLASS_INDEX, render_sign
 from repro.faults.injector import FaultyExecutionUnit, flip_weight_bits
 from repro.faults.models import TransientFault
@@ -109,19 +110,22 @@ def run_hybrid_under_faults(
     rng = np.random.default_rng(seed)
     result = HybridFaultResult()
     image = render_sign(0, size=input_size, rotation=np.deg2rad(5))
+    config = PipelineConfig(
+        architecture="integrated",
+        safety_class=STOP_CLASS_INDEX,
+        name="hybrid-fault-study",
+    )
     for p in probabilities:
         model = _pinned_model(input_size, np.random.default_rng(seed))
-        hybrid = IntegratedHybridCNN(
-            model, ShapeQualifier(), STOP_CLASS_INDEX, HybridPartition()
-        )
+        pipeline = build_pipeline(config, model)
         unit = FaultyExecutionUnit(TransientFault(p, rng))
-        hybrid._reliable_conv = ReliableConv2D(
+        pipeline.hybrid._reliable_conv = ReliableConv2D(
             model.layer("conv1"),
             RedundantOperator(unit),
             bucket_ceiling=bucket_ceiling,
             on_persistent_failure="mark",
         )
-        outcome = hybrid.infer(image)
+        outcome = pipeline.infer(image)
         report = outcome.reliable_report
         result.rows.append(HybridFaultRow(
             fault_probability=p,
@@ -205,11 +209,11 @@ def run_baseline_comparison(
     model = trained_model.model
     rng = np.random.default_rng(seed)
 
-    guard = ActivationRangeGuard(model)
+    guard = build_baseline("ranger", model)
     guard.calibrate(trained_model.train_x[:128])
-    cage = OutputCage(model)
+    cage = build_baseline("caging", model)
     cage.calibrate(trained_model.train_x[:128])
-    qualifier = ShapeQualifier()
+    qualifier = build_qualifier(QualifierConfig())
 
     conv1 = model.layer("conv1")
     pristine = conv1.weight.value.copy()

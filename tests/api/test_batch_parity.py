@@ -1,0 +1,139 @@
+"""Batched-vs-single parity: ``infer_batch`` must be *bitwise*
+identical to per-image ``infer``.
+
+This is the contract that makes the batched hot path safe to deploy:
+a safety argument certified on single-image inference carries over to
+the batched server unchanged.  Covered for both architectures and
+under fault injection (recoverable transients in the dependable path,
+weight corruption in the non-reliable path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PipelineConfig, QualifierConfig, build_pipeline
+from repro.data import render_sign
+from repro.faults.injector import FaultyExecutionUnit, flip_weight_bits
+from repro.faults.models import TransientFault
+from repro.models import small_cnn
+from repro.reliable.executor import ReliableConv2D
+from repro.reliable.operators import RedundantOperator
+
+
+def assert_bitwise_parity(batch, singles):
+    assert len(batch) == len(singles)
+    for got, want in zip(batch, singles):
+        np.testing.assert_array_equal(got.probabilities, want.probabilities)
+        assert got.predicted_class == want.predicted_class
+        assert got.decision == want.decision
+        assert got.verdict.matches == want.verdict.matches
+        assert got.verdict.distance == want.verdict.distance
+        assert got.verdict.word == want.verdict.word
+        assert got.verdict.reliable == want.verdict.reliable
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.stack([
+        render_sign(i % 8, size=32, rotation=np.deg2rad(3 * i))
+        for i in range(8)
+    ])
+
+
+class TestParallelParity:
+    def test_batch_matches_singles(self, images):
+        pipeline = build_pipeline(
+            PipelineConfig(architecture="parallel"),
+            small_cnn(32, 8, conv1_filters=8),
+        )
+        batch = pipeline.infer_batch(images)
+        singles = [pipeline.infer(image) for image in images]
+        assert_bitwise_parity(batch, singles)
+
+    def test_batch_matches_singles_with_views(self, images):
+        pipeline = build_pipeline(
+            PipelineConfig(architecture="parallel"),
+            small_cnn(32, 8, conv1_filters=8),
+        )
+        views = np.stack([
+            render_sign(i % 8, size=128, rotation=np.deg2rad(3 * i))
+            for i in range(len(images))
+        ])
+        batch = pipeline.infer_batch(images, qualifier_views=views)
+        singles = [
+            pipeline.infer(image, qualifier_view=view)
+            for image, view in zip(images, views)
+        ]
+        assert_bitwise_parity(batch, singles)
+
+    def test_parity_under_weight_corruption(self, images, rng):
+        """Exponent-bit flips drive activations to extreme values
+        (inf/NaN included); batched and single inference must corrupt
+        identically."""
+        model = small_cnn(32, 8, conv1_filters=8)
+        flip_weight_bits(model.layer("conv1"), 40, rng, bit_range=(23, 31))
+        pipeline = build_pipeline(
+            PipelineConfig(architecture="parallel"), model
+        )
+        with np.errstate(over="ignore", invalid="ignore"):
+            batch = pipeline.infer_batch(images)
+            singles = [pipeline.infer(image) for image in images]
+        assert_bitwise_parity(batch, singles)
+
+
+class TestIntegratedParity:
+    @pytest.fixture(scope="class")
+    def few_images(self, images):
+        # The reliable partition runs Algorithm 3 one multiply at a
+        # time in Python; keep the image count small.
+        return images[:3]
+
+    def test_batch_matches_singles(self, few_images):
+        pipeline = build_pipeline(
+            PipelineConfig(architecture="integrated", pin_sobel=True),
+            small_cnn(32, 8, conv1_filters=8),
+        )
+        batch = pipeline.infer_batch(few_images)
+        singles = [pipeline.infer(image) for image in few_images]
+        assert_bitwise_parity(batch, singles)
+        for result in batch:
+            assert result.reliable_report is not None
+
+    def test_parity_under_transient_faults(self, few_images):
+        """Transient PE faults in the dependable arithmetic are
+        detected and rolled back, so recovered outputs -- batched or
+        not -- equal the fault-free ones bitwise."""
+        pipeline = build_pipeline(
+            PipelineConfig(
+                architecture="integrated",
+                pin_sobel=True,
+                qualifier=QualifierConfig(redundant=False),
+            ),
+            small_cnn(32, 8, conv1_filters=8),
+        )
+        conv1 = pipeline.model.layer("conv1")
+
+        def faulted_conv(seed):
+            return ReliableConv2D(
+                conv1,
+                RedundantOperator(FaultyExecutionUnit(
+                    TransientFault(1e-5, np.random.default_rng(seed))
+                )),
+                bucket_ceiling=100_000,
+                on_persistent_failure="mark",
+            )
+
+        pipeline.hybrid._reliable_conv = faulted_conv(1)
+        batch = pipeline.infer_batch(few_images)
+        batch_report = batch[0].reliable_report
+        assert batch_report.errors_detected > 0
+        assert batch_report.persistent_failures == 0
+
+        pipeline.hybrid._reliable_conv = faulted_conv(2)
+        singles = [pipeline.infer(image) for image in few_images]
+        assert any(
+            r.reliable_report.errors_detected > 0 for r in singles
+        )
+        assert_bitwise_parity(batch, singles)

@@ -1,0 +1,115 @@
+"""Config validation and dict round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    Architecture,
+    PartitionConfig,
+    PipelineConfig,
+    QualifierConfig,
+    Redundancy,
+)
+
+
+class TestQualifierConfig:
+    def test_defaults_mirror_shape_qualifier(self):
+        config = QualifierConfig()
+        assert config.kind == "shape"
+        assert config.shape == "octagon"
+        assert config.word_length == 32
+        assert config.alphabet_size == 8
+        assert config.redundant is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": ""},
+        {"word_length": 0},
+        {"alphabet_size": 1},
+        {"threshold": -0.1},
+        {"n_samples": 16, "word_length": 32},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QualifierConfig(**kwargs)
+
+    def test_round_trip(self):
+        config = QualifierConfig(threshold=2.5, redundant=False,
+                                 edge_threshold=0.4)
+        clone = QualifierConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            QualifierConfig.from_dict({"worliength": 16})
+
+
+class TestPartitionConfig:
+    def test_defaults_match_core_partition(self):
+        partition = PartitionConfig().to_partition()
+        assert partition.reliable_filters == {"conv1": (0, 1)}
+        assert partition.bifurcation_layer == "conv1"
+        assert partition.redundancy == "dmr"
+
+    def test_json_lists_normalise_to_tuples(self):
+        config = PartitionConfig(reliable_filters={"conv1": [0, 2]})
+        assert config.reliable_filters == {"conv1": (0, 2)}
+
+    def test_core_validation_applies(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(reliable_filters={"conv2": (0,)})
+        with pytest.raises(ValueError):
+            PartitionConfig(redundancy="qmr")
+
+    def test_redundancy_enum_coerces(self):
+        config = PartitionConfig(redundancy=Redundancy.TMR)
+        assert config.redundancy == "tmr"
+
+    def test_round_trip(self):
+        config = PartitionConfig(
+            reliable_filters={"conv1": (1, 3)}, redundancy="tmr"
+        )
+        clone = PartitionConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+
+
+class TestPipelineConfig:
+    def test_architecture_enum_coerces_to_value(self):
+        config = PipelineConfig(architecture=Architecture.INTEGRATED)
+        assert config.architecture == "integrated"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(architecture="")
+        with pytest.raises(ValueError):
+            PipelineConfig(safety_class=-1)
+        with pytest.raises(TypeError):
+            PipelineConfig(qualifier={"kind": "shape"})
+        with pytest.raises(TypeError):
+            PipelineConfig(partition={"bifurcation_layer": "conv1"})
+
+    def test_round_trip_parallel(self):
+        config = PipelineConfig(name="rt", safety_class=3)
+        clone = PipelineConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+
+    def test_round_trip_integrated_with_nested_configs(self):
+        config = PipelineConfig(
+            architecture="integrated",
+            qualifier=QualifierConfig(threshold=2.0),
+            partition=PartitionConfig(redundancy="tmr"),
+            pin_sobel=True,
+        )
+        clone = PipelineConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+        assert clone.partition.redundancy == "tmr"

@@ -30,28 +30,29 @@ class TestReliableResultBlock:
         return p
 
     def test_confirmed(self):
-        verdict = QualifierVerdict(True, 0.0, "w")
+        verdict = QualifierVerdict(matches=True, distance=0.0, word="w")
         predicted, decision = self.block.combine(self.probs(0), verdict)
         assert predicted == 0 and decision is Decision.CONFIRMED
 
     def test_rejected_by_qualifier(self):
-        verdict = QualifierVerdict(False, 9.0, "w")
+        verdict = QualifierVerdict(matches=False, distance=9.0, word="w")
         _, decision = self.block.combine(self.probs(0), verdict)
         assert decision is Decision.REJECTED_BY_QUALIFIER
 
     def test_not_safety_critical(self):
-        verdict = QualifierVerdict(False, 9.0, "w")
+        verdict = QualifierVerdict(matches=False, distance=9.0, word="w")
         predicted, decision = self.block.combine(self.probs(2), verdict)
         assert predicted == 2
         assert decision is Decision.NOT_SAFETY_CRITICAL
 
     def test_shape_without_class_flags_possible_false_negative(self):
-        verdict = QualifierVerdict(True, 0.0, "w")
+        verdict = QualifierVerdict(matches=True, distance=0.0, word="w")
         _, decision = self.block.combine(self.probs(2), verdict)
         assert decision is Decision.SHAPE_WITHOUT_CLASS
 
     def test_unreliable_qualifier_never_confirms(self):
-        verdict = QualifierVerdict(True, 0.0, "w", reliable=False)
+        verdict = QualifierVerdict(matches=True, distance=0.0, word="w",
+                                   reliable=False)
         _, decision = self.block.combine(self.probs(0), verdict)
         assert decision is Decision.QUALIFIER_UNAVAILABLE
 
@@ -77,6 +78,10 @@ class TestPartition:
             )
         with pytest.raises(ValueError):
             HybridPartition(redundancy="qmr")
+        # "plain" is a registered operator kind but executes once per
+        # operation -- never acceptable for the dependable partition.
+        with pytest.raises(ValueError, match="redundant"):
+            HybridPartition(redundancy="plain")
 
     def test_validate_against_model(self):
         model = small_cnn(32, 8, conv1_filters=4)

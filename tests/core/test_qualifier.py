@@ -84,9 +84,10 @@ class TestCalibration:
 
 class TestVerdict:
     def test_truthiness(self):
-        assert QualifierVerdict(True, 0.0, "w")
-        assert not QualifierVerdict(False, 9.0, "w")
-        assert not QualifierVerdict(True, 0.0, "w", reliable=False)
+        assert QualifierVerdict(matches=True, distance=0.0, word="w")
+        assert not QualifierVerdict(matches=False, distance=9.0, word="w")
+        assert not QualifierVerdict(matches=True, distance=0.0, word="w",
+                                   reliable=False)
 
     def test_word_exposed_for_explainability(self, qualifier, stop_image):
         verdict = qualifier.check(stop_image)

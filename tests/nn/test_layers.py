@@ -25,6 +25,28 @@ class TestDense:
         expected = x @ dense.weight.value + dense.bias.value
         np.testing.assert_allclose(dense.forward(x), expected, rtol=1e-6)
 
+    def test_forward_is_batch_size_invariant_when_enabled(self, rng):
+        """A sample's output must not depend on its batch: the hybrid
+        pipeline's batched path promises bitwise parity with per-image
+        inference, and Dense is the one layer where a naive batched
+        GEMM breaks it (BLAS dispatches shape-dependent kernels).  The
+        invariant mode is opt-in (the hybrids set it on their model);
+        training and calibration keep the blocked GEMM."""
+        dense = Dense(128, 16, rng=rng)
+        dense.batch_invariant = True
+        x = rng.standard_normal((32, 128)).astype(np.float32)
+        batched = dense.forward(x)
+        singles = np.concatenate(
+            [dense.forward(x[i : i + 1]) for i in range(len(x))]
+        )
+        np.testing.assert_array_equal(batched, singles)
+        # Single-sample outputs are identical in both modes, so
+        # enabling the flag never changes per-image inference.
+        dense.batch_invariant = False
+        np.testing.assert_array_equal(
+            dense.forward(x[:1]), singles[:1]
+        )
+
     def test_gradients(self, rng):
         dense = Dense(4, 3, rng=rng)
         x = rng.standard_normal((2, 4))
