@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Run, resume and inspect fault-injection campaigns from the shell.
+
+Usage:
+
+    # Write a starter spec for a target, edit it, then run it:
+    scripts/campaign.py template reliable_conv > spec.json
+    scripts/campaign.py run spec.json --workers 4 --artifacts out/
+
+    # Interrupt freely; the same command resumes from completed
+    # shards (bitwise identical to an uninterrupted run):
+    scripts/campaign.py run spec.json --workers 4 --artifacts out/
+
+    # Inspect a finished (or partial) artifact directory:
+    scripts/campaign.py show out/
+
+See docs/campaigns.md for the spec schema and guarantees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout: scripts/campaign.py.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.registry import CAMPAIGN_TARGETS  # noqa: E402
+from repro.campaigns import (  # noqa: E402
+    CampaignSpec,
+    CampaignStore,
+    default_workers,
+    run_campaign,
+)
+
+_TEMPLATES = {
+    "reliable_conv": {
+        "name": "coverage-sweep",
+        "target": "reliable_conv",
+        "fault": {"kind": "transient", "params": {"probability": 1e-3}},
+        "trials": 500,
+        "seed": 0,
+        "grid": {
+            "operator_kind": ["plain", "dmr", "tmr"],
+            "fault.probability": [1e-3, 1e-2],
+        },
+        "target_params": {"vector_length": 32},
+        "shard_size": 50,
+    },
+    "baseline": {
+        "name": "unprotected-floor",
+        "target": "baseline",
+        "fault": {"kind": "transient", "params": {"probability": 1e-2}},
+        "trials": 1000,
+        "seed": 0,
+        "target_params": {"vector_length": 32},
+        "shard_size": 100,
+    },
+    "pipeline": {
+        "name": "hybrid-under-faults",
+        "target": "pipeline",
+        "fault": {"kind": "transient", "params": {"probability": 0.0}},
+        "trials": 5,
+        "seed": 0,
+        "grid": {"fault.probability": [0.0, 1e-5, 1e-4]},
+        "target_params": {"input_size": 96, "bucket_ceiling": 1000},
+        "shard_size": 1,
+    },
+    "checkpoint_segment": {
+        "name": "rollback-distance",
+        "target": "checkpoint_segment",
+        "fault": {"kind": "transient", "params": {"probability": 1e-2}},
+        "trials": 200,
+        "seed": 0,
+        "grid": {"segment_size": [1, 4, 16, 64]},
+        "target_params": {"compare_cost": 8.0},
+        "shard_size": 50,
+    },
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_dict(json.loads(Path(args.spec).read_text()))
+
+    def progress(shard, done, total):
+        print(
+            f"\rshard {shard.index} done ({done}/{total})",
+            end="", file=sys.stderr, flush=True,
+        )
+
+    report = run_campaign(
+        spec,
+        workers=args.workers,
+        artifacts_dir=args.artifacts,
+        overwrite=args.overwrite,
+        shard_limit=args.shard_limit,
+        on_shard=progress,
+    )
+    print(file=sys.stderr)
+    print(report.to_text())
+    if not report.complete:
+        print(
+            f"partial: {report.trials}/{report.total_trials_expected} "
+            "trials on disk; re-run to continue",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    directory = Path(args.artifacts)
+    manifest = json.loads((directory / "spec.json").read_text())
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    store = CampaignStore(directory, spec)
+    if (directory / "report.json").exists():
+        print(store.load_report().to_text())
+        return 0
+    # Partial campaign: rebuild what the shards on disk give us.
+    report = run_campaign(
+        spec, artifacts_dir=directory, shard_limit=0
+    )
+    print(report.to_text())
+    return 0 if report.complete else 2
+
+
+def _cmd_template(args: argparse.Namespace) -> int:
+    print(json.dumps(_TEMPLATES[args.target], indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="campaign.py",
+        description="Parallel fault-injection campaign runner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run or resume a campaign spec")
+    run_p.add_argument("spec", help="path to a CampaignSpec JSON file")
+    run_p.add_argument(
+        "--workers", type=int, default=default_workers(),
+        help="worker processes (default: usable cores; 1 = serial)",
+    )
+    run_p.add_argument(
+        "--artifacts", default=None,
+        help="artifact directory for JSONL shards + resume",
+    )
+    run_p.add_argument(
+        "--overwrite", action="store_true",
+        help="discard artifacts from a different spec",
+    )
+    run_p.add_argument(
+        "--shard-limit", type=int, default=None,
+        help="run at most N new shards this invocation",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    show_p = sub.add_parser(
+        "show", help="print the report of an artifact directory"
+    )
+    show_p.add_argument("artifacts")
+    show_p.set_defaults(func=_cmd_show)
+
+    template_p = sub.add_parser(
+        "template", help="print a starter spec for a target"
+    )
+    template_p.add_argument(
+        "target", choices=sorted(_TEMPLATES),
+        help=f"registered targets: {CAMPAIGN_TARGETS.names() or 'see docs'}",
+    )
+    template_p.set_defaults(func=_cmd_template)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

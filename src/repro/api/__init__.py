@@ -41,6 +41,7 @@ from repro.api.config import (
 from repro.api.registry import (
     ARCHITECTURES,
     BASELINES,
+    CAMPAIGN_TARGETS,
     OPERATORS,
     QUALIFIERS,
     Registry,
@@ -68,6 +69,7 @@ __all__ = [
     "QUALIFIERS",
     "OPERATORS",
     "BASELINES",
+    "CAMPAIGN_TARGETS",
     "BatchResult",
     "HybridPipeline",
     "build_pipeline",

@@ -162,6 +162,15 @@ OPERATORS = _OperatorRegistry("operator")
 #: ``builder(model, **kwargs) -> guard``.
 BASELINES = Registry("baseline")
 
+#: Campaign targets: per-trial experiment runners for the parallel
+#: fault-campaign engine, ``runner(TrialContext) -> TrialRecord``.
+#: The built-ins (``"reliable_conv"``, ``"baseline"``, ``"pipeline"``,
+#: ``"checkpoint_segment"``) are registered by
+#: :mod:`repro.campaigns.targets`, which every engine entry point
+#: imports; register extensions with the usual decorator and select
+#: them via ``CampaignSpec(target="<name>")``.
+CAMPAIGN_TARGETS = Registry("campaign target")
+
 
 def _seed_builtin_baselines() -> None:
     from repro.baselines import ActivationRangeGuard, OutputCage

@@ -1,0 +1,69 @@
+"""``repro.campaigns`` -- the parallel fault-campaign engine.
+
+The paper's headline claims are outcome *distributions* over
+thousands of injected faults; this package is the machinery that
+produces them at scale:
+
+* **Specs** (:class:`CampaignSpec`, :class:`FaultSpec`) -- declarative,
+  JSON-round-trippable descriptions of an experiment: fault model,
+  target, trial count and scenario grid.
+* **Seeding** (:func:`trial_rng`) -- every trial owns a
+  ``SeedSequence``-spawned stream addressed by ``(seed, cell,
+  trial)``, so results are bitwise identical for any worker count or
+  shard order.
+* **Engine** (:func:`run_campaign`) -- deterministic sharding, a
+  ``multiprocessing`` executor with serial fallback, streaming
+  aggregation into :class:`CampaignReport`.
+* **Artifacts** (:class:`CampaignStore`) -- atomic JSONL shards with
+  checkpoint/resume: re-running a spec executes only missing shards.
+* **Targets** (:data:`repro.api.CAMPAIGN_TARGETS`) -- pluggable
+  per-trial runners: the reliable-conv kernel, the unprotected
+  baseline, the full hybrid pipeline, the checkpointed segment.
+
+See ``docs/campaigns.md`` for the spec schema, the seeding/sharding
+guarantees, resume semantics and the ``scripts/campaign.py`` CLI.
+"""
+
+from repro.campaigns.spec import (
+    FAULT_KINDS,
+    CampaignCell,
+    CampaignSpec,
+    FaultSpec,
+)
+from repro.campaigns.seeding import trial_rng, trial_seed
+from repro.campaigns.report import (
+    OUTCOME_ORDER,
+    CampaignReport,
+    CellReport,
+    TrialRecord,
+)
+from repro.campaigns.artifacts import CampaignStore, SpecMismatchError
+from repro.campaigns.engine import (
+    Shard,
+    default_workers,
+    iter_shards,
+    run_campaign,
+    run_shard,
+)
+from repro.campaigns.targets import TrialContext
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "CampaignCell",
+    "CampaignSpec",
+    "trial_seed",
+    "trial_rng",
+    "OUTCOME_ORDER",
+    "TrialRecord",
+    "CellReport",
+    "CampaignReport",
+    "CampaignStore",
+    "SpecMismatchError",
+    "Shard",
+    "iter_shards",
+    "run_shard",
+    "run_campaign",
+    "default_workers",
+    "TrialContext",
+]

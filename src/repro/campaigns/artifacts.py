@@ -1,0 +1,162 @@
+"""Resumable campaign artifacts.
+
+Layout of an artifact directory::
+
+    <dir>/spec.json            # the spec + its content hash
+    <dir>/shards/shard-000042.jsonl   # one TrialRecord per line
+    <dir>/report.json          # written when the campaign completes
+
+Shard files are written to a temporary sibling and atomically renamed
+into place, so a file that exists is always a *complete* shard: an
+interrupted run leaves no partial artifacts, and re-running the same
+spec against the directory skips exactly the shards that finished.
+Because trial streams are addressed by ``(cell, trial)`` (see
+:mod:`repro.campaigns.seeding`), a resumed campaign reproduces the
+uninterrupted run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.campaigns.report import CampaignReport, TrialRecord
+from repro.campaigns.spec import CampaignSpec
+
+_SHARD_PREFIX = "shard-"
+_SHARD_SUFFIX = ".jsonl"
+
+
+class SpecMismatchError(RuntimeError):
+    """The artifact directory belongs to a different campaign spec."""
+
+
+class CampaignStore:
+    """Artifact reader/writer for one campaign directory."""
+
+    def __init__(self, path: str | os.PathLike, spec: CampaignSpec) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.spec_hash = spec.content_hash()
+        self.shards_dir = self.path / "shards"
+
+    # -- lifecycle --------------------------------------------------------
+    def prepare(self, overwrite: bool = False) -> None:
+        """Create the directory, or adopt/refuse an existing one.
+
+        An existing directory with a matching spec hash is adopted
+        (resume).  A mismatching hash raises
+        :class:`SpecMismatchError` unless ``overwrite=True``, which
+        discards the stale shards -- mixing trials from two different
+        specs would silently corrupt the aggregates.
+        """
+        spec_file = self.path / "spec.json"
+        if spec_file.exists():
+            stored = json.loads(spec_file.read_text())
+            if stored.get("content_hash") == self.spec_hash:
+                self.shards_dir.mkdir(parents=True, exist_ok=True)
+                return
+            if not overwrite:
+                raise SpecMismatchError(
+                    f"{self.path} holds artifacts for spec hash "
+                    f"{stored.get('content_hash', '?')[:12]}..., not "
+                    f"{self.spec_hash[:12]}...; pass overwrite=True to "
+                    "discard them"
+                )
+            self._discard_stale_artifacts()
+        elif self.completed_shards():
+            # Shard files with no spec.json (deleted manifest, partial
+            # copy): their provenance is unknowable, so adopting them
+            # would merge foreign trials into this campaign unchecked.
+            if not overwrite:
+                raise SpecMismatchError(
+                    f"{self.path} contains shard files but no "
+                    "spec.json, so they cannot be verified against "
+                    "this spec; pass overwrite=True to discard them"
+                )
+            self._discard_stale_artifacts()
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(
+            spec_file,
+            json.dumps(
+                {
+                    "content_hash": self.spec_hash,
+                    "spec": self.spec.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+        )
+
+    def _discard_stale_artifacts(self) -> None:
+        for stale in self.shards_dir.glob(
+            f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}"
+        ):
+            stale.unlink()
+        (self.path / "report.json").unlink(missing_ok=True)
+
+    # -- shards -----------------------------------------------------------
+    def _shard_path(self, index: int) -> Path:
+        return self.shards_dir / (
+            f"{_SHARD_PREFIX}{index:06d}{_SHARD_SUFFIX}"
+        )
+
+    def completed_shards(self) -> set[int]:
+        """Indices of shards already on disk (always complete files)."""
+        done = set()
+        for file in self.shards_dir.glob(
+            f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}"
+        ):
+            stem = file.name[len(_SHARD_PREFIX):-len(_SHARD_SUFFIX)]
+            try:
+                done.add(int(stem))
+            except ValueError:
+                continue
+        return done
+
+    def write_shard(self, index: int, records: list[TrialRecord]) -> None:
+        content = "".join(
+            record.to_json() + "\n" for record in records
+        )
+        self._write_atomic(self._shard_path(index), content)
+
+    def load_shard(self, index: int) -> list[TrialRecord]:
+        lines = self._shard_path(index).read_text().splitlines()
+        return [TrialRecord.from_json(line) for line in lines if line]
+
+    def all_records(self) -> list[TrialRecord]:
+        """Every stored trial, sorted by ``(cell, trial)``."""
+        records: list[TrialRecord] = []
+        for index in sorted(self.completed_shards()):
+            records.extend(self.load_shard(index))
+        return sorted(records, key=lambda r: r.sort_key)
+
+    # -- report -----------------------------------------------------------
+    def write_report(self, report: CampaignReport) -> None:
+        self._write_atomic(
+            self.path / "report.json",
+            json.dumps(report.to_dict(), indent=2, sort_keys=True),
+        )
+
+    def load_report(self) -> CampaignReport:
+        data = json.loads((self.path / "report.json").read_text())
+        return CampaignReport.from_dict(data)
+
+    # -- internals --------------------------------------------------------
+    def _write_atomic(self, path: Path, content: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(content)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,366 @@
+"""Per-trial experiment runners (campaign targets).
+
+A *target* is a callable ``(TrialContext) -> TrialRecord`` registered
+in :data:`repro.api.CAMPAIGN_TARGETS`.  The engine hands each trial a
+context carrying the merged cell parameters, the cell's fault spec
+and the trial's own spawned random stream; the target runs one
+experiment and classifies it through
+:func:`repro.faults.campaign.classify_outcome`.
+
+Built-ins:
+
+``reliable_conv``
+    One reliable-convolution output element (paper Algorithm 3) under
+    a qualified operator with leaky-bucket rollback -- the kernel the
+    paper's Table-style coverage statistics are built from.
+``baseline``
+    The same synthetic element through completely unprotected
+    arithmetic: no qualifier, no detection, no abort path.  The
+    floor every protection level is compared against.
+``pipeline``
+    A full hybrid inference through
+    :func:`repro.api.build_pipeline` with transient faults injected
+    into the dependable partition's arithmetic; ``expected`` /
+    ``observed`` are the golden and actual decisions.
+``checkpoint_segment``
+    A DMR checkpointed segment
+    (:class:`repro.reliable.checkpoint.CheckpointedSegment`) --
+    rollback-distance cost simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.api.registry import CAMPAIGN_TARGETS
+from repro.campaigns.spec import CampaignCell, CampaignSpec
+from repro.faults.campaign import classify_outcome
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import FaultModel
+from repro.campaigns.report import TrialRecord
+from repro.reliable.checkpoint import CheckpointedSegment, RollbackPolicy
+from repro.reliable.convolution import ConvolutionStats, reliable_convolution
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.leaky_bucket import LeakyBucket
+from repro.reliable.operators import RedundantOperator, make_operator
+
+
+@dataclass(frozen=True)
+class TrialContext:
+    """Everything a target needs to run one trial."""
+
+    spec: CampaignSpec
+    cell: CampaignCell
+    trial: int
+    rng: np.random.Generator
+    #: Non-serialisable escape hatch used by the legacy
+    #: ``run_operator_campaign`` surface; forces serial execution.
+    fault_factory: Callable[[np.random.Generator], FaultModel] | None = None
+
+    def param(self, name: str, default: Any) -> Any:
+        return self.cell.params.get(name, default)
+
+    def build_fault(self) -> FaultModel:
+        """A fresh fault model on this trial's own stream."""
+        if self.fault_factory is not None:
+            return self.fault_factory(self.rng)
+        return self.cell.fault.build(self.rng)
+
+
+def _value_labels(
+    golden: float, value: float | None, aborted: bool, atol: float
+) -> tuple[str, str]:
+    if aborted:
+        return "exact", "abort"
+    observed = "exact" if abs(value - golden) <= atol else "deviant"
+    return "exact", observed
+
+
+def _draw_element(
+    rng: np.random.Generator, vector_length: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    patch = rng.standard_normal(vector_length).astype(np.float32)
+    weights = rng.standard_normal(vector_length).astype(np.float32)
+    bias = float(rng.standard_normal())
+    return patch, weights, bias
+
+
+@CAMPAIGN_TARGETS.register("reliable_conv")
+def run_reliable_conv_trial(ctx: TrialContext) -> TrialRecord:
+    """One protected convolution element under injection."""
+    vector_length = ctx.param("vector_length", 32)
+    operator_kind = ctx.param("operator_kind", "dmr")
+    bucket_factor = ctx.param("bucket_factor", 2)
+    bucket_ceiling = ctx.param("bucket_ceiling", None)
+
+    patch, weights, bias = _draw_element(ctx.rng, vector_length)
+    golden = reliable_convolution(
+        patch, weights, bias, make_operator("plain")
+    ).value
+
+    fault = ctx.build_fault()
+    unit = FaultyExecutionUnit(fault)
+    operator = make_operator(operator_kind, unit)
+    bucket = LeakyBucket(factor=bucket_factor, ceiling=bucket_ceiling)
+    stats = ConvolutionStats()
+    aborted = False
+    value: float | None = None
+    try:
+        value = reliable_convolution(
+            patch, weights, bias, operator, bucket=bucket, stats=stats
+        ).value
+    except PersistentFailureError:
+        aborted = True
+    outcome = classify_outcome(
+        golden,
+        value,
+        fault_fired=fault.activations > 0,
+        errors_detected=stats.errors_detected,
+        aborted=aborted,
+        atol=ctx.spec.atol,
+    )
+    expected, observed = _value_labels(
+        golden, value, aborted, ctx.spec.atol
+    )
+    return TrialRecord(
+        cell=ctx.cell.index,
+        trial=ctx.trial,
+        outcome=outcome.value,
+        expected=expected,
+        observed=observed,
+        faults_fired=fault.activations,
+        errors_detected=stats.errors_detected,
+        rollbacks=stats.rollbacks,
+        aborted=aborted,
+        metrics={"operations": float(stats.operations)},
+    )
+
+
+@CAMPAIGN_TARGETS.register("baseline")
+def run_baseline_trial(ctx: TrialContext) -> TrialRecord:
+    """The same element through unprotected arithmetic.
+
+    No qualified operators, no bucket: a fired fault either lands in
+    bits that do not move the float (masked) or escapes silently --
+    the unprotected floor of the paper's comparison.
+    """
+    vector_length = ctx.param("vector_length", 32)
+    patch, weights, bias = _draw_element(ctx.rng, vector_length)
+    golden = reliable_convolution(
+        patch, weights, bias, make_operator("plain")
+    ).value
+
+    fault = ctx.build_fault()
+    unit = FaultyExecutionUnit(fault)
+    acc = 0.0
+    for x, w in zip(patch, weights):
+        acc = unit.add(acc, unit.multiply(float(x), float(w)))
+    value = unit.add(acc, bias)
+    outcome = classify_outcome(
+        golden,
+        value,
+        fault_fired=fault.activations > 0,
+        errors_detected=0,
+        aborted=False,
+        atol=ctx.spec.atol,
+    )
+    expected, observed = _value_labels(
+        golden, value, False, ctx.spec.atol
+    )
+    return TrialRecord(
+        cell=ctx.cell.index,
+        trial=ctx.trial,
+        outcome=outcome.value,
+        expected=expected,
+        observed=observed,
+        faults_fired=fault.activations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full-pipeline target
+# ---------------------------------------------------------------------------
+
+#: Per-process caches: the pinned model and the golden (fault-free)
+#: decision are pure functions of their keys, so caching only avoids
+#: recomputation -- results are identical with or without a warm cache,
+#: whichever worker a shard lands on.
+_MODEL_CACHE: dict[tuple, Any] = {}
+_GOLDEN_CACHE: dict[tuple, str] = {}
+
+
+def pinned_stop_model(
+    input_size: int, rng: np.random.Generator, n_classes: int = 8
+):
+    """The hybrid-fault-study stand-in model: Sobel-pinned conv1 and a
+    head biased towards the safety class, so the decision matrix is
+    exercised without a multi-minute training run.  The single
+    implementation behind both the ``"pipeline"`` campaign target and
+    ``repro.workflows.hybrid_fault_study``."""
+    from repro.data import STOP_CLASS_INDEX
+    from repro.models import alexnet_scaled
+    from repro.vision.filters import sobel_axis_stack
+
+    model = alexnet_scaled(
+        n_classes=n_classes, input_size=input_size, rng=rng
+    )
+    conv1 = model.layer("conv1")
+    conv1.set_filter(0, sobel_axis_stack("x", conv1.kernel_size, 3))
+    conv1.set_filter(1, sobel_axis_stack("y", conv1.kernel_size, 3))
+    model.layer("fc8").bias.value[STOP_CLASS_INDEX] = 10.0
+    return model
+
+
+def _pipeline_fixture(ctx: TrialContext):
+    """(model, config, image) for this cell, cached per process."""
+    from repro.api import PipelineConfig
+    from repro.data import STOP_CLASS_INDEX, render_sign
+
+    input_size = ctx.param("input_size", 96)
+    class_index = ctx.param("class_index", 0)
+    rotation_deg = ctx.param("rotation_deg", 5.0)
+    key = (ctx.spec.seed, input_size, class_index, rotation_deg)
+    if key not in _MODEL_CACHE:
+        model = pinned_stop_model(
+            input_size, np.random.default_rng(ctx.spec.seed)
+        )
+        image = render_sign(
+            class_index, size=input_size,
+            rotation=float(np.deg2rad(rotation_deg)),
+        )
+        _MODEL_CACHE[key] = (model, image)
+    model, image = _MODEL_CACHE[key]
+    config = PipelineConfig(
+        architecture="integrated",
+        safety_class=STOP_CLASS_INDEX,
+        name=ctx.spec.name,
+    )
+    return key, model, config, image
+
+
+@CAMPAIGN_TARGETS.register("pipeline")
+def run_pipeline_trial(ctx: TrialContext) -> TrialRecord:
+    """One integrated-hybrid inference with PE transients injected
+    into the dependable partition (cf. the hybrid fault study)."""
+    from repro.api import build_pipeline
+    from repro.reliable.executor import ReliableConv2D
+
+    bucket_ceiling = ctx.param("bucket_ceiling", 1000)
+    key, model, config, image = _pipeline_fixture(ctx)
+
+    if key not in _GOLDEN_CACHE:
+        golden = build_pipeline(config, model).infer(image)
+        _GOLDEN_CACHE[key] = golden.decision.value
+    golden_decision = _GOLDEN_CACHE[key]
+
+    fault = ctx.build_fault()
+    pipeline = build_pipeline(config, model)
+    pipeline.hybrid._reliable_conv = ReliableConv2D(
+        model.layer("conv1"),
+        RedundantOperator(FaultyExecutionUnit(fault)),
+        bucket_ceiling=bucket_ceiling,
+        on_persistent_failure="mark",
+    )
+    outcome = pipeline.infer(image)
+    report = outcome.reliable_report
+    decision = outcome.decision.value
+    aborted = report.persistent_failures > 0
+    classified = classify_outcome(
+        0.0,
+        None if aborted else (0.0 if decision == golden_decision else 1.0),
+        fault_fired=fault.activations > 0,
+        errors_detected=report.errors_detected,
+        aborted=aborted,
+    )
+    return TrialRecord(
+        cell=ctx.cell.index,
+        trial=ctx.trial,
+        outcome=classified.value,
+        expected=golden_decision,
+        observed=decision,
+        faults_fired=fault.activations,
+        errors_detected=report.errors_detected,
+        rollbacks=report.rollbacks,
+        aborted=aborted,
+        metrics={
+            "persistent_failures": float(report.persistent_failures),
+            "qualifier_matches": float(outcome.verdict.matches),
+        },
+    )
+
+
+@CAMPAIGN_TARGETS.register("checkpoint_segment")
+def run_checkpoint_segment_trial(ctx: TrialContext) -> TrialRecord:
+    """One DMR checkpointed segment: rollback-distance cost probe.
+
+    ``metrics["total_ops"]`` counts unit executions plus comparison
+    overhead, ``metrics["completed_ops"]`` the useful work -- their
+    ratio over a cell reproduces the analytic expected-cost curve of
+    :mod:`repro.workflows.rollback_distance`.
+    """
+    segment_size = ctx.param("segment_size", 16)
+    compare_cost = float(ctx.param("compare_cost", 8.0))
+    max_rollbacks = ctx.param("max_rollbacks", 50)
+
+    values = ctx.rng.standard_normal(segment_size)
+    weights = ctx.rng.standard_normal(segment_size)
+    golden = 0.0
+    for v, w in zip(values, weights):
+        golden += float(v) * float(w)
+
+    fault = ctx.build_fault()
+    operator = RedundantOperator(FaultyExecutionUnit(fault))
+    executions = {"n": 0}
+
+    def compute():
+        total = 0.0
+        ok = True
+        for v, w in zip(values, weights):
+            result = operator.multiply(float(v), float(w))
+            executions["n"] += 2  # DMR: two unit executions
+            total += result.value
+            ok = ok and result.ok
+        return total, ok
+
+    segment = CheckpointedSegment(
+        compute,
+        validate=lambda result: result[1],
+        policy=RollbackPolicy(max_rollbacks=max_rollbacks),
+    )
+    aborted = False
+    value: float | None = None
+    try:
+        value = segment.run()[0]
+    except PersistentFailureError:
+        aborted = True
+    rollbacks = segment.rollbacks_performed
+    outcome = classify_outcome(
+        golden,
+        value,
+        fault_fired=fault.activations > 0,
+        errors_detected=rollbacks,
+        aborted=aborted,
+        atol=ctx.spec.atol,
+    )
+    expected, observed = _value_labels(
+        golden, value, aborted, ctx.spec.atol
+    )
+    return TrialRecord(
+        cell=ctx.cell.index,
+        trial=ctx.trial,
+        outcome=outcome.value,
+        expected=expected,
+        observed=observed,
+        faults_fired=fault.activations,
+        errors_detected=rollbacks,
+        rollbacks=rollbacks,
+        aborted=aborted,
+        metrics={
+            "total_ops": executions["n"]
+            + compare_cost * (1 + rollbacks),
+            "completed_ops": float(segment_size),
+        },
+    )

@@ -9,13 +9,66 @@ from __future__ import annotations
 import numpy as np
 
 
+_F64_EXP_MASK = np.uint64(0x7FF) << np.uint64(52)
+_F64_MANT_MASK = (np.uint64(1) << np.uint64(52)) - np.uint64(1)
+
+
+def _word32(value: float) -> np.uint32:
+    """The float32 storage word behind a Python float.
+
+    An IEEE convert instruction *quiets* signalling NaNs (forces
+    mantissa bit 22), so ``np.float32(value)`` silently rewrites any
+    sNaN word and a flip/flip round trip through Python floats would
+    not restore the original storage word.  NaNs are therefore
+    decoded with pure bit moves, inverting :func:`_value32`'s
+    encoding; everything else takes the ordinary conversion.
+    """
+    as64 = np.float64(value).view(np.uint64)
+    if (as64 & _F64_EXP_MASK) == _F64_EXP_MASK and as64 & _F64_MANT_MASK:
+        sign = np.uint32(as64 >> np.uint64(63)) << np.uint32(31)
+        payload = np.uint32(
+            (as64 >> np.uint64(29)) & np.uint64(0x7FFFFF)
+        )
+        if payload == 0:
+            # A float64 NaN payload living entirely below bit 29 has
+            # no float32 counterpart; canonical quiet NaN.
+            payload = np.uint32(0x400000)
+        return sign | np.uint32(0x7F800000) | payload
+    return np.float32(value).view(np.uint32)
+
+
+def _value32(word: np.uint32) -> float:
+    """The Python float carrying a float32 storage word bit-exactly.
+
+    NaN words embed their 23-bit payload at the top of the float64
+    mantissa (exactly where the hardware widening conversion puts it)
+    without executing a conversion, so signalling NaNs keep their
+    quiet bit cleared and :func:`_word32` can recover the word.
+    """
+    word = np.uint32(word)
+    if (word & np.uint32(0x7F800000)) == np.uint32(0x7F800000) and (
+        word & np.uint32(0x7FFFFF)
+    ):
+        as64 = (
+            (np.uint64(word >> np.uint32(31)) << np.uint64(63))
+            | _F64_EXP_MASK
+            | (np.uint64(word & np.uint32(0x7FFFFF)) << np.uint64(29))
+        )
+        return float(as64.view(np.float64))
+    return float(word.view(np.float32))
+
+
 def flip_bit32(value: float, bit: int) -> float:
-    """Flip bit ``bit`` (0 = LSB of mantissa, 31 = sign) of a float32."""
+    """Flip bit ``bit`` (0 = LSB of mantissa, 31 = sign) of a float32.
+
+    An involution on the storage word: flipping the same bit twice
+    restores ``float32(value)`` exactly, *including* flips whose
+    intermediate word is a signalling NaN (see :func:`_word32`).
+    """
     if not 0 <= bit < 32:
         raise ValueError("bit must be in [0, 32)")
-    as_int = np.float32(value).view(np.uint32)
-    flipped = as_int ^ np.uint32(1 << bit)
-    return float(flipped.view(np.float32))
+    flipped = _word32(value) ^ np.uint32(1 << bit)
+    return _value32(flipped)
 
 
 def flip_bit64(value: float, bit: int) -> float:

@@ -20,15 +20,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.faults.injector import FaultyExecutionUnit
-from repro.faults.models import FaultModel
-from repro.reliable.convolution import ConvolutionStats, reliable_convolution
-from repro.reliable.errors import PersistentFailureError
-from repro.reliable.leaky_bucket import LeakyBucket
-from repro.reliable.operators import make_operator
-
 
 class Outcome(enum.Enum):
     CLEAN = "clean"
@@ -131,6 +122,16 @@ def run_operator_campaign(
 ) -> CampaignResult:
     """Campaign over single reliable-convolution outputs.
 
+    A thin legacy surface over the campaign engine
+    (:func:`repro.campaigns.run_campaign` with the
+    ``"reliable_conv"`` target): each run becomes one engine trial on
+    its own :class:`~numpy.random.SeedSequence`-spawned stream.
+    Because ``fault_factory`` is an arbitrary callable it cannot cross
+    a process boundary, so this surface always executes serially --
+    build a :class:`~repro.campaigns.CampaignSpec` with a
+    :class:`~repro.campaigns.FaultSpec` to run the same campaign
+    sharded across workers.
+
     Parameters
     ----------
     fault_factory:
@@ -149,38 +150,19 @@ def run_operator_campaign(
     -------
     CampaignResult
     """
-    rng = np.random.default_rng(seed)
-    result = CampaignResult()
-    for _ in range(runs):
-        patch = rng.standard_normal(vector_length).astype(np.float32)
-        weights = rng.standard_normal(vector_length).astype(np.float32)
-        bias = float(rng.standard_normal())
-        golden = reliable_convolution(
-            patch, weights, bias, make_operator("plain")
-        ).value
+    from repro.campaigns import CampaignSpec, run_campaign
 
-        fault: FaultModel = fault_factory(rng)
-        unit = FaultyExecutionUnit(fault)
-        operator = make_operator(operator_kind, unit)
-        bucket = LeakyBucket(factor=bucket_factor, ceiling=bucket_ceiling)
-        stats = ConvolutionStats()
-        aborted = False
-        value: float | None = None
-        try:
-            value = reliable_convolution(
-                patch, weights, bias, operator, bucket=bucket, stats=stats
-            ).value
-        except PersistentFailureError:
-            aborted = True
-        result.errors_detected += stats.errors_detected
-        result.rollbacks += stats.rollbacks
-        result.faults_fired += fault.activations
-        outcome = classify_outcome(
-            golden,
-            value,
-            fault_fired=fault.activations > 0,
-            errors_detected=stats.errors_detected,
-            aborted=aborted,
-        )
-        result.record(outcome)
-    return result
+    spec = CampaignSpec(
+        name=f"operator-{operator_kind}",
+        target="reliable_conv",
+        trials=runs,
+        seed=seed,
+        target_params={
+            "vector_length": vector_length,
+            "operator_kind": operator_kind,
+            "bucket_factor": bucket_factor,
+            "bucket_ceiling": bucket_ceiling,
+        },
+    )
+    report = run_campaign(spec, fault_factory=fault_factory)
+    return report.to_campaign_result()

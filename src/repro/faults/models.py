@@ -26,10 +26,20 @@ class FaultModel:
 
     Subclasses implement :meth:`fires` (does this execution get hit?)
     and :meth:`corrupt` (what does the hit do to the result?).
+
+    Pass an explicit ``rng`` for reproducibility.  When omitted, each
+    model gets a *freshly entropy-seeded* generator: a shared default
+    stream (the old ``default_rng(0)``) silently made two
+    default-constructed models replay identical fault sequences,
+    which corrupts any statistic built from more than one model.
+    Campaign code never relies on the default -- the engine derives a
+    per-trial generator from the spec seed
+    (:mod:`repro.campaigns.seeding`) and
+    :meth:`repro.campaigns.FaultSpec.build` rejects ``rng=None``.
     """
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng()
         self.activations = 0
 
     def fires(self) -> bool:

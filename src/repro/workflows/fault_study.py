@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.analysis.reliability import empirical_coverage_interval
-from repro.faults.campaign import CampaignResult, Outcome, run_operator_campaign
-from repro.faults.models import IntermittentFault, PermanentFault, TransientFault
+from repro.campaigns import CampaignSpec, FaultSpec, run_campaign
+from repro.campaigns.report import CellReport
+from repro.faults.campaign import Outcome
 from repro.reliable.leaky_bucket import LeakyBucket
 
 
@@ -126,16 +125,44 @@ class CoverageResult:
         return "\n".join(lines)
 
 
-def _fault_factories(kind: str, probability: float):
-    if kind == "transient":
-        return lambda rng: TransientFault(probability, rng)
-    if kind == "intermittent":
-        return lambda rng: IntermittentFault(
-            burst_start=probability, burst_end=0.5, rng=rng
+def build_coverage_spec(
+    fault_kind: str,
+    probabilities: tuple[float, ...],
+    operator_kinds: tuple[str, ...],
+    runs: int,
+    vector_length: int,
+    seed: int,
+) -> CampaignSpec:
+    """The campaign spec for one fault kind's coverage sweep.
+
+    The probability axis maps onto the fault parameter the kind
+    actually exposes: ``probability`` for transients, ``burst_start``
+    (with the canonical ``burst_end=0.5``) for intermittents; the
+    permanent stuck-at model fires unconditionally, so its sweep has
+    no probability axis at all.
+    """
+    grid: dict = {"operator_kind": operator_kinds}
+    if fault_kind == "transient":
+        fault = FaultSpec(kind="transient")
+        grid["fault.probability"] = probabilities
+    elif fault_kind == "intermittent":
+        fault = FaultSpec(
+            kind="intermittent", params={"burst_end": 0.5}
         )
-    if kind == "permanent":
-        return lambda rng: PermanentFault(bit=28, rng=rng)
-    raise ValueError(f"unknown fault kind {kind!r}")
+        grid["fault.burst_start"] = probabilities
+    elif fault_kind == "permanent":
+        fault = FaultSpec(kind="permanent", params={"bit": 28})
+    else:
+        raise ValueError(f"unknown fault kind {fault_kind!r}")
+    return CampaignSpec(
+        name=f"coverage-{fault_kind}",
+        target="reliable_conv",
+        fault=fault,
+        trials=runs,
+        seed=seed,
+        grid=grid,
+        target_params={"vector_length": vector_length},
+    )
 
 
 def run_coverage_study(
@@ -145,50 +172,58 @@ def run_coverage_study(
     runs: int = 150,
     vector_length: int = 32,
     seed: int = 0,
+    workers: int | None = None,
 ) -> CoverageResult:
-    """Sweep fault model x probability x protection level."""
+    """Sweep fault model x probability x protection level.
+
+    One engine campaign per fault kind (probability x operator grid);
+    pass ``workers`` to shard the trials across processes -- rows are
+    bitwise identical either way.
+    """
     result = CoverageResult()
     for fault_kind in fault_kinds:
-        probs = (
-            probabilities if fault_kind != "permanent" else (1.0,)
+        spec = build_coverage_spec(
+            fault_kind, probabilities, operator_kinds, runs,
+            vector_length, seed,
         )
-        for probability in probs:
-            factory = _fault_factories(fault_kind, probability)
-            for operator_kind in operator_kinds:
-                campaign = run_operator_campaign(
-                    factory,
-                    operator_kind=operator_kind,
-                    runs=runs,
-                    vector_length=vector_length,
-                    seed=seed,
+        report = run_campaign(spec, workers=workers)
+        # Grid axes enumerate probability-major ("fault.*" sorts
+        # before "operator_kind"), matching the historical row order.
+        for index in sorted(report.cells):
+            cell = report.cells[index]
+            probability = 1.0
+            for axis, value in cell.overrides.items():
+                if axis.startswith("fault."):
+                    probability = value
+            result.rows.append(
+                _row_from_cell(
+                    fault_kind,
+                    probability,
+                    cell.overrides["operator_kind"],
+                    cell,
                 )
-                result.rows.append(
-                    _row_from_campaign(
-                        fault_kind, probability, operator_kind, campaign
-                    )
-                )
+            )
     return result
 
 
-def _row_from_campaign(
+def _row_from_cell(
     fault_kind: str,
     probability: float,
     operator_kind: str,
-    campaign: CampaignResult,
+    cell: CellReport,
 ) -> CoverageRow:
-    faulted = campaign.runs - campaign.counts[Outcome.CLEAN]
-    sdc = campaign.counts[Outcome.SILENT_CORRUPTION]
-    if faulted > 0:
-        _, upper = empirical_coverage_interval(sdc, faulted)
+    sdc = cell.counts[Outcome.SILENT_CORRUPTION.value]
+    if cell.faulted > 0:
+        _, upper = empirical_coverage_interval(sdc, cell.faulted)
     else:
         upper = 0.0
     return CoverageRow(
         fault_kind=fault_kind,
         fault_probability=probability,
         operator_kind=operator_kind,
-        coverage=campaign.detection_coverage,
-        sdc_rate=campaign.silent_corruption_rate,
+        coverage=cell.detection_coverage,
+        sdc_rate=cell.silent_corruption_rate,
         sdc_upper_bound=upper,
-        aborts=campaign.counts[Outcome.DETECTED_ABORTED],
-        runs=campaign.runs,
+        aborts=cell.counts[Outcome.DETECTED_ABORTED.value],
+        runs=cell.trials,
     )

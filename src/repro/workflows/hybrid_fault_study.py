@@ -20,22 +20,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.api import (
-    PipelineConfig,
-    QualifierConfig,
-    build_baseline,
-    build_pipeline,
-    build_qualifier,
-)
+from repro.api import QualifierConfig, build_baseline, build_qualifier
 from repro.core import Decision
 from repro.data import STOP_CLASS_INDEX, render_sign
-from repro.faults.injector import FaultyExecutionUnit, flip_weight_bits
-from repro.faults.models import TransientFault
-from repro.models import alexnet_scaled
-from repro.nn.layers.activations import softmax
-from repro.reliable.executor import ReliableConv2D
-from repro.reliable.operators import RedundantOperator
-from repro.vision.filters import sobel_axis_stack
+from repro.faults.injector import flip_weight_bits
 
 
 # ---------------------------------------------------------------------------
@@ -81,16 +69,41 @@ class HybridFaultResult:
 
 
 def _pinned_model(input_size: int, rng: np.random.Generator):
-    model = alexnet_scaled(n_classes=8, input_size=input_size, rng=rng)
-    conv1 = model.layer("conv1")
-    conv1.set_filter(0, sobel_axis_stack("x", conv1.kernel_size, 3))
-    conv1.set_filter(1, sobel_axis_stack("y", conv1.kernel_size, 3))
-    # Stand-in for a trained network that recognises the stop sign:
-    # bias the head towards the safety class so the decision matrix
-    # (confirmed / qualifier-unavailable / ...) is exercised without
-    # a multi-minute 96px training run.
-    model.layer("fc8").bias.value[STOP_CLASS_INDEX] = 10.0
-    return model
+    # Historical entry point; one shared implementation with the
+    # campaign engine's "pipeline" target.
+    from repro.campaigns.targets import pinned_stop_model
+
+    return pinned_stop_model(input_size, rng)
+
+
+def build_hybrid_fault_spec(
+    probabilities: tuple[float, ...] = (0.0, 1e-5, 1e-4),
+    input_size: int = 96,
+    bucket_ceiling: int = 1000,
+    seed: int = 0,
+    trials: int = 1,
+) -> "CampaignSpec":
+    """The campaign spec behind :func:`run_hybrid_under_faults`.
+
+    One grid cell per fault probability, ``trials`` full-pipeline
+    inferences each -- scale ``trials`` and add ``workers`` at the
+    engine call for distribution-level statistics instead of the
+    historical single-shot rows.
+    """
+    from repro.campaigns import CampaignSpec, FaultSpec
+
+    return CampaignSpec(
+        name="hybrid-under-faults",
+        target="pipeline",
+        fault=FaultSpec(kind="transient", params={"probability": 0.0}),
+        trials=trials,
+        seed=seed,
+        grid={"fault.probability": probabilities},
+        target_params={
+            "input_size": input_size,
+            "bucket_ceiling": bucket_ceiling,
+        },
+    )
 
 
 def run_hybrid_under_faults(
@@ -98,6 +111,7 @@ def run_hybrid_under_faults(
     input_size: int = 96,
     bucket_ceiling: int = 1000,
     seed: int = 0,
+    workers: int | None = None,
 ) -> HybridFaultResult:
     """Integrated hybrid inference with transient PE faults injected
     into the dependable partition's arithmetic.
@@ -105,35 +119,34 @@ def run_hybrid_under_faults(
     A generous bucket ceiling keeps moderate fault rates inside the
     rollback regime (errors detected and recovered); tightening it
     trades availability for fail-fast behaviour, as Algorithm 3
-    intends.
+    intends.  Runs on the campaign engine: one cell per probability,
+    and the returned rows are bitwise identical for any ``workers``.
     """
-    rng = np.random.default_rng(seed)
-    result = HybridFaultResult()
-    image = render_sign(0, size=input_size, rotation=np.deg2rad(5))
-    config = PipelineConfig(
-        architecture="integrated",
-        safety_class=STOP_CLASS_INDEX,
-        name="hybrid-fault-study",
+    from repro.campaigns import run_campaign
+
+    spec = build_hybrid_fault_spec(
+        probabilities=probabilities,
+        input_size=input_size,
+        bucket_ceiling=bucket_ceiling,
+        seed=seed,
     )
-    for p in probabilities:
-        model = _pinned_model(input_size, np.random.default_rng(seed))
-        pipeline = build_pipeline(config, model)
-        unit = FaultyExecutionUnit(TransientFault(p, rng))
-        pipeline.hybrid._reliable_conv = ReliableConv2D(
-            model.layer("conv1"),
-            RedundantOperator(unit),
-            bucket_ceiling=bucket_ceiling,
-            on_persistent_failure="mark",
-        )
-        outcome = pipeline.infer(image)
-        report = outcome.reliable_report
+    report = run_campaign(spec, workers=workers, keep_records=True)
+    cells = spec.cells()
+    result = HybridFaultResult()
+    for record in report.records:
         result.rows.append(HybridFaultRow(
-            fault_probability=p,
-            decision=outcome.decision.value,
-            qualifier_matches=outcome.verdict.matches,
-            errors_detected=report.errors_detected,
-            rollbacks=report.rollbacks,
-            persistent_failures=report.persistent_failures,
+            fault_probability=cells[record.cell].overrides[
+                "fault.probability"
+            ],
+            decision=record.observed,
+            qualifier_matches=bool(
+                record.metrics["qualifier_matches"]
+            ),
+            errors_detected=record.errors_detected,
+            rollbacks=record.rollbacks,
+            persistent_failures=int(
+                record.metrics["persistent_failures"]
+            ),
         ))
     return result
 

@@ -29,14 +29,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.faults.injector import FaultyExecutionUnit
-from repro.faults.models import TransientFault
-from repro.reliable.checkpoint import CheckpointedSegment, RollbackPolicy
-from repro.reliable.errors import PersistentFailureError
-from repro.reliable.operators import RedundantOperator
-
 
 def expected_cost(
     segment_size: int, fault_probability: float, compare_cost: float
@@ -110,6 +102,31 @@ class RollbackDistanceResult:
         return "\n".join(lines)
 
 
+def build_segment_cost_spec(
+    segment_size: int,
+    fault_probability: float,
+    compare_cost: float,
+    trials: int,
+    seed: int,
+) -> "CampaignSpec":
+    """Campaign spec for one (fault rate, segment size) corner."""
+    from repro.campaigns import CampaignSpec, FaultSpec
+
+    return CampaignSpec(
+        name=f"segment-cost-s{segment_size}",
+        target="checkpoint_segment",
+        fault=FaultSpec(
+            kind="transient", params={"probability": fault_probability}
+        ),
+        trials=trials,
+        seed=seed,
+        target_params={
+            "segment_size": segment_size,
+            "compare_cost": compare_cost,
+        },
+    )
+
+
 def _simulate_segment_cost(
     segment_size: int,
     fault_probability: float,
@@ -117,40 +134,20 @@ def _simulate_segment_cost(
     trials: int,
     seed: int,
 ) -> float:
-    """Measure executions/op using the real checkpoint machinery."""
-    rng = np.random.default_rng(seed)
-    total_ops = 0
-    completed_ops = 0
-    for _ in range(trials):
-        values = rng.standard_normal(segment_size)
-        weights = rng.standard_normal(segment_size)
-        unit = FaultyExecutionUnit(TransientFault(fault_probability, rng))
-        operator = RedundantOperator(unit)
-        executions = {"n": 0}
+    """Measure executions/op using the real checkpoint machinery.
 
-        def compute():
-            total = 0.0
-            ok = True
-            for v, w in zip(values, weights):
-                result = operator.multiply(float(v), float(w))
-                executions["n"] += 2  # DMR: two unit executions
-                total += result.value
-                ok = ok and result.ok
-            return total, ok
+    Runs on the campaign engine's ``"checkpoint_segment"`` target;
+    the cost ratio comes from the cell's aggregated operation
+    metrics, so the number is bitwise identical serial or sharded.
+    """
+    from repro.campaigns import run_campaign
 
-        segment = CheckpointedSegment(
-            compute, validate=lambda result: result[1],
-            policy=RollbackPolicy(max_rollbacks=50),
-        )
-        try:
-            segment.run()
-        except PersistentFailureError:
-            pass
-        total_ops += executions["n"] + compare_cost * (
-            1 + segment.rollbacks_performed
-        )
-        completed_ops += segment_size
-    return total_ops / completed_ops
+    spec = build_segment_cost_spec(
+        segment_size, fault_probability, compare_cost, trials, seed
+    )
+    report = run_campaign(spec)
+    sums = report.cell(0).metric_sums
+    return sums["total_ops"] / sums["completed_ops"]
 
 
 def run_rollback_distance(

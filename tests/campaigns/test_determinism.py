@@ -1,0 +1,106 @@
+"""The engine's headline guarantee: bitwise worker-count invariance.
+
+Same spec + seed run serial, with 2 workers and with 4 workers must
+produce identical ``CampaignReport`` aggregates (fingerprints digest
+every count, confusion pair and metric sum) and identical sorted JSONL
+trial records; a resumed run must equal an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    CampaignStore,
+    FaultSpec,
+    run_campaign,
+)
+
+
+def spec_for(tmp: str = "determinism") -> CampaignSpec:
+    return CampaignSpec(
+        name=tmp,
+        target="reliable_conv",
+        fault=FaultSpec(kind="transient", params={"probability": 0.02}),
+        trials=24,
+        seed=13,
+        shard_size=5,
+        grid={"operator_kind": ("plain", "dmr")},
+        target_params={"vector_length": 8},
+    )
+
+
+def sorted_jsonl(store: CampaignStore) -> list[str]:
+    return [record.to_json() for record in store.all_records()]
+
+
+class TestWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        results = {}
+        for workers in (1, 2, 4):
+            directory = tmp_path_factory.mktemp(f"workers-{workers}")
+            spec = spec_for()
+            report = run_campaign(
+                spec, workers=workers, artifacts_dir=directory
+            )
+            results[workers] = (
+                report,
+                sorted_jsonl(CampaignStore(directory, spec)),
+            )
+        return results
+
+    def test_aggregate_reports_bitwise_identical(self, runs):
+        fingerprints = {
+            report.fingerprint() for report, _ in runs.values()
+        }
+        assert len(fingerprints) == 1
+
+    def test_deterministic_dicts_equal(self, runs):
+        dicts = [
+            report.deterministic_dict() for report, _ in runs.values()
+        ]
+        assert dicts[0] == dicts[1] == dicts[2]
+
+    def test_sorted_jsonl_records_identical(self, runs):
+        lines = [jsonl for _, jsonl in runs.values()]
+        assert lines[0] == lines[1] == lines[2]
+        assert len(lines[0]) == spec_for().total_trials
+
+    def test_float_metric_sums_bitwise_equal(self, runs):
+        reports = [report for report, _ in runs.values()]
+        for index in reports[0].cells:
+            sums = [r.cell(index).metric_sums for r in reports]
+            assert sums[0] == sums[1] == sums[2]
+
+
+class TestResume:
+    def test_resume_after_interrupt_equals_uninterrupted(self, tmp_path):
+        spec = spec_for("resume")
+        interrupted = tmp_path / "interrupted"
+        straight = tmp_path / "straight"
+
+        # "Interrupt" after 3 of 10 shards, then resume to completion.
+        partial = run_campaign(
+            spec, artifacts_dir=interrupted, shard_limit=3
+        )
+        assert not partial.complete
+        resumed = run_campaign(spec, artifacts_dir=interrupted)
+        assert resumed.complete and resumed.resumed_shards == 3
+
+        uninterrupted = run_campaign(spec, artifacts_dir=straight)
+        assert resumed.fingerprint() == uninterrupted.fingerprint()
+        assert sorted_jsonl(
+            CampaignStore(interrupted, spec)
+        ) == sorted_jsonl(CampaignStore(straight, spec))
+
+    def test_resume_with_different_worker_count(self, tmp_path):
+        spec = spec_for("resume-workers")
+        directory = tmp_path / "art"
+        run_campaign(
+            spec, workers=2, artifacts_dir=directory, shard_limit=4
+        )
+        resumed = run_campaign(spec, workers=4, artifacts_dir=directory)
+        serial = run_campaign(spec)
+        assert resumed.fingerprint() == serial.fingerprint()

@@ -1,0 +1,180 @@
+"""Exhaustive classification-contract tests for ``classify_outcome``.
+
+Complements ``tests/faults/test_campaign.py``'s spot checks with the
+full branch matrix, the ``atol`` boundary (exactly equal vs within
+tolerance vs outside), and a property-style sweep asserting the
+classifier is *total*: every observable combination maps to an
+:class:`Outcome`, with the single documented exception (a non-aborted
+run must provide a value).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.faults.campaign import Outcome, classify_outcome
+
+
+class TestEveryBranch:
+    """One test per reachable branch of the decision tree."""
+
+    @pytest.mark.parametrize("errors", [0, 1, 17])
+    @pytest.mark.parametrize("fault_fired", [False, True])
+    @pytest.mark.parametrize("value", [None, 1.0, 2.0])
+    def test_abort_dominates_everything(self, value, fault_fired, errors):
+        outcome = classify_outcome(
+            1.0, value, fault_fired=fault_fired,
+            errors_detected=errors, aborted=True,
+        )
+        assert outcome is Outcome.DETECTED_ABORTED
+
+    @pytest.mark.parametrize("errors", [0, 3])
+    def test_no_fault_is_clean_regardless_of_detections(self, errors):
+        # errors without a fired fault (e.g. a flaky comparator) still
+        # classify as CLEAN: the fault model never activated.
+        outcome = classify_outcome(
+            1.0, 1.0, fault_fired=False,
+            errors_detected=errors, aborted=False,
+        )
+        assert outcome is Outcome.CLEAN
+
+    def test_correct_value_no_detection_is_masked(self):
+        outcome = classify_outcome(
+            1.0, 1.0, fault_fired=True, errors_detected=0, aborted=False
+        )
+        assert outcome is Outcome.MASKED
+
+    @pytest.mark.parametrize("errors", [1, 2, 100])
+    def test_correct_value_with_detection_is_recovered(self, errors):
+        outcome = classify_outcome(
+            1.0, 1.0, fault_fired=True,
+            errors_detected=errors, aborted=False,
+        )
+        assert outcome is Outcome.DETECTED_RECOVERED
+
+    @pytest.mark.parametrize("errors", [0, 1, 5])
+    def test_wrong_value_is_silent_corruption(self, errors):
+        """Wrong output escaping = SDC whether or not something was
+        detected along the way."""
+        outcome = classify_outcome(
+            1.0, -3.5, fault_fired=True,
+            errors_detected=errors, aborted=False,
+        )
+        assert outcome is Outcome.SILENT_CORRUPTION
+
+    def test_non_aborted_run_requires_value(self):
+        with pytest.raises(ValueError):
+            classify_outcome(
+                1.0, None, fault_fired=True,
+                errors_detected=0, aborted=False,
+            )
+
+
+class TestAtolBoundary:
+    """``correct`` means ``abs(value - golden) <= atol`` -- inclusive."""
+
+    GOLDEN = 10.0
+
+    def test_exactly_equal_with_zero_atol(self):
+        outcome = classify_outcome(
+            self.GOLDEN, 10.0, fault_fired=True,
+            errors_detected=0, aborted=False, atol=0.0,
+        )
+        assert outcome is Outcome.MASKED
+
+    def test_any_deviation_with_zero_atol_is_sdc(self):
+        nudged = math.nextafter(self.GOLDEN, math.inf)
+        outcome = classify_outcome(
+            self.GOLDEN, nudged, fault_fired=True,
+            errors_detected=0, aborted=False, atol=0.0,
+        )
+        assert outcome is Outcome.SILENT_CORRUPTION
+
+    def test_exactly_on_the_tolerance_counts_as_correct(self):
+        outcome = classify_outcome(
+            self.GOLDEN, self.GOLDEN + 0.5, fault_fired=True,
+            errors_detected=1, aborted=False, atol=0.5,
+        )
+        assert outcome is Outcome.DETECTED_RECOVERED
+
+    def test_within_tolerance(self):
+        outcome = classify_outcome(
+            self.GOLDEN, self.GOLDEN + 0.25, fault_fired=True,
+            errors_detected=0, aborted=False, atol=0.5,
+        )
+        assert outcome is Outcome.MASKED
+
+    def test_just_outside_tolerance(self):
+        outside = math.nextafter(self.GOLDEN + 0.5, math.inf)
+        outcome = classify_outcome(
+            self.GOLDEN, outside, fault_fired=True,
+            errors_detected=0, aborted=False, atol=0.5,
+        )
+        assert outcome is Outcome.SILENT_CORRUPTION
+
+    @pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+    def test_non_finite_values_are_never_correct(self, value):
+        outcome = classify_outcome(
+            self.GOLDEN, value, fault_fired=True,
+            errors_detected=0, aborted=False, atol=1e12,
+        )
+        assert outcome is Outcome.SILENT_CORRUPTION
+
+
+class TestTotality:
+    """Property-style sweep: classification never raises and always
+    lands in the Outcome enum for every observable combination, the
+    lone exception being the documented value-less non-abort."""
+
+    GOLDENS = [0.0, 1.0, -2.5, 1e30, math.inf, math.nan]
+    VALUES = [None, 0.0, 1.0, -2.5, 1e30, -math.inf, math.nan]
+    ATOLS = [0.0, 1e-9, 0.5, 1e30]
+
+    def test_every_combination_classifies(self):
+        combos = itertools.product(
+            self.GOLDENS, self.VALUES, [False, True],
+            [0, 1, 7], [False, True], self.ATOLS,
+        )
+        checked = 0
+        for golden, value, fired, errors, aborted, atol in combos:
+            if value is None and not aborted:
+                with pytest.raises(ValueError):
+                    classify_outcome(
+                        golden, value, fault_fired=fired,
+                        errors_detected=errors, aborted=aborted,
+                        atol=atol,
+                    )
+                continue
+            outcome = classify_outcome(
+                golden, value, fault_fired=fired,
+                errors_detected=errors, aborted=aborted, atol=atol,
+            )
+            assert isinstance(outcome, Outcome)
+            checked += 1
+        # The sweep genuinely covered the grid (minus the error arm).
+        assert checked > 1000
+
+    def test_partition_is_consistent(self):
+        """Classified outcome agrees with the observables that
+        produced it -- e.g. only aborted runs map to
+        DETECTED_ABORTED, only un-fired runs map to CLEAN."""
+        for golden, value, fired, errors, aborted, atol in (
+            itertools.product(
+                [1.0, math.nan], [1.0, 2.0], [False, True],
+                [0, 2], [False, True], [0.0, 0.5],
+            )
+        ):
+            outcome = classify_outcome(
+                golden, value, fault_fired=fired,
+                errors_detected=errors, aborted=aborted, atol=atol,
+            )
+            if outcome is Outcome.DETECTED_ABORTED:
+                assert aborted
+            if outcome is Outcome.CLEAN:
+                assert not fired and not aborted
+            if outcome in (Outcome.MASKED, Outcome.DETECTED_RECOVERED):
+                assert fired and not aborted
+                assert abs(value - golden) <= atol

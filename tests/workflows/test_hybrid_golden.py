@@ -1,0 +1,86 @@
+"""Golden regression pin for the migrated hybrid fault study.
+
+``run_hybrid_under_faults`` now runs on the campaign engine; this
+test pins a small-seed summary -- per-row decisions, detected-error
+counts and the campaign's decision counts per outcome class -- so any
+future engine change that silently alters workflow results fails
+loudly instead of drifting.
+
+The pinned numbers come from classification decisions and integer
+fault-stream draws (not raw float aggregates), so they are stable
+across platforms and BLAS builds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import run_campaign
+from repro.workflows import run_hybrid_under_faults
+from repro.workflows.hybrid_fault_study import build_hybrid_fault_spec
+
+PROBABILITIES = (0.0, 2e-4)
+INPUT_SIZE = 64
+SEED = 0
+
+#: (fault_probability, decision, qualifier_matches, errors_detected,
+#:  rollbacks, persistent_failures)
+GOLDEN_ROWS = [
+    (0.0, "confirmed", True, 0, 0, 0),
+    (2e-4, "confirmed", True, 198, 198, 0),
+]
+
+#: Decision counts per outcome class for the same campaign.
+GOLDEN_OUTCOME_COUNTS = {
+    "clean": 1,
+    "masked": 0,
+    "detected_recovered": 1,
+    "detected_aborted": 0,
+    "silent_corruption": 0,
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hybrid_under_faults(
+        probabilities=PROBABILITIES, input_size=INPUT_SIZE, seed=SEED
+    )
+
+
+class TestGoldenRows:
+    def test_row_for_each_probability(self, result):
+        assert [
+            row.fault_probability for row in result.rows
+        ] == list(PROBABILITIES)
+
+    def test_rows_match_golden(self, result):
+        observed = [
+            (
+                row.fault_probability,
+                row.decision,
+                row.qualifier_matches,
+                row.errors_detected,
+                row.rollbacks,
+                row.persistent_failures,
+            )
+            for row in result.rows
+        ]
+        assert observed == GOLDEN_ROWS
+
+    def test_safety_invariant_still_holds(self, result):
+        assert result.never_silently_confirmed_under_abort()
+
+
+class TestGoldenCampaignAggregates:
+    def test_outcome_counts_pinned(self):
+        spec = build_hybrid_fault_spec(
+            probabilities=PROBABILITIES,
+            input_size=INPUT_SIZE,
+            seed=SEED,
+        )
+        report = run_campaign(spec)
+        assert report.counts == GOLDEN_OUTCOME_COUNTS
+        # Both rows took the golden decision: the confusion matrix is
+        # purely diagonal.
+        for cell in report.cells.values():
+            assert cell.confusion == {("confirmed", "confirmed"): 1}
