@@ -1,0 +1,130 @@
+"""Speculate-then-verify engine vs scalar Algorithm 3.
+
+The acceptance bar for the vectorized engine: >= 20x faster than the
+scalar per-operation path on the benchmark layer (the scaled Table 1
+geometry; ``REPRO_FULL=1`` for the paper's exact layer), with
+bitwise-identical outputs and reports.  Observed speedups are
+typically in the hundreds -- 20x leaves ample headroom for slow CI
+machines.
+
+Each run writes a timing JSON artifact (CI uploads it per commit,
+seeding the ``BENCH_*`` perf trajectory) to
+``benchmarks/artifacts/reliable_vectorized_timing.json``, overridable
+via the ``BENCH_ARTIFACT_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.data import render_sign
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import TransientFault
+from repro.nn import Conv2D
+from repro.reliable.executor import ReliableConv2D
+from repro.reliable.operators import RedundantOperator
+
+MIN_SPEEDUP = 20.0
+
+
+def _artifact_path() -> Path:
+    directory = Path(
+        os.environ.get("BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / "reliable_vectorized_timing.json"
+
+
+@pytest.fixture(scope="module")
+def bench_layer():
+    rng = np.random.default_rng(0)
+    if full_scale():
+        layer = Conv2D(3, 96, 11, stride=4, rng=rng, name="conv1")
+        image = render_sign(0, size=227)[None]
+        description = "96 filters 11x11x3, 227x227 input (paper scale)"
+    else:
+        layer = Conv2D(3, 8, 5, stride=2, rng=rng, name="conv1")
+        image = render_sign(0, size=32)[None]
+        description = "8 filters 5x5x3, 32x32 input (scaled)"
+    return layer, image, description
+
+
+def _timed_forward(executor, image):
+    start = time.perf_counter()
+    out, report = executor.forward(image)
+    return out, report, time.perf_counter() - start
+
+
+def test_vectorized_dmr_speedup_and_bitwise_parity(bench_layer):
+    layer, image, description = bench_layer
+    scalar = ReliableConv2D(layer, "dmr", engine="scalar")
+    vectorized = ReliableConv2D(layer, "dmr", engine="vectorized")
+
+    # Warm both paths (patch extraction, allocator) outside timing.
+    vectorized.forward(image)
+    out_s, rep_s, scalar_seconds = _timed_forward(scalar, image)
+    out_v, rep_v, vectorized_seconds = _timed_forward(vectorized, image)
+
+    assert out_s.tobytes() == out_v.tobytes()
+    assert (rep_s.operations, rep_s.errors_detected, rep_s.rollbacks,
+            rep_s.persistent_failures, rep_s.operator_kind) == (
+            rep_v.operations, rep_v.errors_detected, rep_v.rollbacks,
+            rep_v.persistent_failures, rep_v.operator_kind)
+
+    speedup = scalar_seconds / vectorized_seconds
+    print(
+        f"\n{description}: scalar {scalar_seconds:.3f}s, "
+        f"vectorized {vectorized_seconds*1e3:.2f}ms, {speedup:.0f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized DMR only {speedup:.1f}x over scalar "
+        f"({scalar_seconds:.3f}s vs {vectorized_seconds:.4f}s)"
+    )
+
+    payload = {
+        "bench": "reliable_vectorized",
+        "layer": description,
+        "full_scale": full_scale(),
+        "operator": "dmr",
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": speedup,
+        "operations": rep_s.operations,
+        "min_speedup_asserted": MIN_SPEEDUP,
+    }
+    _artifact_path().write_text(json.dumps(payload, indent=2))
+
+
+def test_vectorized_injection_overhead_stays_bounded(bench_layer):
+    """Array-level transient injection (speculation + scalar repair of
+    disagreeing elements) must stay far below the scalar faulty path
+    -- the property that lets campaigns afford bigger fault cells."""
+    layer, image, _ = bench_layer
+
+    def faulty_executor(engine, seed):
+        return ReliableConv2D(
+            layer,
+            RedundantOperator(FaultyExecutionUnit(
+                TransientFault(1e-4, np.random.default_rng(seed))
+            )),
+            bucket_ceiling=100_000,
+            engine=engine,
+        )
+
+    _, rep_scalar, scalar_seconds = _timed_forward(
+        faulty_executor("scalar", 1), image
+    )
+    _, rep_vector, vectorized_seconds = _timed_forward(
+        faulty_executor("vectorized", 1), image
+    )
+    # Both sampled the same fault process and both detected activity.
+    assert rep_vector.errors_detected > 0
+    assert rep_scalar.errors_detected > 0
+    assert vectorized_seconds < scalar_seconds / 5

@@ -50,8 +50,13 @@ def bench_native(benchmark, table1_inputs):
 
 
 def bench_algorithm1_plain(benchmark, table1_inputs):
+    # engine="scalar" throughout: Table 1 measures the per-operation
+    # Algorithm 3 loop; the vectorized engine has its own bench in
+    # test_reliable_vectorized.py.
     layer, image = table1_inputs
-    executor = ReliableConv2D(layer, PlainOperator(Float32ExecutionUnit()))
+    executor = ReliableConv2D(
+        layer, PlainOperator(Float32ExecutionUnit()), engine="scalar"
+    )
     benchmark.pedantic(
         lambda: executor.forward(image), rounds=1, iterations=1
     )
@@ -60,7 +65,7 @@ def bench_algorithm1_plain(benchmark, table1_inputs):
 def bench_algorithm2_redundant(benchmark, table1_inputs):
     layer, image = table1_inputs
     executor = ReliableConv2D(
-        layer, RedundantOperator(Float32ExecutionUnit())
+        layer, RedundantOperator(Float32ExecutionUnit()), engine="scalar"
     )
     benchmark.pedantic(
         lambda: executor.forward(image), rounds=1, iterations=1
@@ -70,7 +75,9 @@ def bench_algorithm2_redundant(benchmark, table1_inputs):
 def bench_tmr_extension(benchmark, table1_inputs):
     """Extension row: TMR costs ~3x plain in unit executions."""
     layer, image = table1_inputs
-    executor = ReliableConv2D(layer, TMROperator(Float32ExecutionUnit()))
+    executor = ReliableConv2D(
+        layer, TMROperator(Float32ExecutionUnit()), engine="scalar"
+    )
     benchmark.pedantic(
         lambda: executor.forward(image), rounds=1, iterations=1
     )

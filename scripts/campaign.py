@@ -46,7 +46,10 @@ _TEMPLATES = {
             "operator_kind": ["plain", "dmr", "tmr"],
             "fault.probability": [1e-3, 1e-2],
         },
-        "target_params": {"vector_length": 32},
+        # engine: "auto" keeps the scalar per-op fault stream;
+        # "vectorized" opts into speculate-then-verify execution
+        # with array-level injection (docs/campaigns.md).
+        "target_params": {"vector_length": 32, "engine": "auto"},
         "shard_size": 50,
     },
     "baseline": {

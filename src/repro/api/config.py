@@ -95,9 +95,13 @@ class PartitionConfig:
     """Which filters execute reliably (integrated hybrid only).
 
     A serialisable twin of :class:`repro.core.partition.HybridPartition`
-    -- same defaults (Sobel-x/-y of ``conv1`` under DMR), same
-    validation, plus dict round-tripping.  :meth:`to_partition`
-    produces the core object.
+    -- same defaults (Sobel-x/-y of ``conv1`` under DMR with the
+    ``"auto"`` execution engine), same validation, plus dict
+    round-tripping.  :meth:`to_partition` produces the core object.
+    ``engine`` selects the reliable-execution strategy by
+    ``repro.api.ENGINES`` key (``"auto"`` picks the vectorized
+    speculate-then-verify engine whenever its result is provably
+    bit-identical to the scalar Algorithm 3 loop).
     """
 
     reliable_filters: dict[str, tuple[int, ...]] = field(
@@ -105,6 +109,7 @@ class PartitionConfig:
     )
     bifurcation_layer: str = "conv1"
     redundancy: str = Redundancy.DMR.value
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         # Normalise JSON-style lists to tuples so equality (and thus
@@ -127,6 +132,7 @@ class PartitionConfig:
             reliable_filters=dict(self.reliable_filters),
             bifurcation_layer=self.bifurcation_layer,
             redundancy=self.redundancy,
+            engine=self.engine,
         )
 
     def to_dict(self) -> dict:
@@ -137,6 +143,7 @@ class PartitionConfig:
             },
             "bifurcation_layer": self.bifurcation_layer,
             "redundancy": self.redundancy,
+            "engine": self.engine,
         }
 
     @classmethod

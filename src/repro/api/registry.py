@@ -103,45 +103,48 @@ ARCHITECTURES = Registry("architecture")
 QUALIFIERS = Registry("qualifier")
 
 
-class _OperatorRegistry(Registry):
-    """Live registry *view* over the operator factory table.
+class _TableView(Registry):
+    """Live registry *view* over an external factory table.
 
-    There is exactly one table of operator kinds -- the one behind
-    :func:`repro.reliable.operators.make_operator`.  Registration here
-    funnels into :func:`repro.reliable.operators.register_operator`
-    and every read delegates to that table, so an operator registered
-    through either entry point is reachable from every kind-string
-    surface: ``build_operator``,
-    ``ReliableConv2D(operator="<kind>")`` and
-    ``PartitionConfig(redundancy="<kind>")``.
+    Some axes keep their single source of truth in ``repro.reliable``
+    (operators behind :func:`repro.reliable.operators.make_operator`,
+    engines behind :func:`repro.reliable.executor.engine_fn`); these
+    views delegate every read and funnel registration into that table,
+    so either entry point sees the other's registrations.  Subclasses
+    supply the three delegates; the table functions raise
+    ``ValueError`` on unknown/duplicate names, translated here to
+    :class:`RegistryError`.
     """
 
-    def register(self, name, builder=None, *, overwrite=False):
-        def decorate(cls):
-            from repro.reliable.operators import register_operator
+    def _table_register(self, name: str, obj, overwrite: bool):
+        raise NotImplementedError
 
+    def _table_get(self, name: str):
+        raise NotImplementedError
+
+    def _table_names(self) -> list[str]:
+        raise NotImplementedError
+
+    def register(self, name, builder=None, *, overwrite=False):
+        def decorate(obj):
             try:
-                register_operator(name, cls, overwrite=overwrite)
+                self._table_register(name, obj, overwrite)
             except ValueError as error:
                 raise RegistryError(str(error)) from None
-            return cls
+            return obj
 
         if builder is None:
             return decorate
         return decorate(builder)
 
     def get(self, name: str):
-        from repro.reliable.operators import _operator_class
-
         try:
-            return _operator_class(name)
+            return self._table_get(name)
         except ValueError as error:
             raise RegistryError(str(error)) from None
 
     def names(self) -> list[str]:
-        from repro.reliable.operators import operator_kinds
-
-        return operator_kinds()
+        return self._table_names()
 
     def __contains__(self, name: object) -> bool:
         return name in self.names()
@@ -153,10 +156,62 @@ class _OperatorRegistry(Registry):
         return len(self.names())
 
 
+class _OperatorRegistry(_TableView):
+    """View over the operator factory table: a kind registered through
+    either entry point is reachable from every kind-string surface --
+    ``build_operator``, ``ReliableConv2D(operator="<kind>")`` and
+    ``PartitionConfig(redundancy="<kind>")``."""
+
+    def _table_register(self, name, cls, overwrite):
+        from repro.reliable.operators import register_operator
+
+        register_operator(name, cls, overwrite=overwrite)
+
+    def _table_get(self, name):
+        from repro.reliable.operators import _operator_class
+
+        return _operator_class(name)
+
+    def _table_names(self):
+        from repro.reliable.operators import operator_kinds
+
+        return operator_kinds()
+
+
 #: Redundancy operators: ``builder(unit=None) -> Operator``.  Seeded
 #: from :mod:`repro.reliable.operators` below; additions propagate
 #: back to that module's factory table.
 OPERATORS = _OperatorRegistry("operator")
+
+
+class _EngineRegistry(_TableView):
+    """View over the reliable-execution engine table: an engine
+    registered through either entry point is selectable via
+    ``ReliableConv2D(engine="<name>")`` and
+    ``PartitionConfig(engine="<name>")``.  ``"auto"`` is the selection
+    policy, not a table entry."""
+
+    def _table_register(self, name, fn, overwrite):
+        from repro.reliable.executor import register_engine
+
+        register_engine(name, fn, overwrite=overwrite)
+
+    def _table_get(self, name):
+        from repro.reliable.executor import engine_fn
+
+        return engine_fn(name)
+
+    def _table_names(self):
+        from repro.reliable.executor import engine_names
+
+        return engine_names()
+
+
+#: Reliable-execution engines: ``engine(executor, x, filters) ->
+#: (output, report)``.  Built-ins: ``"scalar"`` (paper-literal
+#: Algorithm 3 loop) and ``"vectorized"`` (speculate-then-verify,
+#: :mod:`repro.reliable.vectorized`).
+ENGINES = _EngineRegistry("engine")
 
 #: Protection baselines the paper compares against:
 #: ``builder(model, **kwargs) -> guard``.

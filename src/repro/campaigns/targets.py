@@ -46,6 +46,37 @@ from repro.reliable.convolution import ConvolutionStats, reliable_convolution
 from repro.reliable.errors import PersistentFailureError
 from repro.reliable.leaky_bucket import LeakyBucket
 from repro.reliable.operators import RedundantOperator, make_operator
+from repro.reliable.vectorized import (
+    speculation_is_exact,
+    vectorized_reliable_convolution,
+)
+
+
+def _element_runner(engine: str, operator):
+    """Resolve a cell's ``engine`` parameter for element targets.
+
+    ``"scalar"`` is the per-operation Algorithm 3 loop (the historical
+    campaign arithmetic, with its per-op fault stream);
+    ``"vectorized"`` speculates the element as array passes with
+    array-level fault injection and repairs through the scalar path on
+    disagreement; ``"auto"`` (default) uses the vectorized form only
+    when it is provably bit-identical to scalar.  Stochastic fault
+    models (transient, intermittent) therefore stay on the scalar
+    path; deterministic stuck-at models may vectorize, with records
+    guaranteed bitwise equal either way -- so historical campaign
+    results (and the hybrid-fault-study golden pin) are stable unless
+    a cell opts in.
+    """
+    if engine == "vectorized" or (
+        engine == "auto" and speculation_is_exact(operator)
+    ):
+        return vectorized_reliable_convolution
+    if engine in ("auto", "scalar"):
+        return reliable_convolution
+    raise ValueError(
+        f"unknown engine parameter {engine!r}; "
+        "choose 'auto', 'scalar' or 'vectorized'"
+    )
 
 
 @dataclass(frozen=True)
@@ -95,6 +126,7 @@ def run_reliable_conv_trial(ctx: TrialContext) -> TrialRecord:
     operator_kind = ctx.param("operator_kind", "dmr")
     bucket_factor = ctx.param("bucket_factor", 2)
     bucket_ceiling = ctx.param("bucket_ceiling", None)
+    engine = ctx.param("engine", "auto")
 
     patch, weights, bias = _draw_element(ctx.rng, vector_length)
     golden = reliable_convolution(
@@ -104,12 +136,13 @@ def run_reliable_conv_trial(ctx: TrialContext) -> TrialRecord:
     fault = ctx.build_fault()
     unit = FaultyExecutionUnit(fault)
     operator = make_operator(operator_kind, unit)
+    convolve = _element_runner(engine, operator)
     bucket = LeakyBucket(factor=bucket_factor, ceiling=bucket_ceiling)
     stats = ConvolutionStats()
     aborted = False
     value: float | None = None
     try:
-        value = reliable_convolution(
+        value = convolve(
             patch, weights, bias, operator, bucket=bucket, stats=stats
         ).value
     except PersistentFailureError:
@@ -249,6 +282,12 @@ def run_pipeline_trial(ctx: TrialContext) -> TrialRecord:
     from repro.reliable.executor import ReliableConv2D
 
     bucket_ceiling = ctx.param("bucket_ceiling", 1000)
+    # The dependable partition's execution engine.  "auto" (default)
+    # keeps fault-injected trials on the scalar per-operation path --
+    # so historical results and the golden pin are bitwise unchanged
+    # -- while a cell opting into "vectorized" gets array-level
+    # injection on the speculative passes with scalar repair.
+    engine = ctx.param("engine", "auto")
     key, model, config, image = _pipeline_fixture(ctx)
 
     if key not in _GOLDEN_CACHE:
@@ -263,6 +302,7 @@ def run_pipeline_trial(ctx: TrialContext) -> TrialRecord:
         RedundantOperator(FaultyExecutionUnit(fault)),
         bucket_ceiling=bucket_ceiling,
         on_persistent_failure="mark",
+        engine=engine,
     )
     outcome = pipeline.infer(image)
     report = outcome.reliable_report

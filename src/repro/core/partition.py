@@ -41,6 +41,14 @@ class HybridPartition:
         or any kind registered with
         :func:`repro.reliable.operators.register_operator` (e.g. via
         the ``repro.api.OPERATORS`` registry).
+    engine:
+        Execution engine for the reliable portion: ``"auto"``
+        (default; the speculate-then-verify vectorized engine exactly
+        when its result is provably bit-identical, the scalar
+        Algorithm 3 loop otherwise), ``"scalar"``, ``"vectorized"``,
+        or any engine registered with
+        :func:`repro.reliable.executor.register_engine` (e.g. via the
+        ``repro.api.ENGINES`` registry).
     """
 
     reliable_filters: dict[str, tuple[int, ...]] = field(
@@ -48,8 +56,16 @@ class HybridPartition:
     )
     bifurcation_layer: str = "conv1"
     redundancy: str = "dmr"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        from repro.reliable.executor import engine_names
+
+        if self.engine != "auto" and self.engine not in engine_names():
+            raise ValueError(
+                f"engine must be 'auto' or a registered engine "
+                f"({engine_names()}), got {self.engine!r}"
+            )
         if self.bifurcation_layer not in self.reliable_filters:
             raise ValueError(
                 f"bifurcation layer {self.bifurcation_layer!r} has no "

@@ -71,6 +71,63 @@ def flip_bit32(value: float, bit: int) -> float:
     return _value32(flipped)
 
 
+def word32_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_word32`: float32 storage words (uint32) of a
+    float64 array, branch-for-branch identical to the scalar decode
+    (including the NaN-payload recovery and the canonical-quiet-NaN
+    fallback for payloads below bit 29)."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    as64 = values.view(np.uint64)
+    is_nan = ((as64 & _F64_EXP_MASK) == _F64_EXP_MASK) & (
+        (as64 & _F64_MANT_MASK) != 0
+    )
+    with np.errstate(over="ignore", invalid="ignore"):
+        normal = values.astype(np.float32).view(np.uint32)
+    sign = (as64 >> np.uint64(63)).astype(np.uint32) << np.uint32(31)
+    payload = ((as64 >> np.uint64(29)) & np.uint64(0x7FFFFF)).astype(
+        np.uint32
+    )
+    payload = np.where(payload == 0, np.uint32(0x400000), payload)
+    return np.where(is_nan, sign | np.uint32(0x7F800000) | payload, normal)
+
+
+def value32_array(words: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_value32`: float64 carriers of float32 storage
+    words, bit-exact (NaN payloads embedded without a conversion, so
+    signalling NaNs keep their quiet bit cleared)."""
+    words = np.asarray(words, dtype=np.uint32)
+    is_nan = ((words & np.uint32(0x7F800000)) == np.uint32(0x7F800000)) & (
+        (words & np.uint32(0x7FFFFF)) != 0
+    )
+    # The widening conversion signals "invalid" on sNaN words; those
+    # lanes are discarded below in favour of the bit-moved embedding.
+    with np.errstate(invalid="ignore"):
+        normal = words.view(np.float32).astype(np.float64)
+    as64 = (
+        ((words >> np.uint32(31)).astype(np.uint64) << np.uint64(63))
+        | _F64_EXP_MASK
+        | ((words & np.uint32(0x7FFFFF)).astype(np.uint64) << np.uint64(29))
+    )
+    return np.where(is_nan, as64.view(np.float64), normal)
+
+
+def flip_bit32_array(
+    values: np.ndarray, bits: int | np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`flip_bit32`.
+
+    ``bits`` is a single bit position applied everywhere or an array
+    broadcastable against ``values`` (one position per element, as the
+    array fault models draw them).  Elementwise identical to the
+    scalar flip, including the signalling-NaN involution guarantee.
+    """
+    bits = np.asarray(bits)
+    if bits.size and (bits.min() < 0 or bits.max() >= 32):
+        raise ValueError("bit must be in [0, 32)")
+    masks = np.left_shift(np.uint32(1), bits.astype(np.uint32))
+    return value32_array(word32_array(values) ^ masks)
+
+
 def flip_bit64(value: float, bit: int) -> float:
     """Flip bit ``bit`` (0 = LSB, 63 = sign) of a float64."""
     if not 0 <= bit < 64:

@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.faults.bitflip import flip_bit32
 from repro.faults.models import FaultModel
-from repro.reliable.execution_unit import ExecutionUnit, PerfectExecutionUnit
+from repro.reliable.execution_unit import (
+    ArrayExecutionUnit,
+    ExecutionUnit,
+    PerfectExecutionUnit,
+    as_array_unit,
+)
 
 
 class FaultyExecutionUnit(ExecutionUnit):
@@ -57,6 +62,62 @@ class FaultyExecutionUnit(ExecutionUnit):
         result = self.base.add(a, b)
         if self.targets in ("both", "add"):
             result = self.fault.apply(result)
+        return result
+
+    def as_array_unit(self) -> "ArrayFaultyExecutionUnit | None":
+        """Array counterpart for the vectorized engine's speculative
+        passes (the :func:`repro.reliable.execution_unit.as_array_unit`
+        hook): same base arithmetic vectorised, with the fault model
+        applied to whole result arrays via
+        :meth:`~repro.faults.models.FaultModel.apply_array`.  None when
+        the base unit itself has no bit-exact array form.
+        """
+        base = as_array_unit(self.base)
+        if base is None:
+            return None
+        return ArrayFaultyExecutionUnit(self.fault, base, self.targets)
+
+
+class ArrayFaultyExecutionUnit(ArrayExecutionUnit):
+    """Array execution unit whose results pass through a fault model.
+
+    The vectorized engine's injection point: each speculative pass
+    computes a tap's products/accumulations as one array op, then the
+    fault corrupts the result array element-by-element -- the same
+    exposure surface as :class:`FaultyExecutionUnit` gives scalar
+    execution, with independent draws per pass so comparison-based
+    detection keeps working.  ``deterministic`` holds only when both
+    the base arithmetic and the fault are (a stuck-at fault corrupts
+    every pass identically, so speculation stays bit-exact against
+    the scalar path).
+    """
+
+    def __init__(
+        self,
+        fault: FaultModel,
+        base: ArrayExecutionUnit,
+        targets: str = "both",
+    ) -> None:
+        if targets not in ("both", "multiply", "add"):
+            raise ValueError("targets must be 'both', 'multiply' or 'add'")
+        self.fault = fault
+        self.base = base
+        self.targets = targets
+
+    @property
+    def deterministic(self) -> bool:  # type: ignore[override]
+        return self.base.deterministic and self.fault.deterministic
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = self.base.multiply(a, b)
+        if self.targets in ("both", "multiply"):
+            result = self.fault.apply_array(result)
+        return result
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = self.base.add(a, b)
+        if self.targets in ("both", "add"):
+            result = self.fault.apply_array(result)
         return result
 
 

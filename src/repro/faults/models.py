@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.faults.bitflip import random_bitflip
+from repro.faults.bitflip import flip_bit32_array, random_bitflip
 
 
 class FaultModel:
@@ -26,6 +26,14 @@ class FaultModel:
 
     Subclasses implement :meth:`fires` (does this execution get hit?)
     and :meth:`corrupt` (what does the hit do to the result?).
+
+    ``deterministic`` declares that :meth:`apply` (and
+    :meth:`apply_array`) is a pure function of the value -- every
+    execution of the same operation is corrupted identically, as a
+    stuck-at fault is.  The vectorized engine uses it to decide when
+    speculation under this fault is still bit-exact against the
+    scalar path (a deterministic fault corrupts every redundant pass
+    the same way, so comparisons behave identically in both engines).
 
     Pass an explicit ``rng`` for reproducibility.  When omitted, each
     model gets a *freshly entropy-seeded* generator: a shared default
@@ -37,6 +45,10 @@ class FaultModel:
     (:mod:`repro.campaigns.seeding`) and
     :meth:`repro.campaigns.FaultSpec.build` rejects ``rng=None``.
     """
+
+    #: Whether corruption is a pure function of the value (stuck-at
+    #: behaviour); stochastic models leave this False.
+    deterministic: bool = False
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
         self.rng = rng if rng is not None else np.random.default_rng()
@@ -54,6 +66,27 @@ class FaultModel:
             self.activations += 1
             return self.corrupt(value)
         return value
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Array form of :meth:`apply` for the vectorized engine's
+        speculative passes.
+
+        The base implementation walks the array in C order calling
+        :meth:`apply` per element -- correct for any model (it
+        preserves sequential state such as a Gilbert burst), but with
+        scalar cost.  Models whose draws are independent per operation
+        override this with genuinely vectorised sampling; those
+        overrides consume the random stream in a different order than
+        per-op scalar calls would, which is fine because array
+        injection is a distinct (equally valid) sampling of the same
+        fault process, never a replay of a scalar run.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        flat = values.reshape(-1)
+        out = np.array(
+            [self.apply(float(v)) for v in flat], dtype=np.float64
+        )
+        return out.reshape(values.shape)
 
 
 class TransientFault(FaultModel):
@@ -83,6 +116,24 @@ class TransientFault(FaultModel):
         return random_bitflip(
             value, self.rng, width=32, bit_range=self.bit_range
         )
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """One independent fire draw per element, one bit draw per
+        fired element -- the vectorised sampling of the same SEU
+        process (see the base-class note on stream order)."""
+        values = np.asarray(values, dtype=np.float64)
+        fired = self.rng.random(values.shape) < self.probability
+        n_fired = int(fired.sum())
+        if n_fired == 0:
+            return values
+        self.activations += n_fired
+        low, high = (
+            self.bit_range if self.bit_range is not None else (0, 32)
+        )
+        bits = self.rng.integers(low, high, size=n_fired)
+        out = values.copy()
+        out[fired] = flip_bit32_array(values[fired], bits)
+        return out
 
 
 class IntermittentFault(FaultModel):
@@ -133,6 +184,8 @@ class PermanentFault(FaultModel):
     that only *spatial* (diverse) redundancy can uncover.
     """
 
+    deterministic = True
+
     def __init__(
         self, bit: int = 30, rng: np.random.Generator | None = None
     ) -> None:
@@ -148,3 +201,10 @@ class PermanentFault(FaultModel):
         from repro.faults.bitflip import flip_bit32
 
         return flip_bit32(value, self.bit)
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Stuck-at on every element: the same bit flips everywhere,
+        exactly as per-op scalar application would corrupt it."""
+        values = np.asarray(values, dtype=np.float64)
+        self.activations += values.size
+        return flip_bit32_array(values, self.bit)

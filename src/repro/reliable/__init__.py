@@ -26,15 +26,20 @@ arbitrary segments (for the rollback-distance ablation);
 """
 
 from repro.reliable.qualified import QualifiedValue
+from repro.reliable.bits import float_word, same_word, word_view
 from repro.reliable.errors import (
     LockstepMismatchError,
     PersistentFailureError,
     ReliabilityError,
 )
 from repro.reliable.execution_unit import (
+    ArrayExecutionUnit,
     ExecutionUnit,
+    Float32ArrayUnit,
     Float32ExecutionUnit,
+    Float64ArrayUnit,
     PerfectExecutionUnit,
+    as_array_unit,
 )
 from repro.reliable.operators import (
     Operator,
@@ -42,6 +47,7 @@ from repro.reliable.operators import (
     RedundantOperator,
     TMROperator,
     make_operator,
+    operator_kind_of,
 )
 from repro.reliable.leaky_bucket import LeakyBucket
 from repro.reliable.voting import majority_vote
@@ -72,22 +78,38 @@ from repro.reliable.ecc import (
 from repro.reliable.executor import (
     ExecutionReport,
     ReliableConv2D,
+    engine_names,
     redundant_layer_forward,
+    register_engine,
+)
+from repro.reliable.vectorized import (
+    can_speculate,
+    speculation_is_exact,
+    speculative_forward,
+    vectorized_reliable_convolution,
 )
 
 __all__ = [
     "QualifiedValue",
+    "float_word",
+    "same_word",
+    "word_view",
     "ReliabilityError",
     "PersistentFailureError",
     "LockstepMismatchError",
     "ExecutionUnit",
     "PerfectExecutionUnit",
     "Float32ExecutionUnit",
+    "ArrayExecutionUnit",
+    "Float64ArrayUnit",
+    "Float32ArrayUnit",
+    "as_array_unit",
     "Operator",
     "PlainOperator",
     "RedundantOperator",
     "TMROperator",
     "make_operator",
+    "operator_kind_of",
     "LeakyBucket",
     "majority_vote",
     "reliable_convolution",
@@ -99,6 +121,12 @@ __all__ = [
     "ReliableConv2D",
     "ExecutionReport",
     "redundant_layer_forward",
+    "register_engine",
+    "engine_names",
+    "speculative_forward",
+    "vectorized_reliable_convolution",
+    "can_speculate",
+    "speculation_is_exact",
     "QFormat",
     "Q7_8",
     "Q15_16",

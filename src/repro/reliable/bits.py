@@ -1,0 +1,50 @@
+"""Word views of floating-point results.
+
+Hardware checkers compare *storage words*, not numeric values: a DMR
+comparator XORs two 64-bit registers and a TMR voter majority-gates
+them bit by bit.  Comparing with float ``==`` diverges from that model
+in exactly two places:
+
+* ``NaN == NaN`` is False, so a true-NaN result (e.g. ``inf - inf``)
+  produced identically by every redundant execution would *never*
+  qualify -- an infinite rollback loop ending in bucket overflow;
+* ``+0.0 == -0.0`` is True, so a sign-bit upset on a zero result would
+  be silently qualified.
+
+Every qualifier comparison in :mod:`repro.reliable` therefore goes
+through these helpers: identical words agree (including identical NaN
+payloads), different words disagree (including ``+0.0`` vs ``-0.0``).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+#: dtype of the word view used for array-level comparison/voting.
+WORD_DTYPE = np.int64
+
+
+def float_word(value: float) -> int:
+    """The IEEE-754 binary64 storage word behind a Python float.
+
+    ``struct`` rather than NumPy scalar round-trips: this runs once or
+    twice per qualified operation on the scalar hot path.
+    """
+    return struct.unpack("<q", struct.pack("<d", value))[0]
+
+
+def same_word(a: float, b: float) -> bool:
+    """Bit-for-bit equality of two float64 storage words.
+
+    The software model of a hardware word comparator: NaNs with the
+    same payload agree, ``+0.0``/``-0.0`` disagree.
+    """
+    return struct.pack("<d", a) == struct.pack("<d", b)
+
+
+def word_view(array: np.ndarray) -> np.ndarray:
+    """:data:`WORD_DTYPE` view of a float64 array (no copy when
+    contiguous) -- the array form of :func:`float_word`."""
+    return np.ascontiguousarray(array, dtype=np.float64).view(WORD_DTYPE)

@@ -49,3 +49,94 @@ class Float32ExecutionUnit(ExecutionUnit):
 
     def add(self, a: float, b: float) -> float:
         return float(np.float32(a) + np.float32(b))
+
+
+# ---------------------------------------------------------------------------
+# Array execution units (the vectorized engine's arithmetic substrate)
+# ---------------------------------------------------------------------------
+
+
+class ArrayExecutionUnit:
+    """Elementwise array counterpart of an :class:`ExecutionUnit`.
+
+    The speculate-then-verify engine
+    (:mod:`repro.reliable.vectorized`) runs a whole layer as NumPy
+    array operations; an array unit supplies that arithmetic with the
+    *same per-element results, bit for bit,* as its scalar twin would
+    produce one operation at a time.  Inputs and outputs are float64
+    arrays (broadcasting allowed) whose elements are exactly the
+    values the scalar unit would pass around as Python floats.
+
+    ``deterministic`` declares that repeated executions of the same
+    operation return identical words -- the property that makes
+    speculation *exact*: all redundant passes agree everywhere, so the
+    engine's output is provably bitwise identical to the scalar
+    Algorithm 3 path.  Fault-injecting units set it False (or derive
+    it from their fault model) and the ``"auto"`` engine policy then
+    keeps the scalar path.
+    """
+
+    deterministic: bool = False
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Float64ArrayUnit(ArrayExecutionUnit):
+    """Array twin of :class:`PerfectExecutionUnit`: IEEE-754 binary64
+    arithmetic, elementwise."""
+
+    deterministic = True
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.multiply(a, b)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.add(a, b)
+
+
+class Float32ArrayUnit(ArrayExecutionUnit):
+    """Array twin of :class:`Float32ExecutionUnit`.
+
+    Operands round to binary32, the operation runs in binary32, and
+    the result widens back to binary64 -- the same
+    round/compute/widen chain as the scalar unit, so every element
+    matches ``float(np.float32(a) <op> np.float32(b))`` bit for bit.
+    """
+
+    deterministic = True
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (
+            np.asarray(a, dtype=np.float32) * np.asarray(b, dtype=np.float32)
+        ).astype(np.float64)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (
+            np.asarray(a, dtype=np.float32) + np.asarray(b, dtype=np.float32)
+        ).astype(np.float64)
+
+
+def as_array_unit(unit: ExecutionUnit) -> ArrayExecutionUnit | None:
+    """The array counterpart of a scalar unit, or None.
+
+    Exact-type mapping for the built-ins (a subclass may override
+    scalar behaviour, so it must not inherit the parent's vectorised
+    form).  Other units participate by exposing an ``as_array_unit()``
+    method returning their own :class:`ArrayExecutionUnit` (or None)
+    -- :class:`repro.faults.injector.FaultyExecutionUnit` uses this
+    hook to supply array-level fault injection.  ``None`` means the
+    unit has no bit-exact vectorised form and callers must keep the
+    scalar path.
+    """
+    if type(unit) is PerfectExecutionUnit:
+        return Float64ArrayUnit()
+    if type(unit) is Float32ExecutionUnit:
+        return Float32ArrayUnit()
+    hook = getattr(unit, "as_array_unit", None)
+    if hook is not None:
+        return hook()
+    return None

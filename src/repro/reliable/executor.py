@@ -6,19 +6,28 @@ distance:
 * :class:`ReliableConv2D` -- operation granularity.  Every multiply
   and accumulate of a convolution layer goes through a qualified
   operator with per-operation rollback (Algorithm 3 applied across the
-  layer).  This is the configuration behind the paper's Table 1 and is
-  deliberately slow in Python: the paper reports 301.91 s (plain) /
-  648.87 s (redundant) for AlexNet's first layer on a desktop CPU.
+  layer).  The ``"scalar"`` engine is the configuration behind the
+  paper's Table 1 and is deliberately slow in Python (the paper
+  reports 301.91 s plain / 648.87 s redundant for AlexNet's first
+  layer on a desktop CPU); the ``"vectorized"`` engine
+  (:mod:`repro.reliable.vectorized`) produces bitwise-identical
+  results by speculating the whole layer as array passes and
+  verifying on storage words, and is the default wherever that
+  equivalence is provable (``engine="auto"``).
 * :func:`redundant_layer_forward` -- layer granularity.  The whole
   layer runs N times vectorised and the outputs are compared/voted.
   This is the temporal-redundancy checkpoint the paper describes in
-  Section II.B, and is fast enough to embed in the end-to-end hybrid
-  pipeline and fault campaigns.
+  Section II.B.
+
+Engines are registered in a factory table (:func:`register_engine`),
+mirrored by the ``repro.api.ENGINES`` registry view, so alternative
+execution strategies plug in the way operators do.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +36,7 @@ from repro.nn.layers.conv import Conv2D
 from repro.reliable.convolution import ConvolutionStats, reliable_convolution
 from repro.reliable.errors import PersistentFailureError
 from repro.reliable.leaky_bucket import LeakyBucket
-from repro.reliable.operators import Operator, make_operator
+from repro.reliable.operators import Operator, make_operator, operator_kind_of
 from repro.reliable.voting import majority_vote
 
 
@@ -51,6 +60,74 @@ class ExecutionReport:
         return self.errors_detected / self.operations
 
 
+# ---------------------------------------------------------------------------
+# Engine factory table
+# ---------------------------------------------------------------------------
+
+#: An engine executes a :class:`ReliableConv2D` forward pass:
+#: ``engine(executor, x, filters) -> (output, report)``.
+EngineFn = Callable[
+    ["ReliableConv2D", np.ndarray, "list[int] | None"],
+    "tuple[np.ndarray, ExecutionReport]",
+]
+
+_ENGINES: dict[str, EngineFn] = {}
+
+
+def register_engine(
+    name: str, fn: EngineFn, *, overwrite: bool = False
+) -> None:
+    """Add an execution engine to the factory table.
+
+    Registered names become valid for ``ReliableConv2D(engine=...)``
+    and ``PartitionConfig(engine=...)``; the ``repro.api.ENGINES``
+    registry funnels into this table.  ``"auto"`` is reserved for the
+    selection policy (pick ``"vectorized"`` exactly when its result is
+    provably bit-identical, else ``"scalar"``) and cannot be
+    registered.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("engine name must be a non-empty string")
+    if name == "auto":
+        raise ValueError(
+            "'auto' is the engine-selection policy, not an engine"
+        )
+    if name in _ENGINES and not overwrite:
+        raise ValueError(
+            f"engine {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    if not callable(fn):
+        raise ValueError("engine must be callable")
+    _ENGINES[name] = fn
+
+
+def engine_names() -> list[str]:
+    """All registered engine names."""
+    _ensure_builtin_engines()
+    return sorted(_ENGINES)
+
+
+def _ensure_builtin_engines() -> None:
+    # The vectorized engine registers itself on import; importing it
+    # lazily here keeps executor <-> vectorized free of an import
+    # cycle while guaranteeing the table is complete whenever a name
+    # is resolved.
+    import repro.reliable.vectorized  # noqa: F401
+
+
+def engine_fn(name: str) -> EngineFn:
+    """Look up an engine; unknown names list the registered set."""
+    _ensure_builtin_engines()
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose 'auto' or one of "
+            f"{sorted(_ENGINES)}"
+        ) from None
+
+
 class ReliableConv2D:
     """Run a :class:`repro.nn.layers.Conv2D` through Algorithm 3.
 
@@ -71,6 +148,17 @@ class ReliableConv2D:
         the failed output position, writes NaN there and continues --
         the graceful-degradation variant the paper mentions for
         spatial redundancy.
+    engine:
+        Execution strategy.  ``"scalar"`` is the paper-literal
+        Algorithm 3 loop (the Table 1 timing-reproduction mode);
+        ``"vectorized"`` is the speculate-then-verify engine of
+        :mod:`repro.reliable.vectorized` (bitwise-identical results,
+        orders of magnitude faster); ``"auto"`` (default) picks
+        ``"vectorized"`` exactly when the operator/unit pair makes
+        speculation provably bit-exact -- fault-free built-in units
+        under the built-in operators -- and ``"scalar"`` otherwise,
+        so fault-injection campaigns keep their per-operation fault
+        streams unless a caller opts in.
     """
 
     def __init__(
@@ -80,6 +168,7 @@ class ReliableConv2D:
         bucket_factor: int = 2,
         bucket_ceiling: int | None = None,
         on_persistent_failure: str = "raise",
+        engine: str = "auto",
     ) -> None:
         if on_persistent_failure not in ("raise", "mark"):
             raise ValueError(
@@ -90,11 +179,17 @@ class ReliableConv2D:
             self._operator_kind = operator
             self.operator = make_operator(operator)
         else:
-            self._operator_kind = type(operator).__name__
+            # Normalise through the operator registry so the report's
+            # operator_kind is the same canonical kind string whether
+            # the caller passed "dmr" or RedundantOperator(...).
+            self._operator_kind = operator_kind_of(operator)
             self.operator = operator
         self.bucket_factor = bucket_factor
         self.bucket_ceiling = bucket_ceiling
         self.on_persistent_failure = on_persistent_failure
+        if engine != "auto":
+            engine_fn(engine)  # validate eagerly: unknown names raise
+        self.engine = engine
 
     def forward(
         self, x: np.ndarray, filters: list[int] | None = None
@@ -116,7 +211,34 @@ class ReliableConv2D:
         (output, report):
             ``output`` matches the layer's native forward shape.
         """
-        start = time.perf_counter()
+        return engine_fn(self._resolve_engine())(self, x, filters)
+
+    def _resolve_engine(self) -> str:
+        """The engine this forward pass actually runs.
+
+        ``"auto"`` resolves to ``"vectorized"`` only when speculation
+        is *exact* -- every redundant pass provably produces identical
+        words, so outputs, reports and abort points match the scalar
+        path bit for bit (see
+        :func:`repro.reliable.vectorized.speculation_is_exact`).
+        """
+        if self.engine != "auto":
+            return self.engine
+        from repro.reliable.vectorized import speculation_is_exact
+
+        return (
+            "vectorized" if speculation_is_exact(self.operator)
+            else "scalar"
+        )
+
+    def _prepare(
+        self, x: np.ndarray, filters: list[int] | None
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray, list[int], np.ndarray,
+        ExecutionReport,
+    ]:
+        """Shared prologue of every engine: patch view, weight matrix,
+        native execution of filters outside the reliable partition."""
         layer = self.layer
         patches = layer.input_patches(x)  # (n, oh, ow, c*kh*kw)
         n, out_h, out_w, _ = patches.shape
@@ -139,9 +261,20 @@ class ReliableConv2D:
         if native_filters:
             native = patches @ wmat[native_filters].T + bias[native_filters]
             out[:, native_filters] = native.transpose(0, 3, 1, 2)
+        return patches, wmat, bias, sorted(reliable_set), out, report
+
+    def _forward_scalar(
+        self, x: np.ndarray, filters: list[int] | None = None
+    ) -> tuple[np.ndarray, ExecutionReport]:
+        """The paper-literal engine: Algorithm 3, one qualified
+        operation at a time (``engine="scalar"``)."""
+        start = time.perf_counter()
+        patches, wmat, bias, sorted_filters, out, report = self._prepare(
+            x, filters
+        )
+        n, out_h, out_w, _ = patches.shape
 
         stats = ConvolutionStats()
-        sorted_filters = sorted(reliable_set)
         for img in range(n):
             # One bucket per image: the error budget is an attribute
             # of one inference, so a batched execution aborts exactly
@@ -190,6 +323,15 @@ class ReliableConv2D:
         report.elapsed_seconds = time.perf_counter() - start
 
 
+def _scalar_engine(
+    executor: ReliableConv2D, x: np.ndarray, filters: list[int] | None
+) -> tuple[np.ndarray, ExecutionReport]:
+    return executor._forward_scalar(x, filters)
+
+
+register_engine("scalar", _scalar_engine)
+
+
 def redundant_layer_forward(
     layer,
     x: np.ndarray,
@@ -207,6 +349,11 @@ def redundant_layer_forward(
       disagreement; an element with no majority counts as an error
       and triggers rollback like DMR.
 
+    Comparison and voting run on storage words for floating outputs
+    (:mod:`repro.reliable.bits` semantics): two copies that both
+    legitimately compute NaN agree instead of rolling back forever,
+    and a sign flip on a zero is detected.
+
     Works on any object with a ``forward(x)`` method (single layers or
     whole :class:`~repro.nn.network.Sequential` models).
     """
@@ -222,7 +369,10 @@ def redundant_layer_forward(
         attempts += 1
         report.operations += copies
         if copies == 2:
-            agreed = bool(np.array_equal(outputs[0], outputs[1]))
+            agreed = bool(np.array_equal(
+                _comparable_words(outputs[0]),
+                _comparable_words(outputs[1]),
+            ))
             if agreed:
                 result = outputs[0]
                 break
@@ -244,11 +394,34 @@ def redundant_layer_forward(
     return result, report
 
 
+def _comparable_words(array: np.ndarray) -> np.ndarray:
+    """An integer word view of floating arrays (identity otherwise).
+
+    Layer-level comparison/voting must use the same word semantics as
+    the operator qualifiers: equal NaN words agree, ``+0.0`` and
+    ``-0.0`` disagree.  Non-float outputs compare as themselves.
+    """
+    array = np.asarray(array)
+    if array.dtype.kind == "f":
+        return np.ascontiguousarray(array).view(
+            np.dtype(f"i{array.dtype.itemsize}")
+        )
+    return array
+
+
 def _elementwise_vote(stacked: np.ndarray) -> tuple[np.ndarray, bool]:
-    """Majority vote across axis 0; returns (value, unanimous_majority)."""
+    """Majority vote across axis 0; returns (value, unanimous_majority).
+
+    Both paths vote on storage words: the fast path counts word
+    agreement with the first copy, the slow path defers to
+    :func:`~repro.reliable.voting.majority_vote` (itself word-based),
+    so the elected value for an element never depends on which path
+    its neighbours forced.
+    """
     copies = stacked.shape[0]
     first = stacked[0]
-    agree_with_first = (stacked == first[None]).sum(axis=0)
+    words = _comparable_words(stacked)
+    agree_with_first = (words == words[0][None]).sum(axis=0)
     majority = copies // 2 + 1
     # Fast path: the first copy already holds a majority everywhere.
     if (agree_with_first >= majority).all():

@@ -63,6 +63,19 @@ class LeakyBucket:
         if self.level > 0:
             self.level -= 1
 
+    def record_successes(self, count: int) -> None:
+        """Leak ``count`` units in one call.
+
+        Exactly equivalent to ``count`` repeats of
+        :meth:`record_success` -- the bulk form the vectorized
+        speculate-then-verify engine uses to account a run of agreed
+        operations without a Python call per operation.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.total_successes += count
+        self.level = max(0, self.level - count)
+
     @property
     def overflowed(self) -> bool:
         """Whether the current level is at or above the ceiling."""

@@ -9,6 +9,7 @@ to a basic operation").
 
 from __future__ import annotations
 
+from repro.reliable.bits import same_word
 from repro.reliable.execution_unit import ExecutionUnit, PerfectExecutionUnit
 from repro.reliable.qualified import QualifiedValue
 from repro.reliable.voting import majority_vote
@@ -64,6 +65,15 @@ class RedundantOperator(Operator):
     same."  Detection only -- recovery is Algorithm 3's rollback.
     When the results disagree the first result is returned (arbitrarily;
     the caller must treat it as invalid because ``ok`` is False).
+
+    Agreement is bit-for-bit on the 64-bit storage words
+    (:func:`repro.reliable.bits.same_word`), as a hardware comparator
+    would check it.  Float ``==`` would mis-qualify two edge cases: a
+    true-NaN result (e.g. ``inf - inf``) never equals its re-execution,
+    so the rollback loop spins until bucket overflow -- and with
+    ``on_persistent_failure="mark"`` the resulting NaN output poisons
+    every downstream reliable op -- while ``+0.0`` vs ``-0.0`` (a
+    sign-bit upset on a zero) would be silently accepted.
     """
 
     executions_per_op = 2
@@ -71,12 +81,12 @@ class RedundantOperator(Operator):
     def multiply(self, a: float, b: float) -> QualifiedValue:
         first = self.unit.multiply(a, b)
         second = self.unit.multiply(a, b)
-        return QualifiedValue(first, first == second)
+        return QualifiedValue(first, same_word(first, second))
 
     def add(self, a: float, b: float) -> QualifiedValue:
         first = self.unit.add(a, b)
         second = self.unit.add(a, b)
-        return QualifiedValue(first, first == second)
+        return QualifiedValue(first, same_word(first, second))
 
 
 class TMROperator(Operator):
@@ -148,6 +158,23 @@ def operator_multiplier(kind: str) -> int:
 def operator_masks(kind: str) -> bool:
     """Whether a registered kind masks faults by voting (TMR-like)."""
     return _operator_class(kind).masks_faults
+
+
+def operator_kind_of(operator: Operator) -> str:
+    """The registry kind string of an operator instance.
+
+    Reverse lookup over the factory table by *exact* class, so the
+    same canonical kind comes back no matter how the operator was
+    constructed -- ``ReliableConv2D(conv, RedundantOperator())`` and
+    ``ReliableConv2D(conv, "dmr")`` report identically.  Aliases
+    resolve to the first-registered kind (``"dmr"``, never
+    ``"redundant"``).  Instances of unregistered classes (e.g. ad-hoc
+    subclasses in tests) fall back to the class name.
+    """
+    for kind, cls in _OPERATOR_KINDS.items():
+        if type(operator) is cls:
+            return kind
+    return type(operator).__name__
 
 
 def _operator_class(kind: str) -> type[Operator]:

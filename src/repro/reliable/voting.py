@@ -5,6 +5,8 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Sequence
 
+from repro.reliable.bits import float_word
+
 
 def majority_vote(results: Sequence[float]) -> tuple[float, int]:
     """Return ``(winner, agreement)`` over redundant results.
@@ -13,12 +15,20 @@ def majority_vote(results: Sequence[float]) -> tuple[float, int]:
     as hardware voters compare words, not tolerances); ``agreement``
     is how many executions produced it.  Ties are broken in favour of
     the earliest-produced value, which keeps the voter deterministic.
+
+    Votes are counted on 64-bit storage words (:func:`float_word`),
+    matching the hardware model the docstring above promises: NaN
+    results with identical payloads vote together (``Counter`` over
+    raw floats would split them by object identity, since
+    ``NaN != NaN``) and ``+0.0`` / ``-0.0`` vote apart (float equality
+    would merge them despite differing sign words).
     """
     if not results:
         raise ValueError("majority_vote needs at least one result")
-    counts = Counter(results)
+    words = [float_word(value) for value in results]
+    counts = Counter(words)
     best_count = max(counts.values())
-    for candidate in results:  # earliest-first tie break
-        if counts[candidate] == best_count:
-            return candidate, best_count
+    for value, word in zip(results, words):  # earliest-first tie break
+        if counts[word] == best_count:
+            return value, best_count
     raise AssertionError("unreachable")  # pragma: no cover

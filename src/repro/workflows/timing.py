@@ -23,6 +23,12 @@ By default the workflow measures a scaled layer and reports
 per-operation costs alongside an extrapolation to the paper's
 geometry; set ``full=True`` (or the ``REPRO_FULL=1`` environment
 variable for the bench) to run the paper's exact layer.
+
+This workflow always runs ``engine="scalar"`` -- it exists to
+reproduce the paper's per-operation timing.  The production path is
+the speculate-then-verify engine (:mod:`repro.reliable.vectorized`),
+benchmarked against this one in
+``benchmarks/test_reliable_vectorized.py``.
 """
 
 from __future__ import annotations
@@ -139,12 +145,15 @@ def run_table1(full: bool = False, seed: int = 0) -> Table1Result:
 
     # Bit-exact float32 arithmetic: the values a hardware comparator
     # would see, and a unit whose cost is visible next to the wrapper.
+    # engine="scalar" pins the paper-literal per-operation loop: this
+    # workflow *measures* Algorithm 3's per-op dispatch cost, which the
+    # default speculate-then-verify engine exists to eliminate.
     unit = Float32ExecutionUnit()
     _, plain_report = ReliableConv2D(
-        layer, PlainOperator(unit)
+        layer, PlainOperator(unit), engine="scalar"
     ).forward(image)
     _, redundant_report = ReliableConv2D(
-        layer, RedundantOperator(unit)
+        layer, RedundantOperator(unit), engine="scalar"
     ).forward(image)
 
     return Table1Result(

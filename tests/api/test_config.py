@@ -113,3 +113,35 @@ class TestPipelineConfig:
         )
         assert clone == config
         assert clone.partition.redundancy == "tmr"
+
+
+class TestPartitionEngineField:
+    def test_default_is_auto(self):
+        config = PartitionConfig()
+        assert config.engine == "auto"
+        assert config.to_partition().engine == "auto"
+
+    def test_explicit_engine_round_trips(self):
+        config = PartitionConfig(engine="vectorized")
+        clone = PartitionConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+        assert clone.engine == "vectorized"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            PartitionConfig(engine="warp-drive")
+
+    def test_scalar_engine_reaches_reliable_executor(self):
+        from repro.api import PipelineConfig, build_pipeline
+        from repro.models import small_cnn
+
+        pipeline = build_pipeline(
+            PipelineConfig(
+                architecture="integrated",
+                partition=PartitionConfig(engine="scalar"),
+            ),
+            small_cnn(32, 8, conv1_filters=8),
+        )
+        assert pipeline.hybrid._reliable_conv.engine == "scalar"

@@ -217,3 +217,65 @@ class TestDefaultRngIndependence:
         a = TransientFault(0.5, np.random.default_rng(3))
         b = TransientFault(0.5, np.random.default_rng(3))
         assert np.array_equal(a.rng.random(8), b.rng.random(8))
+
+
+class TestReliableExecutionEngineParam:
+    """Cells select the reliable-execution engine via target params."""
+
+    def test_vectorized_cell_detects_and_recovers(self):
+        report = run_campaign(
+            small_spec(
+                target_params={
+                    "vector_length": 8,
+                    "operator_kind": "dmr",
+                    "engine": "vectorized",
+                },
+            )
+        )
+        assert report.complete and report.trials == 30
+        assert report.counts[Outcome.SILENT_CORRUPTION.value] == 0
+        assert report.detection_coverage == 1.0
+
+    def test_default_engine_keeps_scalar_fault_stream(self):
+        """engine defaults to "auto", which resolves to the scalar
+        per-operation path for fault-injected trials -- so existing
+        campaign results stay bitwise stable."""
+        baseline = run_campaign(small_spec(), keep_records=True)
+        explicit = run_campaign(
+            small_spec(
+                target_params={
+                    "vector_length": 8,
+                    "operator_kind": "dmr",
+                    "engine": "scalar",
+                },
+            ),
+            keep_records=True,
+        )
+        assert [r.to_dict() for r in baseline.records] == [
+            r.to_dict() for r in explicit.records
+        ]
+
+    def test_unknown_engine_param_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_campaign(
+                small_spec(
+                    trials=1,
+                    target_params={
+                        "vector_length": 8,
+                        "operator_kind": "dmr",
+                        "engine": "warp-drive",
+                    },
+                )
+            )
+
+    def test_pipeline_target_accepts_engine_param(self):
+        spec = CampaignSpec(
+            name="pipeline-engine-test",
+            target="pipeline",
+            fault=FaultSpec(kind="transient", params={"probability": 0.0}),
+            trials=1,
+            seed=3,
+            target_params={"input_size": 48, "engine": "vectorized"},
+        )
+        report = run_campaign(spec)
+        assert report.complete and report.trials == 1

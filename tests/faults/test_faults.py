@@ -181,3 +181,121 @@ class TestTensorCorruption:
     def test_negative_flips_rejected(self, rng):
         with pytest.raises(ValueError):
             corrupt_tensor(np.ones(3, dtype=np.float32), -1, rng)
+
+
+class TestArrayBitflip:
+    """Array flip primitives must match the scalar ones bit for bit."""
+
+    @given(
+        st.lists(
+            st.floats(width=32, allow_nan=True, allow_infinity=True),
+            min_size=1, max_size=16,
+        ),
+        st.integers(0, 31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_flip(self, values, bit):
+        from repro.faults.bitflip import flip_bit32_array
+
+        array = flip_bit32_array(np.array(values, dtype=np.float64), bit)
+        scalar = [flip_bit32(v, bit) for v in values]
+        assert array.tobytes() == np.array(scalar, dtype=np.float64).tobytes()
+
+    def test_per_element_bits(self):
+        from repro.faults.bitflip import flip_bit32_array
+
+        out = flip_bit32_array(
+            np.array([1.0, 1.0], dtype=np.float64), np.array([31, 30])
+        )
+        assert out[0] == flip_bit32(1.0, 31)
+        assert out[1] == flip_bit32(1.0, 30)
+
+    def test_involution_through_snan_words(self):
+        from repro.faults.bitflip import flip_bit32_array
+
+        values = np.array([np.inf, 1.5, np.nan], dtype=np.float64)
+        twice = flip_bit32_array(flip_bit32_array(values, 22), 22)
+        expected = values.astype(np.float32).astype(np.float64)
+        assert twice.tobytes() == expected.tobytes()
+
+    def test_bit_out_of_range(self):
+        from repro.faults.bitflip import flip_bit32_array
+
+        with pytest.raises(ValueError):
+            flip_bit32_array(np.array([1.0]), 32)
+
+
+class TestArrayFaultApplication:
+    def test_permanent_matches_scalar_elementwise(self):
+        fault = PermanentFault(bit=30)
+        values = np.array([[1.0, -2.5], [0.0, 3e7]], dtype=np.float64)
+        out = fault.apply_array(values)
+        reference = PermanentFault(bit=30)
+        expected = np.array(
+            [[reference.apply(float(v)) for v in row] for row in values]
+        )
+        assert out.tobytes() == expected.tobytes()
+        assert fault.activations == values.size
+        assert fault.deterministic
+
+    def test_transient_array_rate_and_accounting(self):
+        fault = TransientFault(0.25, np.random.default_rng(0))
+        values = np.full(4000, 1.0, dtype=np.float64)
+        out = fault.apply_array(values)
+        # Every fired element flips exactly one bit of 1.0, which
+        # always changes the carried word.
+        changed = int((out != values).sum())
+        assert changed == fault.activations
+        # ~25% of elements hit.
+        assert 800 <= fault.activations <= 1200
+        assert not fault.deterministic
+
+    def test_transient_zero_probability_is_identity(self):
+        fault = TransientFault(0.0, np.random.default_rng(0))
+        values = np.linspace(-1, 1, 10)
+        out = fault.apply_array(values)
+        assert out.tobytes() == values.astype(np.float64).tobytes()
+        assert fault.activations == 0
+
+    def test_base_fallback_preserves_sequential_state(self):
+        # IntermittentFault has no vectorised override: the default
+        # walks elements in C order, preserving the Gilbert chain.
+        rng = np.random.default_rng(7)
+        fault = IntermittentFault(0.3, 0.4, rng)
+        reference = IntermittentFault(0.3, 0.4, np.random.default_rng(7))
+        values = np.linspace(1.0, 2.0, 32)
+        out = fault.apply_array(values)
+        expected = np.array([reference.apply(float(v)) for v in values])
+        assert out.tobytes() == expected.tobytes()
+
+
+class TestArrayFaultyUnit:
+    def test_faulty_unit_exposes_array_form(self):
+        unit = FaultyExecutionUnit(PermanentFault(bit=5))
+        array_unit = unit.as_array_unit()
+        assert array_unit is not None
+        assert array_unit.deterministic
+
+    def test_targets_respected(self):
+        unit = FaultyExecutionUnit(
+            PermanentFault(bit=31), targets="multiply"
+        ).as_array_unit()
+        a = np.array([2.0]); b = np.array([3.0])
+        assert unit.multiply(a, b)[0] == -6.0   # corrupted
+        assert unit.add(a, b)[0] == 5.0          # untouched
+
+    def test_transient_array_unit_not_deterministic(self):
+        unit = FaultyExecutionUnit(
+            TransientFault(0.5, np.random.default_rng(0))
+        ).as_array_unit()
+        assert not unit.deterministic
+
+    def test_base_without_array_form_gives_none(self):
+        from repro.reliable.execution_unit import PerfectExecutionUnit
+
+        class Odd(PerfectExecutionUnit):
+            def add(self, a, b):
+                return a + b + 1e-9
+
+        unit = FaultyExecutionUnit(PermanentFault(bit=5), Odd())
+        assert unit.as_array_unit() is None

@@ -133,6 +133,63 @@ class TestLayerLevelRedundancy:
         with pytest.raises(ValueError):
             redundant_layer_forward(conv, batch, copies=1)
 
+    def test_dmr_identical_nan_outputs_agree(self, batch):
+        """A layer that legitimately computes NaN identically in both
+        copies must not roll back forever (word comparison, matching
+        the operator-level qualifiers)."""
+
+        class NaNLayer:
+            def forward(self, x):
+                out = np.ones((1, 3), dtype=np.float32)
+                out[0, 1] = np.nan
+                return out
+
+        out, report = redundant_layer_forward(NaNLayer(), batch, copies=2)
+        assert np.isnan(out[0, 1])
+        assert report.rollbacks == 0
+
+    def test_dmr_detects_signed_zero_flip(self, batch):
+        class SignFlipZero:
+            def __init__(self):
+                self.calls = 0
+
+            def forward(self, x):
+                self.calls += 1
+                value = 0.0 if self.calls % 2 == 1 else -0.0
+                return np.full((1, 2), value, dtype=np.float32)
+
+        with pytest.raises(PersistentFailureError):
+            redundant_layer_forward(
+                SignFlipZero(), batch, copies=2, max_rollbacks=1
+            )
+
+    def test_tmr_vote_elects_majority_zero_word(self, batch):
+        """[+0.0, -0.0, -0.0] must elect -0.0 regardless of whether
+        unrelated elements force the per-element vote path (the old
+        float ``==`` fast path saw a spurious +0.0 majority)."""
+        from repro.reliable.executor import _elementwise_vote
+
+        alone = np.array([[0.0], [-0.0], [-0.0]], dtype=np.float32)
+        value_alone, ok_alone = _elementwise_vote(alone)
+        # A neighbour with no majority forces the per-element path.
+        with_neighbour = np.array(
+            [[0.0, 1.0], [-0.0, 2.0], [-0.0, 3.0]], dtype=np.float32
+        )
+        value_slow, ok_slow = _elementwise_vote(with_neighbour)
+        assert ok_alone and not ok_slow
+        assert np.signbit(value_alone[0])
+        assert np.signbit(value_slow[0])
+
+    def test_tmr_identical_nan_copies_take_fast_path(self, batch):
+        """All-copies-identical NaN words hold a word majority: value
+        voted through, no rollback (float ``==`` would spin)."""
+        from repro.reliable.executor import _elementwise_vote
+
+        stacked = np.full((3, 2, 2), np.nan, dtype=np.float32)
+        value, ok = _elementwise_vote(stacked)
+        assert ok
+        assert np.isnan(value).all()
+
 
 class TestCheckpointedSegment:
     def test_valid_first_try(self):

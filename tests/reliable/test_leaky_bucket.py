@@ -129,3 +129,27 @@ def test_isolated_errors_never_abort_with_enough_spacing(factor):
 def test_factor_one_aborts_on_first_error():
     """With factor 1 the default ceiling is 1: fail-fast semantics."""
     assert drive_bucket(LeakyBucket(factor=1), "sssEsss")
+
+
+@given(st.integers(0, 50), st.integers(2, 4), st.integers(0, 6))
+@settings(max_examples=30, deadline=None)
+def test_bulk_successes_equal_repeated_singles(count, factor, errors):
+    """record_successes(k) is exactly k record_success() calls, from
+    any starting level -- the vectorized engine's bulk-leak contract."""
+    bulk = LeakyBucket(factor=factor, ceiling=1000)
+    single = LeakyBucket(factor=factor, ceiling=1000)
+    for _ in range(errors):
+        bulk.record_error()
+        single.record_error()
+    bulk.record_successes(count)
+    for _ in range(count):
+        single.record_success()
+    assert bulk.level == single.level
+    assert bulk.total_successes == single.total_successes
+
+
+def test_bulk_successes_rejects_negative():
+    import pytest
+
+    with pytest.raises(ValueError):
+        LeakyBucket().record_successes(-1)

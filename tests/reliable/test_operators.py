@@ -134,6 +134,70 @@ class TestTMROperator:
         assert not result.ok
 
 
+class _SignedZeroUnit(PerfectExecutionUnit):
+    """First call returns +0.0, second returns -0.0: a sign-bit upset
+    on a zero result, invisible to float ``==``."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def multiply(self, a, b):
+        self.calls += 1
+        return 0.0 if self.calls % 2 == 1 else -0.0
+
+
+class _NaNUnit(PerfectExecutionUnit):
+    """Deterministically produces a true NaN (inf - inf) on add."""
+
+    def add(self, a, b):
+        return float("inf") - float("inf")
+
+
+class TestWordComparison:
+    """Qualifiers compare 64-bit storage words, as hardware does.
+
+    Regression suite for the float ``==`` bugs: identical NaNs used
+    to never agree (infinite rollback until bucket overflow) and
+    +0.0/-0.0 used to agree silently.
+    """
+
+    def test_identical_nan_results_qualify(self):
+        result = RedundantOperator(_NaNUnit()).add(
+            float("inf"), float("-inf")
+        )
+        assert np.isnan(result.value)
+        assert result.ok  # same NaN word on both executions -> agree
+
+    def test_signed_zero_disagreement_detected(self):
+        result = RedundantOperator(_SignedZeroUnit()).multiply(0.0, 1.0)
+        assert not result.ok  # +0.0 vs -0.0: different sign words
+
+    def test_tmr_masks_signed_zero_minority(self):
+        # Executions produce +0.0, -0.0, +0.0: the word voter must
+        # pick +0.0 with agreement 2, not merge the zeros into 3.
+        class ThirdPositive(_SignedZeroUnit):
+            def multiply(self, a, b):
+                self.calls += 1
+                return -0.0 if self.calls == 2 else 0.0
+
+        result = TMROperator(ThirdPositive()).multiply(0.0, 1.0)
+        assert result.ok
+        assert not np.signbit(result.value)
+
+    def test_nan_never_poisons_rollback_loop(self):
+        """End-to-end form of the NaN bug: a reliable convolution whose
+        accumulate yields NaN must terminate with the NaN qualified,
+        not spin into bucket overflow."""
+        from repro.reliable.convolution import reliable_convolution
+
+        result = reliable_convolution(
+            [float("inf")], [1.0], float("-inf"),
+            RedundantOperator(),
+        )
+        assert np.isnan(result.value)
+        assert result.ok
+
+
 class TestVoting:
     def test_majority(self):
         assert majority_vote([1.0, 1.0, 2.0]) == (1.0, 2)
@@ -152,6 +216,23 @@ class TestVoting:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             majority_vote([])
+
+    def test_nan_votes_count_by_word(self):
+        # Counter over raw floats would split identical NaNs (object
+        # identity) and could elect a minority finite value.
+        nan = float("nan")
+        value, agreement = majority_vote([nan, nan, 1.0])
+        assert np.isnan(value) and agreement == 2
+
+    def test_signed_zeros_vote_apart(self):
+        value, agreement = majority_vote([0.0, -0.0, -0.0])
+        assert agreement == 2
+        assert np.signbit(value)
+
+    def test_signed_zero_tie_prefers_earliest(self):
+        value, agreement = majority_vote([0.0, -0.0])
+        assert agreement == 1
+        assert not np.signbit(value)
 
 
 class TestFactory:

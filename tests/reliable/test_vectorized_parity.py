@@ -1,0 +1,293 @@
+"""Parity suite: the vectorized engine vs scalar Algorithm 3.
+
+The speculate-then-verify engine's contract
+(:mod:`repro.reliable.vectorized`) is *bitwise identity* with the
+scalar per-operation path whenever speculation is exact: same output
+words, same ``ExecutionReport`` counters, same abort point, same
+``failed_outputs``.  This suite sweeps that contract property-style
+across operators {plain, dmr, tmr}, fault-free and (deterministically)
+fault-injected units, ``filters=`` subsets and batch sizes, then
+checks the stochastic-injection and fallback behaviours separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultyExecutionUnit
+from repro.faults.models import PermanentFault, TransientFault
+from repro.nn import Conv2D
+from repro.reliable.errors import PersistentFailureError
+from repro.reliable.execution_unit import (
+    Float32ExecutionUnit,
+    PerfectExecutionUnit,
+    as_array_unit,
+)
+from repro.reliable.executor import ReliableConv2D, engine_names
+from repro.reliable.operators import (
+    PlainOperator,
+    RedundantOperator,
+    TMROperator,
+)
+from repro.reliable.vectorized import (
+    can_speculate,
+    speculation_is_exact,
+)
+
+
+@pytest.fixture
+def conv(rng):
+    return Conv2D(2, 3, 3, stride=1, rng=rng, name="conv")
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+
+
+OPERATOR_CLASSES = {
+    "plain": PlainOperator,
+    "dmr": RedundantOperator,
+    "tmr": TMROperator,
+}
+
+#: Deterministic units: speculation must be provably exact for all of
+#: these.  The permanent-fault units include exponent/sign flips that
+#: drive values through inf and NaN -- the words the fixed comparators
+#: must agree on.
+def _units():
+    return {
+        "perfect": PerfectExecutionUnit(),
+        "float32": Float32ExecutionUnit(),
+        "stuck-exponent": FaultyExecutionUnit(PermanentFault(bit=30)),
+        "stuck-sign": FaultyExecutionUnit(PermanentFault(bit=31)),
+        "stuck-mantissa-f32": FaultyExecutionUnit(
+            PermanentFault(bit=3), Float32ExecutionUnit()
+        ),
+    }
+
+
+def _report_key(report):
+    return (
+        report.operations,
+        report.errors_detected,
+        report.rollbacks,
+        report.persistent_failures,
+        [tuple(int(x) for x in pos) for pos in report.failed_outputs],
+        report.operator_kind,
+    )
+
+
+def _assert_bitwise(scalar, vectorized, context):
+    out_s, rep_s = scalar
+    out_v, rep_v = vectorized
+    assert out_s.shape == out_v.shape, context
+    assert out_s.tobytes() == out_v.tobytes(), context
+    assert _report_key(rep_s) == _report_key(rep_v), context
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("op_name", sorted(OPERATOR_CLASSES))
+    @pytest.mark.parametrize("unit_name", sorted(_units()))
+    @pytest.mark.parametrize("filters", [None, [1], [0, 2], []])
+    def test_bitwise_identical(
+        self, conv, batch, op_name, unit_name, filters
+    ):
+        op_cls = OPERATOR_CLASSES[op_name]
+        scalar = ReliableConv2D(
+            conv, op_cls(_units()[unit_name]), engine="scalar",
+            bucket_ceiling=50,
+        ).forward(batch, filters=filters)
+        vectorized = ReliableConv2D(
+            conv, op_cls(_units()[unit_name]), engine="vectorized",
+            bucket_ceiling=50,
+        ).forward(batch, filters=filters)
+        _assert_bitwise(scalar, vectorized, (op_name, unit_name, filters))
+
+    @pytest.mark.parametrize("op_name", sorted(OPERATOR_CLASSES))
+    def test_single_image_matches_batch_slice(self, conv, batch, op_name):
+        """Per-image independence: each batched image's words equal its
+        own single-image run (the per-image bucket contract)."""
+        op_cls = OPERATOR_CLASSES[op_name]
+        executor = ReliableConv2D(conv, op_cls(), engine="vectorized")
+        full, _ = executor.forward(batch)
+        for i in range(len(batch)):
+            single, _ = executor.forward(batch[i : i + 1])
+            assert single[0].tobytes() == full[i].tobytes()
+
+    def test_exactness_predicate(self):
+        assert speculation_is_exact(RedundantOperator())
+        assert speculation_is_exact(
+            TMROperator(Float32ExecutionUnit())
+        )
+        assert speculation_is_exact(
+            PlainOperator(FaultyExecutionUnit(PermanentFault(bit=7)))
+        )
+        assert not speculation_is_exact(
+            RedundantOperator(
+                FaultyExecutionUnit(
+                    TransientFault(0.1, np.random.default_rng(0))
+                )
+            )
+        )
+
+    def test_auto_resolution_policy(self, conv):
+        assert ReliableConv2D(conv, "dmr")._resolve_engine() == "vectorized"
+        faulty = RedundantOperator(
+            FaultyExecutionUnit(TransientFault(0.1, np.random.default_rng(0)))
+        )
+        assert ReliableConv2D(conv, faulty)._resolve_engine() == "scalar"
+        assert (
+            ReliableConv2D(conv, "tmr", engine="scalar")._resolve_engine()
+            == "scalar"
+        )
+
+
+class TestStochasticInjection:
+    """Array-level injection on the speculative passes: campaigns still
+    exercise detection, rollback and abort through the engine."""
+
+    def _faulty(self, probability, seed, **kwargs):
+        return RedundantOperator(
+            FaultyExecutionUnit(
+                TransientFault(probability, np.random.default_rng(seed))
+            )
+        ), kwargs
+
+    def test_detects_and_repairs_transients(self, conv, batch):
+        operator, _ = self._faulty(0.01, seed=3)
+        executor = ReliableConv2D(
+            conv, operator, engine="vectorized", bucket_ceiling=10_000
+        )
+        out, report = executor.forward(batch)
+        assert report.errors_detected > 0
+        assert report.rollbacks == report.errors_detected
+        assert report.persistent_failures == 0
+        clean, clean_report = ReliableConv2D(
+            conv, "dmr", engine="vectorized"
+        ).forward(batch)
+        # Every disagreeing element was repaired through scalar
+        # Algorithm 3 back to the fault-free words.
+        assert out.tobytes() == clean.tobytes()
+        # Stats-compatible accounting: the speculative attempt of each
+        # disagreeing element plus its scalar re-execution come on top
+        # of the clean per-element operation count.
+        assert report.operations > clean_report.operations
+
+    def test_persistent_disagreement_marks_and_continues(self, conv, batch):
+        operator, _ = self._faulty(0.9, seed=4)
+        executor = ReliableConv2D(
+            conv, operator, engine="vectorized",
+            on_persistent_failure="mark",
+        )
+        out, report = executor.forward(batch, filters=[0])
+        assert report.persistent_failures > 0
+        assert report.failed_outputs
+        for img, f, i, j in report.failed_outputs:
+            assert f == 0
+            assert np.isnan(out[img, f, i, j])
+        # Filters outside the reliable partition stay clean.
+        assert not np.isnan(out[:, 1:]).any()
+
+    def test_persistent_disagreement_raises(self, conv, batch):
+        operator, _ = self._faulty(0.9, seed=5)
+        executor = ReliableConv2D(conv, operator, engine="vectorized")
+        with pytest.raises(PersistentFailureError):
+            executor.forward(batch)
+
+
+class TestScalarFallback:
+    """Operators/units the engine cannot speculate run the scalar path
+    verbatim -- ``engine="vectorized"`` is always safe to request."""
+
+    class StickyDisagree(RedundantOperator):
+        def multiply(self, a, b):
+            from repro.reliable.qualified import QualifiedValue
+
+            return QualifiedValue(a * b, False)
+
+    def test_custom_operator_not_speculative(self):
+        assert not can_speculate(self.StickyDisagree())
+
+    def test_fallback_identical_to_scalar(self, conv, batch):
+        scalar = ReliableConv2D(
+            conv, self.StickyDisagree(), engine="scalar",
+            on_persistent_failure="mark",
+        ).forward(batch, filters=[0])
+        vectorized = ReliableConv2D(
+            conv, self.StickyDisagree(), engine="vectorized",
+            on_persistent_failure="mark",
+        ).forward(batch, filters=[0])
+        _assert_bitwise(scalar, vectorized, "fallback")
+
+    def test_fallback_abort_point_identical(self, conv, batch):
+        with pytest.raises(PersistentFailureError) as scalar_exc:
+            ReliableConv2D(
+                conv, self.StickyDisagree(), engine="scalar"
+            ).forward(batch)
+        with pytest.raises(PersistentFailureError) as vector_exc:
+            ReliableConv2D(
+                conv, self.StickyDisagree(), engine="vectorized"
+            ).forward(batch)
+        assert (
+            scalar_exc.value.operations_completed
+            == vector_exc.value.operations_completed
+        )
+        assert (
+            scalar_exc.value.errors_detected
+            == vector_exc.value.errors_detected
+        )
+
+    def test_unit_without_array_form_not_speculative(self):
+        class OffByOneUnit(PerfectExecutionUnit):
+            def add(self, a, b):
+                return a + b + 1.0
+
+        assert as_array_unit(OffByOneUnit()) is None
+        assert not can_speculate(RedundantOperator(OffByOneUnit()))
+
+
+class TestEngineRegistry:
+    def test_builtin_engines_registered(self):
+        assert {"scalar", "vectorized"} <= set(engine_names())
+
+    def test_unknown_engine_rejected(self, conv):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ReliableConv2D(conv, "dmr", engine="warp-drive")
+
+    def test_api_registry_view(self):
+        from repro.api import ENGINES, RegistryError
+        from repro.reliable.executor import _scalar_engine
+
+        assert "vectorized" in ENGINES
+        assert ENGINES.get("scalar") is _scalar_engine
+        with pytest.raises(RegistryError):
+            ENGINES.get("warp-drive")
+
+
+class TestOperatorKindNormalization:
+    """The satellite fix: instance and string constructor paths report
+    the same canonical registry kind."""
+
+    @pytest.mark.parametrize("operator, kind", [
+        (PlainOperator(), "plain"),
+        (RedundantOperator(), "dmr"),
+        (TMROperator(), "tmr"),
+    ])
+    def test_instance_reports_registry_kind(self, conv, batch, operator, kind):
+        _, report = ReliableConv2D(conv, operator).forward(
+            batch, filters=[0]
+        )
+        assert report.operator_kind == kind
+
+    def test_string_path_unchanged(self, conv, batch):
+        _, report = ReliableConv2D(conv, "dmr").forward(batch, filters=[0])
+        assert report.operator_kind == "dmr"
+
+    def test_unregistered_subclass_falls_back_to_class_name(self, conv):
+        class Bespoke(RedundantOperator):
+            pass
+
+        executor = ReliableConv2D(conv, Bespoke())
+        assert executor._operator_kind == "Bespoke"
