@@ -1,0 +1,195 @@
+"""Batched qualifier engine vs the scalar per-image loop.
+
+Acceptance bars for the batched engine at batch 64:
+
+* **>= 5x** over the qualifier as this PR found it -- the per-image
+  loop whose MINDIST rebuilt the ``a x a`` symbol table inside a
+  Python rotation loop (the cost profile the issue motivated against;
+  reconstructed here as :class:`SeedDistanceQualifier`, conservatively,
+  on top of today's faster frontend).  Measured speedups are typically
+  >= 10x.
+* **>= 1.5x** over the *shipped* scalar loop, i.e. after this PR's
+  satellite work (cached distance tables, tensorized rotation scan)
+  already accelerated every per-image ``check``.  The shipped scalar
+  loop shares the batched engine's Moore trace and edge arithmetic,
+  so its gap is structurally bounded (Amdahl) -- the conservative bar
+  keeps slow CI machines green while the JSON artifact records the
+  real ratio (typically >= 2x).
+
+Every run also asserts the batched verdicts are bitwise identical to
+the shipped scalar loop's (the parity contract of
+``repro.core.qualifier_batch``) and writes a timing JSON artifact (CI
+uploads it per commit, next to the reliable-conv timing) to
+``benchmarks/artifacts/qualifier_throughput_timing.json``,
+overridable via the ``BENCH_ARTIFACT_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.qualifier import ShapeQualifier
+from repro.data import render_sign
+from repro.sax.breakpoints import gaussian_breakpoints
+from repro.sax.sax import ALPHABET
+
+BATCH = 64
+MIN_SPEEDUP_VS_SEED = 5.0
+MIN_SPEEDUP_VS_SCALAR = 1.5
+
+
+def _artifact_path() -> Path:
+    directory = Path(
+        os.environ.get("BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / "qualifier_throughput_timing.json"
+
+
+class SeedDistanceQualifier(ShapeQualifier):
+    """The qualifier with the seed repository's MINDIST arithmetic.
+
+    Reconstructs the pre-PR distance stage exactly: the symbol table
+    rebuilt on *every* ``mindist`` call, word -> index conversion
+    inside the rotation loop, one Python iteration per rotation per
+    template.  Everything else (frontend, labelling, trace, SAX) is
+    today's code, which is *faster* than the seed's -- so timing this
+    class under-estimates the true seed cost and the asserted speedup
+    is conservative.
+    """
+
+    @staticmethod
+    def _seed_symbol_distance_table(alphabet_size: int) -> np.ndarray:
+        bp = gaussian_breakpoints(alphabet_size)
+        table = np.zeros((alphabet_size, alphabet_size), dtype=np.float64)
+        for r in range(alphabet_size):
+            for c in range(alphabet_size):
+                if abs(r - c) > 1:
+                    hi, lo = max(r, c), min(r, c)
+                    table[r, c] = bp[hi - 1] - bp[lo]
+        return table
+
+    def _seed_mindist(self, word_a: str, word_b: str) -> float:
+        table = self._seed_symbol_distance_table(
+            self.encoder.alphabet_size
+        )
+        ia = np.array([ALPHABET.index(ch) for ch in word_a])
+        ib = np.array([ALPHABET.index(ch) for ch in word_b])
+        gaps = table[ia, ib]
+        w = len(word_a)
+        return math.sqrt(self.n_samples / w) * math.sqrt(
+            float((gaps**2).sum())
+        )
+
+    def _distance(self, word: str) -> float:
+        best = math.inf
+        for template in self.templates:
+            for rot in range(len(template)):
+                rotated = template[rot:] + template[:rot]
+                d = self._seed_mindist(word, rotated)
+                if d < best:
+                    best = d
+        return best
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.stack([
+        render_sign(i % 8, size=96, rotation=np.deg2rad(4 * i - 30))
+        for i in range(BATCH)
+    ]).astype(np.float32)
+
+
+def _timed(fn, repeats: int = 3):
+    """Best-of-``repeats`` wall time: one scheduler preemption inside
+    a single ~100 ms window must not flip a CI-gating ratio."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_batched_qualifier_speedup_and_parity(images):
+    batched = ShapeQualifier(engine="batched")
+    scalar = ShapeQualifier(engine="scalar")
+    seed = SeedDistanceQualifier(engine="scalar")
+
+    # Warm all paths (template caches, allocators) outside timing.
+    batched.check_batch(images[:4])
+    scalar.check(images[0])
+    seed.check(images[0])
+
+    batch_verdicts, batched_seconds = _timed(
+        lambda: batched.check_batch(images)
+    )
+    scalar_verdicts, scalar_seconds = _timed(
+        lambda: [scalar.check(image) for image in images]
+    )
+    _, seed_seconds = _timed(
+        lambda: [seed.check(image) for image in images]
+    )
+
+    # Bitwise parity against the shipped scalar loop: flags, distance
+    # storage bits, words, reliability.
+    for got, want in zip(batch_verdicts, scalar_verdicts):
+        assert got.matches == want.matches
+        assert struct.pack("<d", got.distance) == struct.pack(
+            "<d", want.distance
+        )
+        assert got.word == want.word
+        assert got.reliable == want.reliable
+
+    speedup_vs_scalar = scalar_seconds / batched_seconds
+    speedup_vs_seed = seed_seconds / batched_seconds
+    print(
+        f"\nbatch {BATCH} @ 96px: batched {batched_seconds*1e3:.0f}ms, "
+        f"scalar loop {scalar_seconds*1e3:.0f}ms "
+        f"({speedup_vs_scalar:.1f}x), seed-MINDIST loop "
+        f"{seed_seconds*1e3:.0f}ms ({speedup_vs_seed:.1f}x)"
+    )
+    assert speedup_vs_seed >= MIN_SPEEDUP_VS_SEED, (
+        f"batched engine only {speedup_vs_seed:.1f}x over the seed "
+        f"qualifier loop ({seed_seconds:.3f}s vs {batched_seconds:.3f}s)"
+    )
+    assert speedup_vs_scalar >= MIN_SPEEDUP_VS_SCALAR, (
+        f"batched engine only {speedup_vs_scalar:.1f}x over the shipped "
+        f"scalar loop ({scalar_seconds:.3f}s vs {batched_seconds:.3f}s)"
+    )
+
+    payload = {
+        "bench": "qualifier_throughput",
+        "batch": BATCH,
+        "image_size": 96,
+        "redundant": True,
+        "batched_seconds": batched_seconds,
+        "scalar_seconds": scalar_seconds,
+        "seed_seconds": seed_seconds,
+        "speedup_vs_scalar": speedup_vs_scalar,
+        "speedup_vs_seed": speedup_vs_seed,
+        "min_speedup_vs_scalar_asserted": MIN_SPEEDUP_VS_SCALAR,
+        "min_speedup_vs_seed_asserted": MIN_SPEEDUP_VS_SEED,
+    }
+    _artifact_path().write_text(json.dumps(payload, indent=2))
+
+
+def test_seed_reference_still_agrees_on_matches(images):
+    """The seed-MINDIST reference must reach the same accept/reject
+    decisions (its floats differ at ULP level from the tensorized
+    scan only through the frontend change, far inside the calibration
+    margin) -- guarding the reference against drifting into a straw
+    man."""
+    seed = SeedDistanceQualifier(redundant=False)
+    current = ShapeQualifier(redundant=False)
+    for image in images[:16]:
+        assert seed.check(image).matches == current.check(image).matches

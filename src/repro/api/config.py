@@ -55,6 +55,10 @@ class QualifierConfig:
     ``kind`` selects a builder from :data:`repro.api.QUALIFIERS`
     (``"shape"`` is the built-in SAX octagon detector); the remaining
     fields mirror :class:`repro.core.qualifier.ShapeQualifier`.
+    ``engine`` selects the batched-qualification strategy (``"auto"``
+    runs the vectorized engine of :mod:`repro.core.qualifier_batch`
+    exactly when it is provably bit-identical to per-image scalar
+    calls, mirroring :class:`PartitionConfig.engine`).
     """
 
     kind: str = "shape"
@@ -65,6 +69,7 @@ class QualifierConfig:
     redundant: bool = True
     edge_threshold: float | None = None
     n_samples: int = 128
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -79,6 +84,16 @@ class QualifierConfig:
             raise ValueError(
                 "n_samples must be at least word_length "
                 f"({self.n_samples} < {self.word_length})"
+            )
+        # Late import: repro.core.qualifier depends on repro.sax only,
+        # but keeping the canonical engine list there avoids a second
+        # source of truth.
+        from repro.core.qualifier import QUALIFIER_ENGINES
+
+        if self.engine not in QUALIFIER_ENGINES:
+            raise ValueError(
+                f"unknown qualifier engine {self.engine!r}; "
+                f"choose one of {QUALIFIER_ENGINES}"
             )
 
     def to_dict(self) -> dict:

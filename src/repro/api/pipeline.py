@@ -57,6 +57,7 @@ def _build_shape_qualifier(config: QualifierConfig) -> ShapeQualifier:
         redundant=config.redundant,
         edge_threshold=config.edge_threshold,
         n_samples=config.n_samples,
+        engine=config.engine,
     )
 
 
@@ -253,10 +254,14 @@ class HybridPipeline:
     ) -> BatchResult:
         """Classify ``(n, 3, h, w)`` images in one vectorised pass.
 
-        The CNN half of the work runs as a single batched
-        :meth:`~repro.nn.network.Sequential.forward`; probabilities
-        and decisions are bitwise identical to n :meth:`infer` calls
-        (see ``benchmarks/test_batch_inference.py``).
+        Both halves of the work are batched: the CNN runs as a single
+        :meth:`~repro.nn.network.Sequential.forward` and the
+        dependable path through the batched qualifier engine
+        (:meth:`~repro.core.qualifier.ShapeQualifier.check_batch`).
+        Probabilities, verdicts and decisions are bitwise identical to
+        n :meth:`infer` calls (see
+        ``benchmarks/test_batch_inference.py`` and
+        ``tests/core/test_qualifier_batch.py``).
         """
         start = time.perf_counter()
         if qualifier_views is not None:
@@ -279,7 +284,9 @@ class HybridPipeline:
 
         Yields one :class:`~repro.core.hybrid.HybridResult` per image,
         in order, while only ever materialising ``batch_size`` images
-        -- the serving shape for an unbounded camera feed.
+        -- the serving shape for an unbounded camera feed.  Each chunk
+        runs the fully batched path (CNN and qualifier engine alike),
+        so stream throughput tracks :meth:`infer_batch`.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")

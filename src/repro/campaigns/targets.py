@@ -255,6 +255,12 @@ def _pipeline_fixture(ctx: TrialContext):
     input_size = ctx.param("input_size", 96)
     class_index = ctx.param("class_index", 0)
     rotation_deg = ctx.param("rotation_deg", 5.0)
+    # Batched-qualification strategy for the dependable path.  The
+    # target infers one image per trial either way, and the "auto"
+    # default is batched only when provably bit-identical, so
+    # historical records and the golden pin are unchanged; campaigns
+    # driving batched serving scenarios can pin "batched"/"scalar".
+    qualifier_engine = ctx.param("qualifier_engine", "auto")
     key = (ctx.spec.seed, input_size, class_index, rotation_deg)
     if key not in _MODEL_CACHE:
         model = pinned_stop_model(
@@ -266,10 +272,13 @@ def _pipeline_fixture(ctx: TrialContext):
         )
         _MODEL_CACHE[key] = (model, image)
     model, image = _MODEL_CACHE[key]
+    from repro.api import QualifierConfig
+
     config = PipelineConfig(
         architecture="integrated",
         safety_class=STOP_CLASS_INDEX,
         name=ctx.spec.name,
+        qualifier=QualifierConfig(engine=qualifier_engine),
     )
     return key, model, config, image
 

@@ -17,10 +17,16 @@
 """
 
 from repro.core.qualifier import (
+    QUALIFIER_ENGINES,
     QualifierVerdict,
     ShapeQualifier,
     octagon_template_word,
     shape_template_word,
+)
+from repro.core.qualifier_batch import (
+    batched_check,
+    batched_check_feature_map,
+    batched_is_exact,
 )
 from repro.core.partition import HybridPartition
 from repro.core.hybrid import (
@@ -41,6 +47,10 @@ from repro.core.guarantee import (
 __all__ = [
     "ShapeQualifier",
     "QualifierVerdict",
+    "QUALIFIER_ENGINES",
+    "batched_check",
+    "batched_check_feature_map",
+    "batched_is_exact",
     "shape_template_word",
     "octagon_template_word",
     "HybridPartition",

@@ -59,6 +59,30 @@ def _batch_invariant_inference(model: Sequential):
             layer.batch_invariant = value
 
 
+def _qualify_image_batch(qualifier, views: np.ndarray) -> list[QualifierVerdict]:
+    """Batched qualification with a per-image fallback.
+
+    Architectures accept any registered qualifier object; one exposing
+    ``check_batch`` (e.g. :class:`~repro.core.qualifier.ShapeQualifier`
+    with its engine policy) qualifies the whole stack in vectorized
+    passes, anything else degrades to the per-image loop.
+    """
+    check_batch = getattr(qualifier, "check_batch", None)
+    if check_batch is not None:
+        return check_batch(views)
+    return [qualifier.check(view) for view in views]
+
+
+def _qualify_feature_map_batch(
+    qualifier, feature_maps: np.ndarray
+) -> list[QualifierVerdict]:
+    """Batched feature-map qualification with a per-image fallback."""
+    check_batch = getattr(qualifier, "check_feature_map_batch", None)
+    if check_batch is not None:
+        return check_batch(feature_maps)
+    return [qualifier.check_feature_map(fm) for fm in feature_maps]
+
+
 class Decision(enum.Enum):
     """Final verdict of the reliable-result block."""
 
@@ -201,12 +225,16 @@ class ParallelHybridCNN:
 
         The CNN half runs as a single batched
         :meth:`~repro.nn.network.Sequential.forward` instead of n
-        per-image passes; the qualifier (contour tracing and SAX
-        encoding are inherently per-shape) still runs per image.
-        Probabilities and decisions are bitwise identical to n
-        :meth:`infer` calls -- every layer's batched arithmetic is
+        per-image passes, and the qualifier half runs through
+        :meth:`ShapeQualifier.check_batch` -- whole-batch edge maps,
+        array labelling and one SAX/MINDIST pass under the batched
+        engine (:mod:`repro.core.qualifier_batch`).  Probabilities,
+        verdicts and decisions are bitwise identical to n
+        :meth:`infer` calls: every layer's batched arithmetic is
         per-sample shape-stable (see
-        :class:`repro.nn.layers.dense.Dense`).
+        :class:`repro.nn.layers.dense.Dense`) and the qualifier
+        engine's ``"auto"`` policy vectorizes only when provably
+        bit-identical.
         """
         images = np.asarray(images, dtype=np.float32)
         if qualifier_views is not None and len(qualifier_views) != len(
@@ -221,17 +249,33 @@ class ParallelHybridCNN:
         with _batch_invariant_inference(self.model):
             logits = self.model.forward(images)
         probabilities = softmax(logits)
+        if qualifier_views is None:
+            verdicts = _qualify_image_batch(self.qualifier, images)
+        else:
+            try:
+                views = np.asarray(qualifier_views, dtype=np.float32)
+            except ValueError:
+                # Ragged views (one resolution per scene) cannot stack;
+                # qualify per image exactly as n infer() calls would.
+                views = None
+            if views is None:
+                verdicts = [
+                    self.qualifier.check(
+                        np.asarray(view, dtype=np.float32)
+                    )
+                    for view in qualifier_views
+                ]
+            else:
+                verdicts = _qualify_image_batch(self.qualifier, views)
         results = []
         for i in range(len(images)):
-            verdict = self.qualifier.check(
-                images[i] if qualifier_views is None
-                else np.asarray(qualifier_views[i], dtype=np.float32)
-            )
             predicted, decision = self.result_block.combine(
-                probabilities[i], verdict
+                probabilities[i], verdicts[i]
             )
             results.append(
-                HybridResult(probabilities[i], predicted, verdict, decision)
+                HybridResult(
+                    probabilities[i], predicted, verdicts[i], decision
+                )
             )
         return results
 
@@ -334,20 +378,26 @@ class IntegratedHybridCNN:
         # The full stack continues onward through the CNN...
         logits = self.model.forward_from(features, self._bif_index + 1)
         probabilities = softmax(logits)
+        # ... while the reliable maps bifurcate to the qualifier, all
+        # surviving images in one batched pass.
+        verdicts: list[QualifierVerdict | None] = [
+            QualifierVerdict.unavailable() if i in failed_images else None
+            for i in range(len(features))
+        ]
+        alive = [i for i in range(len(features)) if i not in failed_images]
+        if alive:
+            stacked = features[np.ix_(alive, reliable_filters)]
+            for i, verdict in zip(
+                alive, _qualify_feature_map_batch(self.qualifier, stacked)
+            ):
+                verdicts[i] = verdict
         results = []
         for i in range(len(features)):
-            # ... while each reliable map bifurcates to the qualifier.
-            if i in failed_images:
-                verdict = QualifierVerdict.unavailable()
-            else:
-                verdict = self.qualifier.check_feature_map(
-                    features[i, reliable_filters]
-                )
             predicted, decision = self.result_block.combine(
-                probabilities[i], verdict
+                probabilities[i], verdicts[i]
             )
             results.append(HybridResult(
-                probabilities[i], predicted, verdict, decision,
+                probabilities[i], predicted, verdicts[i], decision,
                 reliable_report=report,
             ))
         return results

@@ -18,12 +18,17 @@ threshold can be fixed during certification.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.data.shapes2d import regular_polygon
 from repro.reliable.checkpoint import CheckpointedSegment, RollbackPolicy
-from repro.sax.distance import min_rotation_distance
+from repro.sax.distance import (
+    mindist_profile,
+    rotation_index_tensor,
+    word_indices,
+)
 from repro.sax.sax import SaxEncoder
 from repro.vision.contours import largest_contour
 from repro.vision.edges import edge_map
@@ -34,6 +39,13 @@ from repro.vision.series import centroid_distance_series
 #: uses a comparable resolution; 128 keeps eight octagon corners at
 #: 16 samples per corner period).
 SERIES_SAMPLES = 128
+
+#: Execution strategies for batched qualification.  ``"auto"`` uses
+#: the batched engine (:mod:`repro.core.qualifier_batch`) exactly when
+#: it is provably bit-identical to per-image scalar calls, mirroring
+#: the :class:`~repro.reliable.executor.ReliableConv2D` engine policy;
+#: ``"batched"`` forces it, ``"scalar"`` pins the per-image loop.
+QUALIFIER_ENGINES = ("auto", "batched", "scalar")
 
 
 def _polygon_series(sides: int, n_samples: int = SERIES_SAMPLES
@@ -89,6 +101,21 @@ def shape_template_words(
     yields the complete set of words an ideal shape can produce, and
     the qualifier accepts the minimum distance over that set.
     """
+    if type(encoder) is SaxEncoder:
+        # Template words are pure functions of geometry and encoder
+        # parameters; memoise them so per-trial qualifier construction
+        # (campaigns build a pipeline per trial) stops re-walking the
+        # polygon boundary.
+        return list(_template_variants(
+            shape, encoder.word_length, encoder.alphabet_size,
+            encoder.normalize, n_samples,
+        ))
+    return _compute_template_words(shape, encoder, n_samples)
+
+
+def _compute_template_words(
+    shape: str, encoder: SaxEncoder, n_samples: int
+) -> list[str]:
     if shape == "circle":
         return [encoder.encode(np.ones(n_samples))]
     if shape not in _SIDES:
@@ -101,6 +128,18 @@ def shape_template_words(
         if word not in seen:
             seen.append(word)
     return seen
+
+
+@lru_cache(maxsize=None)
+def _template_variants(
+    shape: str,
+    word_length: int,
+    alphabet_size: int,
+    normalize: bool,
+    n_samples: int,
+) -> tuple[str, ...]:
+    encoder = SaxEncoder(word_length, alphabet_size, normalize)
+    return tuple(_compute_template_words(shape, encoder, n_samples))
 
 
 def octagon_template_word(encoder: SaxEncoder | None = None) -> str:
@@ -180,6 +219,16 @@ class ShapeQualifier:
     edge_threshold:
         Optional fixed edge-map threshold forwarded to
         :func:`repro.vision.edges.edge_map`.
+    engine:
+        Batched-qualification strategy for :meth:`check_batch` /
+        :meth:`check_feature_map_batch` (one of
+        :data:`QUALIFIER_ENGINES`).  ``"auto"`` (default) runs the
+        vectorized engine of :mod:`repro.core.qualifier_batch` exactly
+        when its verdicts are provably bitwise identical to per-image
+        scalar calls, and the scalar loop otherwise -- the same policy
+        :class:`~repro.reliable.executor.ReliableConv2D` applies to
+        its arithmetic engines.  Single-image :meth:`check` is always
+        the scalar pipeline.
     """
 
     def __init__(
@@ -191,18 +240,33 @@ class ShapeQualifier:
         redundant: bool = True,
         edge_threshold: float | None = None,
         n_samples: int = SERIES_SAMPLES,
+        engine: str = "auto",
     ) -> None:
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
+        if engine not in QUALIFIER_ENGINES:
+            raise ValueError(
+                f"unknown qualifier engine {engine!r}; "
+                f"choose one of {QUALIFIER_ENGINES}"
+            )
         self.shape = shape
         self.encoder = SaxEncoder(word_length, alphabet_size)
         self.threshold = threshold
         self.redundant = redundant
         self.edge_threshold = edge_threshold
         self.n_samples = n_samples
+        self.engine = engine
         self.templates = shape_template_words(
             shape, self.encoder, n_samples
         )
+        # (templates, rotations, w) index tensor: every cyclic
+        # rotation of every template variant, precomputed so distance
+        # evaluation -- scalar or batched -- is one table lookup and
+        # one contiguous reduction instead of a Python rotation loop.
+        self._template_rotations = np.stack([
+            rotation_index_tensor(word, self.encoder.alphabet_size)
+            for word in self.templates
+        ])
 
     # -- pipeline stages -------------------------------------------------
     def signature(self, image: np.ndarray) -> np.ndarray:
@@ -225,13 +289,28 @@ class ShapeQualifier:
         return distance <= self.threshold, distance, word
 
     def _distance(self, word: str) -> float:
-        """Min rotation-invariant MINDIST over all template variants."""
-        return min(
-            min_rotation_distance(
-                word, template, self.encoder.alphabet_size, self.n_samples
-            )[0]
-            for template in self.templates
+        """Min rotation-invariant MINDIST over all template variants.
+
+        One pass over the precomputed rotation tensor; bitwise equal
+        to the historical per-template/per-rotation loop (each
+        candidate's squared-gap sum reduces the same contiguous ``w``
+        gaps, and the minimum of identical floats is order-free).
+        """
+        symbols = word_indices(word, self.encoder.alphabet_size)
+        profile = mindist_profile(
+            symbols, self._template_rotations,
+            self.encoder.alphabet_size, self.n_samples,
         )
+        return float(profile.min())
+
+    def _distance_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_distance` over ``(k, w)`` observed symbol
+        rows; returns the ``(k,)`` minimised distances."""
+        profile = mindist_profile(
+            symbols[:, None, None, :], self._template_rotations[None],
+            self.encoder.alphabet_size, self.n_samples,
+        )
+        return profile.min(axis=(1, 2))
 
     # -- public API ---------------------------------------------------------
     def check(self, image: np.ndarray) -> QualifierVerdict:
@@ -327,3 +406,58 @@ class ShapeQualifier:
             return QualifierVerdict.unavailable()
         return QualifierVerdict(matches=matches, distance=distance,
                                 word=word)
+
+    # -- batched API ------------------------------------------------------
+    def _use_batched_engine(self) -> bool:
+        if self.engine == "scalar":
+            return False
+        if self.engine == "batched":
+            return True
+        from repro.core.qualifier_batch import batched_is_exact
+
+        return batched_is_exact(self)
+
+    def check_batch(self, images: np.ndarray) -> list[QualifierVerdict]:
+        """Evaluate the qualifier over a stack of images.
+
+        ``images`` is ``(n, c, h, w)`` or ``(n, h, w)`` -- axis 0 is
+        always the batch.  Returns one :class:`QualifierVerdict` per
+        image, equal to ``[self.check(img) for img in images]``:
+        bitwise so under the batched engine (see
+        :mod:`repro.core.qualifier_batch` for the contract, including
+        the redundant-disagreement rollback), trivially so under the
+        scalar engine.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim not in (3, 4):
+            raise ValueError(
+                f"expected (n, c, h, w) or (n, h, w), got {images.shape}"
+            )
+        if len(images) == 0:
+            return []
+        if self._use_batched_engine():
+            from repro.core.qualifier_batch import batched_check
+
+            return batched_check(self, images)
+        return [self.check(image) for image in images]
+
+    def check_feature_map_batch(
+        self, feature_maps: np.ndarray
+    ) -> list[QualifierVerdict]:
+        """Batched :meth:`check_feature_map` over stacked reliable
+        feature maps (``(n, h, w)``, ``(n, 1, h, w)`` or
+        ``(n, 2, h, w)``), with the same per-image equality guarantee
+        as :meth:`check_batch`."""
+        feature_maps = np.asarray(feature_maps, dtype=np.float32)
+        if feature_maps.ndim not in (3, 4):
+            raise ValueError(
+                "expected (n, h, w), (n, 1, h, w) or (n, 2, h, w), got "
+                f"{feature_maps.shape}"
+            )
+        if len(feature_maps) == 0:
+            return []
+        if self._use_batched_engine():
+            from repro.core.qualifier_batch import batched_check_feature_map
+
+            return batched_check_feature_map(self, feature_maps)
+        return [self.check_feature_map(fm) for fm in feature_maps]

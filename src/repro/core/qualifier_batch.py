@@ -1,0 +1,214 @@
+"""Batched qualifier engine: the dependable path, vectorized.
+
+The scalar :meth:`~repro.core.qualifier.ShapeQualifier.check` is
+paper-faithful and paper-slow: per-pixel BFS labelling, a Python
+rotation loop in MINDIST, and all of it at least twice for temporal
+redundancy.  This engine keeps the Figure-3 *semantics* -- edge map ->
+largest contour -> centroid-distance series -> SAX word -> bounded
+template distance, executed redundantly with rollback -- while moving
+the arithmetic into whole-batch array passes, mirroring the
+speculate-then-verify design of :mod:`repro.reliable.vectorized`:
+
+1. **Speculate.**  Run the full batched pipeline over ``(n, ...)``
+   images in single array passes: batched grayscale/Sobel/threshold
+   (:func:`~repro.vision.edges.edge_map_batch`), array-parallel
+   connected-component labelling
+   (:func:`~repro.vision.contours.label_components_batch`), Moore
+   tracing only on each image's largest component, one SAX encoding of
+   the stacked series matrix, and one fancy-indexed MINDIST over the
+   precomputed template rotation tensor.
+2. **Verify.**  With ``redundant=True`` the whole batched pipeline
+   runs twice and the per-image verdict tuples ``(matches, distance,
+   word)`` are compared -- the same equality the scalar
+   ``CheckpointedSegment`` validator applies.
+3. **Repair.**  Only images whose two runs disagree re-execute
+   through the existing scalar checkpoint/rollback path
+   (:meth:`~repro.core.qualifier.ShapeQualifier.check`), which rolls
+   back once and degrades to an *unavailable* verdict on persistent
+   disagreement -- never an exception.
+
+Equivalence contract
+--------------------
+For an unmodified :class:`~repro.core.qualifier.ShapeQualifier` with a
+stock :class:`~repro.sax.sax.SaxEncoder` (the condition
+:func:`batched_is_exact` checks and the ``"auto"`` engine policy
+requires), every stage is bitwise identical to the scalar pipeline per
+image: the batched frontend reduces the same contiguous windows
+through the same kernels, the array labeller provably reproduces the
+BFS component numbering, Moore tracing and series resampling are the
+scalar functions applied to identical masks, and the batched SAX/
+MINDIST forms reduce the same contiguous rows (see
+``tests/core/test_qualifier_batch.py``).  Subclassed qualifiers or
+encoders may override per-image hooks the batched pipeline would
+bypass, so ``"auto"`` falls back to the scalar loop for them;
+``engine="batched"`` forces this engine regardless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qualifier import QualifierVerdict, ShapeQualifier
+from repro.sax.sax import SaxEncoder, symbols_to_words
+from repro.vision.contours import largest_component_batch, trace_boundary
+from repro.vision.edges import edge_map_batch
+from repro.vision.morphology import binary_dilate_batch
+from repro.vision.series import centroid_distance_series
+
+#: The "definitively not the shape" outcome of one evaluation: no
+#: contour (or a degenerate one), exactly what the scalar path returns
+#: when the Figure-3 pipeline finds nothing traceable.
+_MISS = (False, float("inf"), "")
+
+
+def batched_is_exact(qualifier: ShapeQualifier) -> bool:
+    """Whether the batched engine is provably bit-identical to n
+    scalar ``check()`` calls for this qualifier.
+
+    Exact types only, like the vectorized reliable-conv engine's
+    operator check: a subclass may override ``signature``/``word``/
+    ``_distance`` (or the encoder's ``symbols``) in ways the batched
+    pipeline would silently bypass.
+    """
+    return (
+        type(qualifier) is ShapeQualifier
+        and type(qualifier.encoder) is SaxEncoder
+    )
+
+
+def _verdict(result: tuple[bool, float, str]) -> QualifierVerdict:
+    matches, distance, word = result
+    return QualifierVerdict(matches=matches, distance=distance, word=word)
+
+
+def _qualify_masks(
+    qualifier: ShapeQualifier, masks: np.ndarray
+) -> list[tuple[bool, float, str]]:
+    """One batched evaluation of edge masks to verdict tuples.
+
+    Mirrors the scalar ``_evaluate_once`` stage for stage: the largest
+    component of each mask is Moore-traced, degenerate masks (no
+    foreground, or a boundary of fewer than 3 points -- the cases the
+    scalar path converts from ``ValueError``) yield the miss tuple,
+    and the surviving series are SAX-encoded and template-matched as
+    one matrix.
+    """
+    n = len(masks)
+    results: list[tuple[bool, float, str] | None] = [None] * n
+    components, found = largest_component_batch(masks)
+    series_rows: list[np.ndarray] = []
+    owners: list[int] = []
+    for i in range(n):
+        if not found[i]:
+            results[i] = _MISS
+            continue
+        points = trace_boundary(components[i])
+        if len(points) < 3:
+            results[i] = _MISS
+            continue
+        series_rows.append(
+            centroid_distance_series(points, n_samples=qualifier.n_samples)
+        )
+        owners.append(i)
+    if series_rows:
+        symbols = qualifier.encoder.symbols_batch(np.stack(series_rows))
+        words = symbols_to_words(symbols)
+        distances = qualifier._distance_symbols(symbols)
+        for row, i in enumerate(owners):
+            distance = float(distances[row])
+            results[i] = (
+                distance <= qualifier.threshold, distance, words[row]
+            )
+    return results  # type: ignore[return-value]
+
+
+def _redundant_verdicts(
+    first: list[tuple[bool, float, str]],
+    second: list[tuple[bool, float, str]],
+    fallback,
+) -> list[QualifierVerdict]:
+    """Verify two batched runs; repair disagreements via ``fallback``.
+
+    ``fallback(i)`` must run image ``i`` through the scalar
+    checkpoint/rollback path and return its verdict (rollback once,
+    persistent disagreement -> unavailable, never an exception).
+    """
+    verdicts = []
+    for i, (a, b) in enumerate(zip(first, second)):
+        # The scalar validator's comparison: tuple equality over
+        # (bool, float, str) -- inf == inf qualifies, and distances
+        # are never NaN (gap sums are finite).
+        verdicts.append(_verdict(a) if a == b else fallback(i))
+    return verdicts
+
+
+def batched_check(
+    qualifier: ShapeQualifier, images: np.ndarray
+) -> list[QualifierVerdict]:
+    """Batched form of :meth:`ShapeQualifier.check` over ``(n, ...)``
+    images; see the module docstring for the scheme and the
+    equivalence contract."""
+    images = np.asarray(images, dtype=np.float32)
+    first = _qualify_masks(
+        qualifier, edge_map_batch(images, threshold=qualifier.edge_threshold)
+    )
+    if not qualifier.redundant:
+        return [_verdict(t) for t in first]
+    second = _qualify_masks(
+        qualifier, edge_map_batch(images, threshold=qualifier.edge_threshold)
+    )
+    return _redundant_verdicts(
+        first, second, lambda i: qualifier.check(images[i])
+    )
+
+
+def batched_check_feature_map(
+    qualifier: ShapeQualifier, feature_maps: np.ndarray
+) -> list[QualifierVerdict]:
+    """Batched form of :meth:`ShapeQualifier.check_feature_map`.
+
+    ``feature_maps`` is ``(n, h, w)``, ``(n, 1, h, w)`` or
+    ``(n, 2, h, w)`` -- the batched twins of the scalar layouts.  As
+    in the scalar path, the magnitude/threshold/dilation frontend runs
+    once per image and only the contour-to-distance stage is executed
+    redundantly.
+    """
+    feature_maps = np.asarray(feature_maps, dtype=np.float32)
+    if feature_maps.ndim == 4:
+        if feature_maps.shape[1] == 1:
+            magnitude = np.abs(feature_maps[:, 0])
+        elif feature_maps.shape[1] == 2:
+            magnitude = np.hypot(feature_maps[:, 0], feature_maps[:, 1])
+        else:
+            raise ValueError(
+                "expected (n, h, w), (n, 1, h, w) or (n, 2, h, w), got "
+                f"{feature_maps.shape}"
+            )
+    elif feature_maps.ndim == 3:
+        magnitude = np.abs(feature_maps)
+    else:
+        raise ValueError(
+            "expected (n, h, w), (n, 1, h, w) or (n, 2, h, w), got "
+            f"{feature_maps.shape}"
+        )
+    peaks = magnitude.max(axis=(1, 2)).astype(np.float64)
+    dead = peaks <= 0.0
+    masks = binary_dilate_batch(
+        magnitude >= (0.5 * peaks)[:, None, None]
+    )
+    # A non-positive peak short-circuits scalar evaluation entirely
+    # (null verdict before any redundancy); blank its mask so the
+    # shared qualification pass skips it the same way.
+    masks[dead] = False
+    first = _qualify_masks(qualifier, masks)
+    if qualifier.redundant:
+        second = _qualify_masks(qualifier, masks)
+        verdicts = _redundant_verdicts(
+            first, second,
+            lambda i: qualifier.check_feature_map(feature_maps[i]),
+        )
+    else:
+        verdicts = [_verdict(t) for t in first]
+    for i in np.nonzero(dead)[0]:
+        verdicts[i] = QualifierVerdict()
+    return verdicts

@@ -88,6 +88,16 @@ def col2im(
 
     Used by the convolution backward pass to accumulate input
     gradients from patch gradients.
+
+    Vectorized as ``kh * kw`` strided slice-adds (one whole-batch add
+    per kernel offset) instead of an ``out_h * out_w`` Python loop.
+    Iterating offsets in *descending* order keeps the result bitwise
+    identical to the historical patch-by-patch loop: a padded pixel
+    ``p`` receives one contribution per (patch, offset) pair with
+    ``patch * stride + offset = p``, so ascending patch order -- the
+    loop's accumulation order -- is exactly descending offset order,
+    and within one offset the contributing patches write disjoint
+    pixels.
     """
     n, c, h, w = input_shape
     kh, kw = kernel
@@ -95,11 +105,13 @@ def col2im(
     out_w = conv_output_size(w, kw, stride, padding)
     xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     patches = cols.reshape(n, out_h, out_w, c, kh, kw)
-    for i in range(out_h):
-        hi = i * stride
-        for j in range(out_w):
-            wj = j * stride
-            xp[:, :, hi : hi + kh, wj : wj + kw] += patches[:, i, j]
+    for u in range(kh - 1, -1, -1):
+        for v in range(kw - 1, -1, -1):
+            xp[
+                :, :,
+                u : u + stride * out_h : stride,
+                v : v + stride * out_w : stride,
+            ] += patches[:, :, :, :, u, v].transpose(0, 3, 1, 2)
     if padding:
         return xp[:, :, padding:-padding, padding:-padding]
     return xp

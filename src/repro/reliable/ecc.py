@@ -89,25 +89,23 @@ def decode_words(code: np.ndarray) -> tuple[np.ndarray, DecodeReport]:
     report = DecodeReport()
     flat_code = code.reshape(-1)
     flat_syndrome = syndrome.reshape(-1)
-    flat_overall = overall_parity.reshape(-1)
-    for i in range(flat_code.size):
-        s = int(flat_syndrome[i])
-        odd = int(flat_overall[i]) == 1
-        if s == 0 and not odd:
-            continue  # clean word
-        if odd:
-            # Odd number of flipped bits: single-bit error at
-            # position s (s == 0 means the overall parity bit itself).
-            if s < _N_POSITIONS:
-                flat_code[i] ^= np.uint64(1 << s)
-                report.corrected += 1
-            else:
-                report.uncorrectable += 1
-                report.uncorrectable_indices.append(i)
-        else:
-            # Even flips with nonzero syndrome: double-bit error.
-            report.uncorrectable += 1
-            report.uncorrectable_indices.append(i)
+    odd = overall_parity.reshape(-1) == 1
+    # Whole-array syndrome classification (one pass per class instead
+    # of a Python loop per word):
+    #   odd overall parity  -> single-bit error at position s when the
+    #     syndrome addresses a codeword bit (s == 0 is the overall
+    #     parity bit itself), uncorrectable when it does not;
+    #   even overall parity with nonzero syndrome -> double-bit error.
+    addressable = flat_syndrome < _N_POSITIONS
+    single = odd & addressable
+    flat_code[single] ^= np.uint64(1) << flat_syndrome[single]
+    report.corrected = int(single.sum())
+    uncorrectable = (odd & ~addressable) | (~odd & (flat_syndrome != 0))
+    indices = np.nonzero(uncorrectable)[0]
+    report.uncorrectable = int(len(indices))
+    # nonzero scans in flat order, matching the historical per-word
+    # append order.
+    report.uncorrectable_indices = [int(i) for i in indices]
 
     data = np.zeros(code.shape, dtype=np.uint32)
     wide = np.zeros(code.shape, dtype=np.uint64)

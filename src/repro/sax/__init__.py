@@ -12,24 +12,33 @@ alphabet of configurable size.  :func:`mindist` gives the classic
 lower-bounding distance between two words.
 """
 
-from repro.sax.paa import paa, znormalize
+from repro.sax.paa import paa, paa_batch, znormalize, znormalize_batch
 from repro.sax.breakpoints import gaussian_breakpoints
-from repro.sax.sax import SaxEncoder, sax_word
+from repro.sax.sax import SaxEncoder, sax_word, symbols_to_words
 from repro.sax.distance import (
     hamming_distance,
     mindist,
+    mindist_profile,
     min_rotation_distance,
+    rotation_index_tensor,
     symbol_distance_table,
+    word_indices,
 )
 
 __all__ = [
     "znormalize",
+    "znormalize_batch",
     "paa",
+    "paa_batch",
     "gaussian_breakpoints",
     "SaxEncoder",
     "sax_word",
+    "symbols_to_words",
     "mindist",
+    "mindist_profile",
     "hamming_distance",
     "min_rotation_distance",
+    "rotation_index_tensor",
     "symbol_distance_table",
+    "word_indices",
 ]

@@ -1,8 +1,27 @@
-"""Distances between SAX words."""
+"""Distances between SAX words.
+
+The MINDIST lower bound and its rotation-invariant form are the inner
+loop of the shape qualifier, so this module is built around two cached
+artefacts:
+
+* :func:`symbol_distance_table` is memoised per alphabet size (the
+  ``a x a`` breakpoint-gap table used to be rebuilt on every call --
+  once per rotation inside the qualifier);
+* :func:`rotation_index_tensor` precomputes every cyclic rotation of a
+  template word as an ``(rotations, w)`` integer matrix, so the
+  rotation scan is one fancy-indexing pass instead of a Python loop
+  over string slices.
+
+Both the scalar and the batched qualifier paths share these kernels;
+the batched forms reduce over the contiguous trailing axis, which
+keeps their floats bitwise identical to the historical per-rotation
+loop (same pairwise summation, same IEEE sqrt/multiply chain).
+"""
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -10,13 +29,9 @@ from repro.sax.breakpoints import gaussian_breakpoints
 from repro.sax.sax import ALPHABET
 
 
-def symbol_distance_table(alphabet_size: int) -> np.ndarray:
-    """The SAX ``dist()`` lookup table.
-
-    ``table[r, c] = 0`` when ``|r - c| <= 1`` (adjacent regions are
-    indistinguishable under the lower bound), otherwise the gap between
-    the regions' nearest breakpoints.
-    """
+@lru_cache(maxsize=None)
+def _cached_symbol_table(alphabet_size: int) -> np.ndarray:
+    """Shared read-only ``dist()`` table for one alphabet size."""
     bp = gaussian_breakpoints(alphabet_size)
     table = np.zeros((alphabet_size, alphabet_size), dtype=np.float64)
     for r in range(alphabet_size):
@@ -24,7 +39,19 @@ def symbol_distance_table(alphabet_size: int) -> np.ndarray:
             if abs(r - c) > 1:
                 hi, lo = max(r, c), min(r, c)
                 table[r, c] = bp[hi - 1] - bp[lo]
+    table.setflags(write=False)
     return table
+
+
+def symbol_distance_table(alphabet_size: int) -> np.ndarray:
+    """The SAX ``dist()`` lookup table.
+
+    ``table[r, c] = 0`` when ``|r - c| <= 1`` (adjacent regions are
+    indistinguishable under the lower bound), otherwise the gap between
+    the regions' nearest breakpoints.  Computed once per alphabet size
+    and cached; the returned array is a private mutable copy.
+    """
+    return _cached_symbol_table(alphabet_size).copy()
 
 
 def _indices(word: str, alphabet_size: int) -> np.ndarray:
@@ -35,6 +62,11 @@ def _indices(word: str, alphabet_size: int) -> np.ndarray:
             f"{alphabet_size}"
         )
     return idx
+
+
+def word_indices(word: str, alphabet_size: int) -> np.ndarray:
+    """Integer symbol indices of a SAX word (validated against ``a``)."""
+    return _indices(word, alphabet_size)
 
 
 def mindist(
@@ -51,7 +83,7 @@ def mindist(
     """
     if len(word_a) != len(word_b):
         raise ValueError("words must have equal length")
-    table = symbol_distance_table(alphabet_size)
+    table = _cached_symbol_table(alphabet_size)
     ia = _indices(word_a, alphabet_size)
     ib = _indices(word_b, alphabet_size)
     gaps = table[ia, ib]
@@ -66,6 +98,48 @@ def hamming_distance(word_a: str, word_b: str) -> int:
     return sum(1 for a, b in zip(word_a, word_b) if a != b)
 
 
+def rotation_index_tensor(word: str, alphabet_size: int) -> np.ndarray:
+    """All cyclic rotations of ``word`` as an ``(w, w)`` index matrix.
+
+    Row ``r`` holds the symbol indices of ``word[r:] + word[:r]`` --
+    the operand :func:`min_rotation_distance` compares against, one
+    row per candidate rotation.
+    """
+    idx = _indices(word, alphabet_size)
+    w = len(idx)
+    if w == 0:
+        return np.zeros((0, 0), dtype=idx.dtype)
+    # Row r = indices rolled left by r: gather with a (w, w) offset grid.
+    offsets = (np.arange(w)[:, None] + np.arange(w)[None, :]) % w
+    return idx[offsets]
+
+
+def mindist_profile(
+    symbols: np.ndarray,
+    rotations: np.ndarray,
+    alphabet_size: int,
+    series_length: int,
+) -> np.ndarray:
+    """MINDIST of one observed word against stacked candidate words.
+
+    ``symbols`` is the observed word's ``(w,)`` index vector;
+    ``rotations`` an ``(..., w)`` stack of candidate index vectors
+    (typically a :func:`rotation_index_tensor`, or several of them
+    stacked along a leading template axis).  Returns the ``(...)``
+    distances, each bitwise equal to the corresponding scalar
+    :func:`mindist` call: the squared-gap sum reduces the same
+    contiguous ``w`` elements and the scale/sqrt chain is the same
+    IEEE sequence.
+    """
+    table = _cached_symbol_table(alphabet_size)
+    w = symbols.shape[-1]
+    if rotations.shape[-1] != w:
+        raise ValueError("words must have equal length")
+    gaps = table[symbols, rotations]
+    sums = (gaps**2).sum(axis=-1)
+    return math.sqrt(series_length / w) * np.sqrt(sums)
+
+
 def min_rotation_distance(
     word_a: str,
     word_b: str,
@@ -76,14 +150,20 @@ def min_rotation_distance(
 
     Centroid-distance signatures are only defined up to the starting
     angle of the boundary walk, so shape comparison must be rotation
-    invariant.  Returns ``(distance, best_rotation)``.
+    invariant.  Returns ``(distance, best_rotation)`` with the
+    earliest rotation winning ties, exactly as the historical
+    rotation-by-rotation loop did (``argmin`` returns the first
+    minimum).
     """
-    best = math.inf
-    best_rot = 0
-    for rot in range(len(word_b)):
-        rotated = word_b[rot:] + word_b[:rot]
-        d = mindist(word_a, rotated, alphabet_size, series_length)
-        if d < best:
-            best = d
-            best_rot = rot
-    return best, best_rot
+    if len(word_b) == 0:
+        # No rotations to scan (the historical loop body never ran).
+        return math.inf, 0
+    if len(word_a) != len(word_b):
+        raise ValueError("words must have equal length")
+    ia = _indices(word_a, alphabet_size)
+    rotations = rotation_index_tensor(word_b, alphabet_size)
+    distances = mindist_profile(
+        ia, rotations, alphabet_size, series_length
+    )
+    best_rot = int(distances.argmin())
+    return float(distances[best_rot]), best_rot

@@ -22,6 +22,26 @@ def znormalize(series: np.ndarray) -> np.ndarray:
     return (series - series.mean()) / std
 
 
+def znormalize_batch(series: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`znormalize` of an ``(n, m)`` matrix.
+
+    Bitwise identical to n scalar calls: NumPy reduces the contiguous
+    last axis with the same pairwise summation whether the array is
+    1-D or a row of a 2-D matrix, and the flat-series rule applies per
+    row.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise ValueError("znormalize_batch expects an (n, m) matrix")
+    std = series.std(axis=-1)
+    mean = series.mean(axis=-1)
+    flat = std < FLAT_STD_THRESHOLD
+    safe_std = np.where(flat, 1.0, std)
+    out = (series - mean[:, None]) / safe_std[:, None]
+    out[flat] = 0.0
+    return out
+
+
 def paa(series: np.ndarray, segments: int) -> np.ndarray:
     """Piecewise Aggregate Approximation to ``segments`` values.
 
@@ -63,3 +83,44 @@ def paa(series: np.ndarray, segments: int) -> np.ndarray:
         # so clipping into the observed range removes only rounding.
         out[seg] = total / weight
     return np.clip(out, series.min(), series.max())
+
+
+def paa_batch(series: np.ndarray, segments: int) -> np.ndarray:
+    """Row-wise :func:`paa` of an ``(n, m)`` matrix.
+
+    Bitwise identical to n scalar calls.  The evenly-dividing case is
+    the same contiguous reshape-and-mean per row; the fractional-frame
+    case keeps the scalar accumulation order (sample-sequential per
+    segment) and merely broadcasts each step across the batch axis, so
+    every row's float chain is exactly the scalar chain.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise ValueError("paa_batch expects an (n, m) matrix")
+    n_rows, n = series.shape
+    if segments <= 0:
+        raise ValueError("segments must be positive")
+    if segments > n:
+        raise ValueError(f"cannot PAA {n} points into {segments} segments")
+    if n % segments == 0:
+        return series.reshape(n_rows, segments, n // segments).mean(axis=2)
+    out = np.zeros((n_rows, segments), dtype=np.float64)
+    frame = n / segments
+    for seg in range(segments):
+        start = seg * frame
+        end = (seg + 1) * frame
+        first = int(np.floor(start))
+        last = int(np.ceil(end))
+        total = np.zeros(n_rows, dtype=np.float64)
+        weight = 0.0
+        for i in range(first, min(last, n)):
+            overlap = min(end, i + 1) - max(start, i)
+            if overlap > 0:
+                total += series[:, i] * overlap
+                weight += overlap
+        out[:, seg] = total / weight
+    return np.clip(
+        out,
+        series.min(axis=1, keepdims=True),
+        series.max(axis=1, keepdims=True),
+    )

@@ -7,7 +7,7 @@ import string
 import numpy as np
 
 from repro.sax.breakpoints import gaussian_breakpoints
-from repro.sax.paa import paa, znormalize
+from repro.sax.paa import paa, paa_batch, znormalize, znormalize_batch
 
 ALPHABET = string.ascii_lowercase
 
@@ -55,6 +55,27 @@ class SaxEncoder:
         """SAX word for ``series``."""
         return "".join(ALPHABET[s] for s in self.symbols(series))
 
+    def symbols_batch(self, series: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`symbols` of an ``(n, samples)`` matrix.
+
+        Returns ``(n, word_length)`` integer symbol indices, bitwise
+        identical to n scalar calls: normalisation and PAA reduce each
+        contiguous row exactly as the 1-D forms do (see
+        :func:`~repro.sax.paa.znormalize_batch`), and discretisation
+        is an exact integer ``searchsorted``.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError("symbols_batch expects an (n, samples) matrix")
+        if self.normalize:
+            series = znormalize_batch(series)
+        reduced = paa_batch(series, self.word_length)
+        return np.searchsorted(self.breakpoints, reduced, side="right")
+
+    def encode_batch(self, series: np.ndarray) -> list[str]:
+        """SAX words for the rows of an ``(n, samples)`` matrix."""
+        return symbols_to_words(self.symbols_batch(series))
+
     def decode_levels(self, word: str) -> np.ndarray:
         """Region-centre values for a word (coarse reconstruction).
 
@@ -74,6 +95,14 @@ class SaxEncoder:
         lows = np.concatenate([[bp[0] - width], bp])
         highs = np.concatenate([bp, [bp[-1] + width]])
         return (lows[idx] + highs[idx]) / 2.0
+
+
+def symbols_to_words(symbols: np.ndarray) -> list[str]:
+    """Render ``(n, w)`` integer symbol indices as SAX word strings."""
+    symbols = np.asarray(symbols)
+    if symbols.ndim != 2:
+        raise ValueError("symbols_to_words expects an (n, w) matrix")
+    return ["".join(ALPHABET[s] for s in row) for row in symbols]
 
 
 def sax_word(

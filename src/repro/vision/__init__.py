@@ -11,19 +11,35 @@ out as necessary for safety certification.
 from repro.vision.filters import (
     SOBEL_X,
     SOBEL_Y,
+    correlate2d_batch,
     gradient_magnitude,
+    gradient_magnitude_batch,
     prewitt_kernels,
     scharr_kernels,
     sobel_axis_stack,
     sobel_filter_stack,
 )
-from repro.vision.edges import edge_map, sobel_edges
+from repro.vision.edges import (
+    edge_map,
+    edge_map_batch,
+    sobel_edges,
+    sobel_edges_batch,
+    to_grayscale_batch,
+)
 from repro.vision.contours import (
     Contour,
+    label_components,
+    label_components_array,
+    label_components_batch,
+    largest_component,
     largest_contour,
     trace_boundary,
 )
-from repro.vision.morphology import binary_dilate, binary_erode
+from repro.vision.morphology import (
+    binary_dilate,
+    binary_dilate_batch,
+    binary_erode,
+)
 from repro.vision.series import (
     centroid,
     centroid_distance_series,
@@ -38,13 +54,23 @@ __all__ = [
     "sobel_axis_stack",
     "scharr_kernels",
     "prewitt_kernels",
+    "correlate2d_batch",
     "gradient_magnitude",
+    "gradient_magnitude_batch",
     "sobel_edges",
+    "sobel_edges_batch",
+    "to_grayscale_batch",
     "edge_map",
+    "edge_map_batch",
     "binary_dilate",
+    "binary_dilate_batch",
     "binary_erode",
     "Contour",
     "trace_boundary",
+    "label_components",
+    "label_components_array",
+    "label_components_batch",
+    "largest_component",
     "largest_contour",
     "centroid",
     "centroid_distance_series",

@@ -3,6 +3,22 @@
 Pure-Python/NumPy implementations, deliberately simple and auditable:
 the contour trace is part of the paper's *dependable* path, where an
 explainable algorithm beats a fast opaque one.
+
+Two labelling implementations coexist, with identical outputs:
+
+* :func:`label_components` -- the per-pixel BFS, paper-faithful and
+  trivially auditable; the scalar qualifier path keeps it.
+* :func:`label_components_array` / :func:`label_components_batch` --
+  iterative minimum-label propagation with pointer jumping over whole
+  offset arrays (the classic array-parallel connected-components
+  scheme).  Every pixel starts labelled with its own flat index, each
+  sweep takes the minimum over the 8-neighbourhood, and a
+  pointer-jump step short-circuits label chains; at the fixpoint every
+  pixel holds its component's minimum flat index.  Renumbering those
+  representatives in ascending order reproduces the BFS numbering
+  *exactly* (a BFS seed is precisely a component's first row-major --
+  i.e. minimum-flat-index -- pixel), so the two functions are
+  interchangeable bit for bit.
 """
 
 from __future__ import annotations
@@ -17,6 +33,24 @@ _MOORE = [
     (0, -1), (-1, -1), (-1, 0), (-1, 1),
     (0, 1), (1, 1), (1, 0), (1, -1),
 ]
+
+
+def _rebase_table() -> list[list[int | None]]:
+    """``_REBASE[prev][d]``: the offset ``_MOORE[prev] - _MOORE[d]``
+    expressed as a Moore direction index (None where the two
+    neighbours are not themselves adjacent; the trace only ever asks
+    for consecutive scan positions, which always are)."""
+    table: list[list[int | None]] = []
+    for prev in _MOORE:
+        row: list[int | None] = []
+        for d in _MOORE:
+            offset = (prev[0] - d[0], prev[1] - d[1])
+            row.append(_MOORE.index(offset) if offset in _MOORE else None)
+        table.append(row)
+    return table
+
+
+_REBASE = _rebase_table()
 
 
 @dataclass
@@ -71,6 +105,145 @@ def label_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
     return labels, current
 
 
+#: The four directed neighbour offsets that, with their mirrors, span
+#: the 8-neighbourhood (E, S, SE, SW); undirected edges need one
+#: direction only.
+_EDGE_OFFSETS = ((0, 1), (1, 0), (1, 1), (1, -1))
+
+
+def _resolve_min_labels(masks: np.ndarray) -> np.ndarray:
+    """Component-minimum flat indices for an ``(n, h, w)`` mask stack.
+
+    Returns an int64 ``(n, h, w)`` array holding, for every foreground
+    pixel, the minimum per-image flat index of its 8-connected
+    component; background pixels hold the sentinel ``h * w``.
+
+    Union-find over offset arrays: foreground pixels become nodes
+    (numbered in row-major order, images concatenated -- so node order
+    is flat-index order within each image), adjacency comes from four
+    shifted mask overlaps, and components resolve by alternating
+    pointer doubling (full path compression) with minimum-hooking of
+    edge endpoints' roots.  Hooking always points the larger root at
+    the smaller, so every root converges to its component's minimum
+    node -- i.e. the component's first row-major pixel, the exact
+    pixel a BFS would have seeded from.
+    """
+    n, h, w = masks.shape
+    sentinel = np.int64(h * w)
+    representatives = np.full((n, h, w), sentinel, dtype=np.int64)
+    img, rows, cols = np.nonzero(masks)
+    total = len(img)
+    if total == 0:
+        return representatives
+    node_of = np.empty((n, h, w), dtype=np.int32)
+    node_of[img, rows, cols] = np.arange(total, dtype=np.int32)
+    heads: list[np.ndarray] = []
+    tails: list[np.ndarray] = []
+    for dr, dc in _EDGE_OFFSETS:
+        a_r = slice(max(0, -dr), h - max(0, dr))
+        a_c = slice(max(0, -dc), w - max(0, dc))
+        b_r = slice(max(0, dr), h - max(0, -dr))
+        b_c = slice(max(0, dc), w - max(0, -dc))
+        both = masks[:, a_r, a_c] & masks[:, b_r, b_c]
+        heads.append(node_of[:, a_r, a_c][both])
+        tails.append(node_of[:, b_r, b_c][both])
+    edge_a = np.concatenate(heads)
+    edge_b = np.concatenate(tails)
+    parent = np.arange(total, dtype=np.int32)
+    while True:
+        # Full path compression by pointer doubling.
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        root_a = parent[edge_a]
+        root_b = parent[edge_b]
+        lo = np.minimum(root_a, root_b)
+        hi = np.maximum(root_a, root_b)
+        live = lo != hi
+        if not live.any():
+            break
+        # Hook every still-split edge's larger root onto the smaller;
+        # minimum.at resolves duplicate targets deterministically.
+        np.minimum.at(parent, hi[live], lo[live])
+    roots = parent
+    representatives[img, rows, cols] = rows[roots] * w + cols[roots]
+    return representatives
+
+
+def label_components_batch(
+    masks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array-parallel 8-connected labelling of an ``(n, h, w)`` stack.
+
+    Returns ``(labels, counts)``: per-image label maps (0 background,
+    1..counts[i] components) and the per-image component counts.  Each
+    image's labelling is identical to :func:`label_components` on that
+    image (see the module docstring for why the numbering agrees).
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 3:
+        raise ValueError(f"expected (n, h, w) masks, got {masks.shape}")
+    n, h, w = masks.shape
+    labels = np.zeros((n, h, w), dtype=np.int32)
+    counts = np.zeros(n, dtype=np.int64)
+    if masks.size == 0 or not masks.any():
+        return labels, counts
+    representatives = _resolve_min_labels(masks)
+    for i in range(n):
+        fg = masks[i]
+        if not fg.any():
+            continue
+        unique, inverse = np.unique(
+            representatives[i][fg], return_inverse=True
+        )
+        labels[i][fg] = inverse.astype(np.int32) + 1
+        counts[i] = len(unique)
+    return labels, counts
+
+
+def largest_component_batch(
+    masks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Largest 8-connected component of each mask in an ``(n, h, w)``
+    stack, without materialising full label maps.
+
+    Returns ``(components, found)``: per-image boolean masks of the
+    largest component (all-False where the image has no foreground)
+    and the per-image foreground indicator.  Selection is identical to
+    ``largest_component(label_components(mask)[0])``: component sizes
+    come from the same pixel partition, and ties break towards the
+    component whose representative (minimum flat index, i.e. first
+    row-major pixel) is smallest -- the lowest BFS label -- because
+    ``np.unique`` sorts representatives ascending and ``argmax`` takes
+    the first maximum.
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 3:
+        raise ValueError(f"expected (n, h, w) masks, got {masks.shape}")
+    components = np.zeros(masks.shape, dtype=bool)
+    found = masks.any(axis=(1, 2))
+    if not found.any():
+        return components, found
+    representatives = _resolve_min_labels(masks)
+    for i in np.nonzero(found)[0]:
+        unique, counts = np.unique(
+            representatives[i][masks[i]], return_counts=True
+        )
+        components[i] = representatives[i] == unique[counts.argmax()]
+    return components, found
+
+
+def label_components_array(mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """Array-parallel drop-in for :func:`label_components` (one mask)."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"expected an (h, w) mask, got {mask.shape}")
+    labels, counts = label_components_batch(mask[None])
+    return labels[0], int(counts[0])
+
+
 def trace_boundary(mask: np.ndarray) -> np.ndarray:
     """Trace the outer boundary of the single shape in ``mask``.
 
@@ -97,38 +270,65 @@ def trace_boundary(mask: np.ndarray) -> np.ndarray:
         return np.array([start], dtype=np.int64)
 
     h, w = mask.shape
+    # The walk is inherently sequential Python; keep each step cheap.
+    # Embedding the mask in a one-pixel background frame of plain
+    # bytes makes neighbour membership a single index with no bounds
+    # branch or NumPy scalar boxing, and encoding the (pixel,
+    # backtrack-direction) state as one int keeps the loop-closure set
+    # on the fast small-int path.  The visited sequence is exactly the
+    # original tuple-based walk's.
+    fw = w + 2
+    framed = np.zeros((h + 2, fw), dtype=np.uint8)
+    framed[1:-1, 1:-1] = mask
+    cells = framed.tobytes()
+    moore_flat = [dr * fw + dc for dr, dc in _MOORE]
 
-    def is_foreground(r: int, c: int) -> bool:
-        return 0 <= r < h and 0 <= c < w and bool(mask[r, c])
-
-    boundary: list[tuple[int, int]] = [start]
-    current = start
-    backtrack = (start[0], start[1] - 1)  # west of start: background
-    seen_states: set[tuple[tuple[int, int], tuple[int, int]]] = set()
-    while (current, backtrack) not in seen_states:
-        seen_states.add((current, backtrack))
-        offset = (backtrack[0] - current[0], backtrack[1] - current[1])
-        scan_from = _MOORE.index(offset)
+    pos = (start[0] + 1) * fw + (start[1] + 1)
+    start_pos = pos
+    scan_from = 0  # backtrack direction: west of start is background
+    boundary: list[int] = [pos]
+    seen_states = bytearray(len(cells) * 8)
+    while True:
+        state = pos * 8 + scan_from
+        if seen_states[state]:
+            break
+        seen_states[state] = 1
         advanced = False
         for step in range(1, 9):
             d = (scan_from + step) % 8
-            nr = current[0] + _MOORE[d][0]
-            nc = current[1] + _MOORE[d][1]
-            if is_foreground(nr, nc):
-                prev = (scan_from + step - 1) % 8
-                backtrack = (
-                    current[0] + _MOORE[prev][0],
-                    current[1] + _MOORE[prev][1],
-                )
-                current = (nr, nc)
+            neighbour = pos + moore_flat[d]
+            if cells[neighbour]:
+                # Backtrack = the previously scanned (background)
+                # neighbour, re-expressed as a direction from the
+                # pixel we advance to.
+                scan_from = _REBASE[(scan_from + step - 1) % 8][d]
+                pos = neighbour
                 advanced = True
                 break
         if not advanced:  # isolated pixel
             break
-        if current == start:
+        if pos == start_pos:
             break
-        boundary.append(current)
-    return np.array(boundary, dtype=np.int64)
+        boundary.append(pos)
+    points = np.array(boundary, dtype=np.int64)
+    return np.stack([points // fw - 1, points % fw - 1], axis=1)
+
+
+def largest_component(labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """(mask, area) of the largest labelled component in a label map.
+
+    Ties break towards the lowest label -- the component whose first
+    row-major pixel comes first -- via ``argmax``'s first-maximum
+    rule, the same rule for either labelling implementation since both
+    number components identically.  ``labels`` must contain at least
+    one nonzero label.
+    """
+    sizes = np.bincount(labels.ravel())
+    sizes[0] = 0
+    best = int(sizes.argmax())
+    if best == 0:
+        raise ValueError("label map contains no components")
+    return labels == best, int(sizes[best])
 
 
 def largest_contour(mask: np.ndarray) -> Contour:
@@ -136,9 +336,6 @@ def largest_contour(mask: np.ndarray) -> Contour:
     labels, count = label_components(mask)
     if count == 0:
         raise ValueError("mask contains no foreground pixels")
-    sizes = np.bincount(labels.ravel())
-    sizes[0] = 0
-    best = int(sizes.argmax())
-    component = labels == best
+    component, area = largest_component(labels)
     points = trace_boundary(component)
-    return Contour(points=points, area=int(sizes[best]))
+    return Contour(points=points, area=area)

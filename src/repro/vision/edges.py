@@ -1,10 +1,16 @@
-"""Edge maps."""
+"""Edge maps (single-image and batched forms).
+
+The ``*_batch`` functions process an ``(n, ...)`` image stack in
+single array passes and are bitwise identical per image to the scalar
+forms -- the contract the batched qualifier engine
+(:mod:`repro.core.qualifier_batch`) is built on.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.vision.filters import gradient_magnitude
+from repro.vision.filters import gradient_magnitude, gradient_magnitude_batch
 
 
 def to_grayscale(image: np.ndarray) -> np.ndarray:
@@ -43,3 +49,56 @@ def edge_map(image: np.ndarray, threshold: float | None = None) -> np.ndarray:
     if threshold is None:
         threshold = 0.5 * peak
     return magnitude >= threshold
+
+
+def to_grayscale_batch(images: np.ndarray) -> np.ndarray:
+    """Batched :func:`to_grayscale`: ``(n, c, h, w)`` or ``(n, h, w)``
+    to ``(n, h, w)``, bitwise identical per image.
+
+    The 3-channel luma contraction deliberately runs per image through
+    the exact scalar ``tensordot`` call: BLAS picks its GEMV kernel by
+    problem size, and a whole-batch contraction can select a kernel
+    whose 3-tap accumulation rounds differently from the per-image
+    one.  The contraction is a negligible slice of the frontend, so
+    exactness wins over the (measured-irrelevant) batching gain here.
+    """
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim == 3:
+        return images
+    if images.ndim != 4:
+        raise ValueError(
+            f"expected (n, c, h, w) or (n, h, w), got {images.shape}"
+        )
+    if images.shape[1] == 3:
+        return np.stack([to_grayscale(image) for image in images])
+    return images.mean(axis=1)
+
+
+def sobel_edges_batch(images: np.ndarray) -> np.ndarray:
+    """Batched :func:`sobel_edges` over an image stack."""
+    return gradient_magnitude_batch(to_grayscale_batch(images))
+
+
+def edge_map_batch(
+    images: np.ndarray, threshold: float | None = None
+) -> np.ndarray:
+    """Batched :func:`edge_map`: ``(n, h, w)`` boolean masks.
+
+    The default threshold is half of each image's own peak magnitude,
+    exactly as the scalar rule computes it (per-image peak cast
+    through ``float``, so the comparison promotes to float64 the same
+    way); all-zero magnitude images yield all-background masks.
+    """
+    magnitude = sobel_edges_batch(images)
+    if magnitude.ndim != 3:
+        raise ValueError(f"expected an image stack, got {magnitude.shape}")
+    peaks = magnitude.max(axis=(1, 2)).astype(np.float64)
+    if threshold is not None:
+        mask = magnitude >= threshold
+    else:
+        mask = magnitude >= (0.5 * peaks)[:, None, None]
+    # The scalar rule blanks zero-magnitude images *before* looking at
+    # the threshold, so a non-positive explicit threshold still yields
+    # an all-background mask for a featureless image.
+    mask[peaks == 0.0] = False
+    return mask

@@ -82,8 +82,39 @@ def sobel_axis_stack(
     return np.stack([plane] * in_channels, axis=0)
 
 
+def _correlate_taps(images: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Tap-sequential 'same' correlation over an ``(n, h, w)`` stack.
+
+    Accumulates ``kernel[u, v] * shifted_image`` in row-major tap
+    order through plain float32 ufunc passes.  Every output element's
+    float chain is the same fixed multiply/accumulate sequence
+    whatever the batch size -- elementwise ufuncs never re-associate a
+    reduction the way a BLAS contraction may when its kernel choice
+    changes with problem size -- so scalar and batched calls agree
+    bitwise by construction (the same property the reliable engine's
+    speculative passes rely on).
+    """
+    kh, kw = kernel.shape
+    ph, pw = kh // 2, kw // 2
+    # Replicate-pad so derivative kernels see no artificial step at the
+    # image border (zero padding would add a spurious frame of edges).
+    padded = np.pad(
+        images, ((0, 0), (ph, kh - 1 - ph), (pw, kw - 1 - pw)), mode="edge"
+    )
+    n, h, w = images.shape
+    acc = np.zeros((n, h, w), dtype=np.float32)
+    term = np.empty((n, h, w), dtype=np.float32)
+    for u in range(kh):
+        for v in range(kw):
+            np.multiply(
+                padded[:, u : u + h, v : v + w], kernel[u, v], out=term
+            )
+            acc += term
+    return acc
+
+
 def correlate2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-    """'Same'-size 2-D cross-correlation with zero padding.
+    """'Same'-size 2-D cross-correlation with replicate padding.
 
     This is the conv-layer convention (no kernel flip), so results
     match applying the kernel through :class:`repro.nn.layers.Conv2D`.
@@ -92,24 +123,39 @@ def correlate2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
     kernel = np.asarray(kernel, dtype=np.float32)
     if image.ndim != 2 or kernel.ndim != 2:
         raise ValueError("correlate2d expects 2-D arrays")
-    kh, kw = kernel.shape
-    ph, pw = kh // 2, kw // 2
-    # Replicate-pad so derivative kernels see no artificial step at the
-    # image border (zero padding would add a spurious frame of edges).
-    padded = np.pad(
-        image, ((ph, kh - 1 - ph), (pw, kw - 1 - pw)), mode="edge"
-    )
-    h, w = image.shape
-    sh, sw = padded.strides
-    windows = np.lib.stride_tricks.as_strided(
-        padded, shape=(h, w, kh, kw), strides=(sh, sw, sh, sw),
-        writeable=False,
-    )
-    return np.einsum("ijkl,kl->ij", windows, kernel, optimize=True)
+    return _correlate_taps(image[None], kernel)[0]
+
+
+def correlate2d_batch(images: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Batched :func:`correlate2d` over an ``(n, h, w)`` image stack.
+
+    Bitwise identical per image to n scalar calls by construction:
+    both run the same tap-sequential accumulation (see
+    :func:`_correlate_taps`), padding applied per image.
+    """
+    images = np.asarray(images, dtype=np.float32)
+    kernel = np.asarray(kernel, dtype=np.float32)
+    if images.ndim != 3 or kernel.ndim != 2:
+        raise ValueError(
+            "correlate2d_batch expects (n, h, w) images and a 2-D kernel"
+        )
+    return _correlate_taps(images, kernel)
 
 
 def gradient_magnitude(image: np.ndarray) -> np.ndarray:
     """Sobel gradient magnitude of a greyscale image."""
     gx = correlate2d(image, SOBEL_X)
     gy = correlate2d(image, SOBEL_Y)
+    return np.hypot(gx, gy)
+
+
+def gradient_magnitude_batch(images: np.ndarray) -> np.ndarray:
+    """Sobel gradient magnitudes of an ``(n, h, w)`` greyscale stack.
+
+    Bitwise identical per image to :func:`gradient_magnitude` by
+    construction: both derivative responses run the shared
+    tap-sequential correlation (:func:`_correlate_taps`).
+    """
+    gx = correlate2d_batch(images, SOBEL_X)
+    gy = correlate2d_batch(images, SOBEL_Y)
     return np.hypot(gx, gy)

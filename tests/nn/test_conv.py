@@ -237,3 +237,56 @@ class TestOpsCount:
         np.testing.assert_allclose(
             manual.transpose(0, 3, 1, 2), conv.forward(x), rtol=1e-5
         )
+
+
+class TestCol2ImVectorized:
+    """The kernel-offset slice-add col2im must equal the historical
+    patch-by-patch scatter loop bitwise (float accumulation order is
+    part of the contract -- it feeds every training backward pass)."""
+
+    @staticmethod
+    def _col2im_reference(cols, input_shape, kernel, stride, padding):
+        n, c, h, w = input_shape
+        kh, kw = kernel
+        out_h = conv_output_size(h, kh, stride, padding)
+        out_w = conv_output_size(w, kw, stride, padding)
+        xp = np.zeros(
+            (n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype
+        )
+        patches = cols.reshape(n, out_h, out_w, c, kh, kw)
+        for i in range(out_h):
+            hi = i * stride
+            for j in range(out_w):
+                wj = j * stride
+                xp[:, :, hi : hi + kh, wj : wj + kw] += patches[:, i, j]
+        if padding:
+            return xp[:, :, padding:-padding, padding:-padding]
+        return xp
+
+    @pytest.mark.parametrize("geometry", [
+        (2, 3, 8, 8, 3, 1, 1),
+        (1, 1, 7, 9, 3, 2, 0),
+        (3, 2, 12, 10, 5, 2, 2),
+        (2, 4, 11, 11, 4, 3, 1),
+        (1, 3, 6, 6, 2, 1, 0),
+        (2, 1, 9, 7, 3, 3, 2),
+    ])
+    def test_bitwise_parity_with_loop(self, rng, geometry):
+        n, c, h, w, k, stride, padding = geometry
+        out_h = conv_output_size(h, k, stride, padding)
+        out_w = conv_output_size(w, k, stride, padding)
+        cols = rng.standard_normal(
+            (n, out_h, out_w, c * k * k)
+        ).astype(np.float32)
+        got = col2im(cols, (n, c, h, w), (k, k), stride, padding)
+        want = self._col2im_reference(
+            cols, (n, c, h, w), (k, k), stride, padding
+        )
+        assert got.tobytes() == want.tobytes()
+
+    def test_float64_gradients_too(self, rng):
+        cols = rng.standard_normal((2, 6, 6, 3 * 9))
+        got = col2im(cols, (2, 3, 8, 8), (3, 3), 1, 0)
+        want = self._col2im_reference(cols, (2, 3, 8, 8), (3, 3), 1, 0)
+        assert got.dtype == np.float64
+        assert got.tobytes() == want.tobytes()

@@ -228,3 +228,83 @@ class TestMemoryProtectionWorkflows:
                     result.clean_accuracy, abs=0.02
                 )
         assert "flips" in result.to_text()
+
+
+class TestVectorizedDecodeReport:
+    """decode_words is one mask-classification pass; its DecodeReport
+    must stay identical to the historical per-word syndrome loop."""
+
+    @staticmethod
+    def _decode_reference(code):
+        """The pre-vectorization per-word classification loop."""
+        from repro.reliable.ecc import (
+            _ALL_MASK,
+            _COVER_MASKS,
+            _N_POSITIONS,
+        )
+
+        code = np.asarray(code, dtype=np.uint64).copy()
+        syndrome = np.zeros(code.shape, dtype=np.uint64)
+        for bit, mask in enumerate(_COVER_MASKS):
+            failed = np.bitwise_count(code & mask) & np.uint64(1)
+            syndrome |= failed << np.uint64(bit)
+        overall = np.bitwise_count(code & _ALL_MASK) & np.uint64(1)
+        report = DecodeReport()
+        flat = code.reshape(-1)
+        for i in range(flat.size):
+            s = int(syndrome.reshape(-1)[i])
+            odd = int(overall.reshape(-1)[i]) == 1
+            if s == 0 and not odd:
+                continue
+            if odd:
+                if s < _N_POSITIONS:
+                    flat[i] ^= np.uint64(1 << s)
+                    report.corrected += 1
+                else:
+                    report.uncorrectable += 1
+                    report.uncorrectable_indices.append(i)
+            else:
+                report.uncorrectable += 1
+                report.uncorrectable_indices.append(i)
+        return code, report
+
+    def test_mixed_batch_report_pinned(self, rng):
+        values = rng.standard_normal(64).astype(np.float32)
+        code = encode_words(values.view(np.uint32))
+        # Clean words, single data-bit, single parity-bit, the overall
+        # parity bit itself, and double flips -- all in one batch.
+        code[3] ^= np.uint64(1 << 7)            # single data bit
+        code[9] ^= np.uint64(1 << 2)            # single Hamming parity
+        code[12] ^= np.uint64(1)                # overall parity bit
+        code[20] ^= np.uint64((1 << 5) | (1 << 9))   # double flip
+        code[41] ^= np.uint64((1 << 0) | (1 << 38))  # double incl. bit 0
+        data, report = decode_words(code)
+        ref_code, ref_report = self._decode_reference(code)
+        assert report.corrected == ref_report.corrected == 3
+        assert report.uncorrectable == ref_report.uncorrectable == 2
+        assert report.uncorrectable_indices == \
+            ref_report.uncorrectable_indices == [20, 41]
+        ref_decoded, _ = decode_words(ref_code)  # already corrected
+        np.testing.assert_array_equal(data, ref_decoded)
+        clean = np.ones(64, dtype=bool)
+        clean[[20, 41]] = False
+        np.testing.assert_array_equal(
+            data[clean].view(np.float32), values[clean]
+        )
+
+    def test_random_flip_storm_matches_reference(self, rng):
+        values = rng.standard_normal(128).astype(np.float32)
+        code = encode_words(values.view(np.uint32))
+        for _ in range(60):
+            word = int(rng.integers(0, code.size))
+            bit = int(rng.integers(0, 39))
+            code[word] ^= np.uint64(1 << bit)
+        data, report = decode_words(code.copy())
+        ref_code, ref_report = self._decode_reference(code.copy())
+        assert report.corrected == ref_report.corrected
+        assert report.uncorrectable == ref_report.uncorrectable
+        assert report.uncorrectable_indices == \
+            ref_report.uncorrectable_indices
+        # Compare the decoded data words, not just the report.
+        ref_decoded, _ = decode_words(ref_code)
+        np.testing.assert_array_equal(data, ref_decoded)

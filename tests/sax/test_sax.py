@@ -177,3 +177,120 @@ class TestDistances:
     def test_rotation_distance_lower_bound_property(self):
         d_rot, _ = min_rotation_distance("abab", "baba", 4, 32)
         assert d_rot <= mindist("abab", "baba", 4, 32)
+
+
+class TestBatchedEncoding:
+    """symbols_batch/encode_batch must equal per-row scalar encoding
+    bitwise -- the SAX half of the batched qualifier contract."""
+
+    @pytest.mark.parametrize("n_samples,word_length", [
+        (128, 32),   # evenly dividing: reshape-and-mean PAA
+        (100, 24),   # fractional frames: weighted-overlap PAA
+        (64, 64),    # one sample per segment
+    ])
+    def test_symbols_batch_matches_scalar(self, n_samples, word_length):
+        rng = np.random.default_rng(word_length)
+        encoder = SaxEncoder(word_length, 8)
+        series = rng.standard_normal((20, n_samples))
+        series[3] = 2.5  # flat row exercises the zero-variance rule
+        batch = encoder.symbols_batch(series)
+        for i in range(len(series)):
+            np.testing.assert_array_equal(
+                batch[i], encoder.symbols(series[i])
+            )
+
+    def test_encode_batch_matches_scalar(self):
+        rng = np.random.default_rng(9)
+        encoder = SaxEncoder(16, 6)
+        series = rng.standard_normal((10, 80))
+        assert encoder.encode_batch(series) == [
+            encoder.encode(row) for row in series
+        ]
+
+    def test_paa_batch_matches_scalar_bitwise(self):
+        from repro.sax.paa import paa, paa_batch
+
+        rng = np.random.default_rng(2)
+        for n, segments in ((128, 32), (100, 24), (50, 7)):
+            series = rng.standard_normal((15, n))
+            batch = paa_batch(series, segments)
+            for i in range(len(series)):
+                np.testing.assert_array_equal(
+                    batch[i], paa(series[i], segments)
+                )
+
+    def test_znormalize_batch_matches_scalar_bitwise(self):
+        from repro.sax.paa import znormalize, znormalize_batch
+
+        rng = np.random.default_rng(8)
+        series = rng.standard_normal((12, 77))
+        series[5] = -1.25  # flat row
+        batch = znormalize_batch(series)
+        for i in range(len(series)):
+            np.testing.assert_array_equal(batch[i], znormalize(series[i]))
+
+    def test_symbols_to_words(self):
+        from repro.sax.sax import symbols_to_words
+
+        assert symbols_to_words(np.array([[0, 1, 2], [7, 7, 0]])) == [
+            "abc", "hha"
+        ]
+
+
+class TestDistanceKernels:
+    def test_symbol_table_cached_but_private(self):
+        table_a = symbol_distance_table(8)
+        table_b = symbol_distance_table(8)
+        table_a[0, 0] = 99.0  # mutating a copy must not poison the cache
+        assert table_b[0, 0] == 0.0
+        assert symbol_distance_table(8)[0, 0] == 0.0
+
+    def test_rotation_index_tensor_rows_are_rotations(self):
+        from repro.sax.distance import rotation_index_tensor, word_indices
+
+        word = "abcah"
+        tensor = rotation_index_tensor(word, 8)
+        assert tensor.shape == (5, 5)
+        for rot in range(5):
+            rotated = word[rot:] + word[:rot]
+            np.testing.assert_array_equal(
+                tensor[rot], word_indices(rotated, 8)
+            )
+
+    def test_mindist_profile_matches_mindist_bitwise(self):
+        from repro.sax.distance import (
+            mindist_profile,
+            rotation_index_tensor,
+            word_indices,
+        )
+
+        rng = np.random.default_rng(3)
+        alphabet = 8
+        for _ in range(10):
+            word_a = "".join(
+                "abcdefgh"[i] for i in rng.integers(0, alphabet, 12)
+            )
+            word_b = "".join(
+                "abcdefgh"[i] for i in rng.integers(0, alphabet, 12)
+            )
+            profile = mindist_profile(
+                word_indices(word_a, alphabet),
+                rotation_index_tensor(word_b, alphabet),
+                alphabet, 96,
+            )
+            for rot in range(12):
+                rotated = word_b[rot:] + word_b[:rot]
+                expected = mindist(word_a, rotated, alphabet, 96)
+                assert profile[rot] == expected
+
+    def test_min_rotation_distance_first_min_tie_break(self):
+        # "abab" vs itself: rotations 0 and 2 both give distance 0;
+        # the historical loop kept the earliest.
+        d, rot = min_rotation_distance("abab", "abab", 4, 32)
+        assert d == 0.0 and rot == 0
+
+    def test_empty_word_keeps_legacy_contract(self):
+        import math
+
+        d, rot = min_rotation_distance("ab", "", 4, 16)
+        assert d == math.inf and rot == 0

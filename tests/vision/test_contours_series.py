@@ -159,3 +159,119 @@ class TestDistanceSeries:
         assert series.shape == (128,)
         # Stop sign radius at scale 0.8 on 128px: about 51 px.
         assert 40.0 < series.mean() < 55.0
+
+
+class TestArrayLabelling:
+    """The array-parallel labeller must reproduce the BFS labelling
+    *exactly* -- numbering included -- on any mask; the batched
+    qualifier engine's exactness contract rests on it."""
+
+    @pytest.mark.parametrize("density", [0.03, 0.1, 0.3, 0.5, 0.8, 1.0])
+    def test_matches_bfs_on_random_masks(self, density):
+        from repro.vision.contours import (
+            label_components_array,
+            label_components_batch,
+        )
+
+        rng = np.random.default_rng(int(density * 1000))
+        masks = rng.random((12, 19, 23)) < density
+        batch_labels, batch_counts = label_components_batch(masks)
+        for i, mask in enumerate(masks):
+            bfs_labels, bfs_count = label_components(mask)
+            array_labels, array_count = label_components_array(mask)
+            assert array_count == bfs_count
+            np.testing.assert_array_equal(array_labels, bfs_labels)
+            assert batch_counts[i] == bfs_count
+            np.testing.assert_array_equal(batch_labels[i], bfs_labels)
+
+    def test_empty_and_full(self):
+        from repro.vision.contours import label_components_array
+
+        labels, count = label_components_array(np.zeros((5, 7), dtype=bool))
+        assert count == 0 and (labels == 0).all()
+        labels, count = label_components_array(np.ones((5, 7), dtype=bool))
+        assert count == 1 and (labels == 1).all()
+
+    def test_largest_component_batch_matches_largest_contour(self):
+        from repro.vision.contours import (
+            label_components,
+            largest_component,
+            largest_component_batch,
+        )
+
+        rng = np.random.default_rng(4)
+        masks = rng.random((8, 21, 17)) < 0.45
+        components, found = largest_component_batch(masks)
+        for i, mask in enumerate(masks):
+            assert found[i] == mask.any()
+            if not found[i]:
+                assert not components[i].any()
+                continue
+            expected, _ = largest_component(label_components(mask)[0])
+            np.testing.assert_array_equal(components[i], expected)
+
+    def test_largest_component_tie_breaks_to_first_seed(self):
+        from repro.vision.contours import largest_component_batch
+
+        mask = np.zeros((1, 5, 9), dtype=bool)
+        mask[0, 1, 1:3] = True  # two pixels, seen first
+        mask[0, 3, 6:8] = True  # two pixels, later in row-major order
+        components, found = largest_component_batch(mask)
+        assert found[0]
+        np.testing.assert_array_equal(components[0], mask[0] & (
+            np.arange(9)[None, :] < 5
+        ))
+
+
+class TestBatchedFrontendParity:
+    """Batched edge/dilate twins equal their scalar forms exactly."""
+
+    def test_edge_map_batch_bitwise(self, stop_image, circle_image):
+        from repro.vision.edges import edge_map, edge_map_batch
+
+        stack = np.stack([
+            np.asarray(stop_image, dtype=np.float32),
+            np.asarray(circle_image, dtype=np.float32),
+        ])
+        for threshold in (None, 0.75):
+            batch = edge_map_batch(stack, threshold=threshold)
+            for i in range(len(stack)):
+                np.testing.assert_array_equal(
+                    batch[i], edge_map(stack[i], threshold=threshold)
+                )
+
+    def test_edge_map_batch_zero_images(self):
+        from repro.vision.edges import edge_map_batch
+
+        masks = edge_map_batch(np.zeros((3, 3, 12, 12), dtype=np.float32))
+        assert not masks.any()
+
+    def test_binary_dilate_batch(self):
+        from repro.vision.morphology import binary_dilate
+        from repro.vision.morphology import binary_dilate_batch
+
+        rng = np.random.default_rng(11)
+        masks = rng.random((6, 14, 15)) < 0.2
+        for iterations in (0, 1, 2):
+            batch = binary_dilate_batch(masks, iterations)
+            for i in range(len(masks)):
+                np.testing.assert_array_equal(
+                    batch[i], binary_dilate(masks[i], iterations)
+                )
+
+    def test_correlate2d_batch_bitwise(self):
+        from repro.vision.filters import (
+            SOBEL_X,
+            correlate2d,
+            correlate2d_batch,
+        )
+
+        rng = np.random.default_rng(5)
+        # Multiple sizes: exactness must not depend on geometry.
+        for h, w in ((9, 11), (40, 40), (96, 96)):
+            images = rng.standard_normal((5, h, w)).astype(np.float32)
+            batch = correlate2d_batch(images, SOBEL_X)
+            for i in range(len(images)):
+                np.testing.assert_array_equal(
+                    batch[i], correlate2d(images[i], SOBEL_X)
+                )
