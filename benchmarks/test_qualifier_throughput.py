@@ -26,16 +26,14 @@ overridable via the ``BENCH_ARTIFACT_DIR`` environment variable.
 
 from __future__ import annotations
 
-import json
 import math
-import os
 import struct
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from benchmarks.timing_schema import write_timing_artifact
 from repro.core.qualifier import ShapeQualifier
 from repro.data import render_sign
 from repro.sax.breakpoints import gaussian_breakpoints
@@ -44,14 +42,6 @@ from repro.sax.sax import ALPHABET
 BATCH = 64
 MIN_SPEEDUP_VS_SEED = 5.0
 MIN_SPEEDUP_VS_SCALAR = 1.5
-
-
-def _artifact_path() -> Path:
-    directory = Path(
-        os.environ.get("BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
-    )
-    directory.mkdir(parents=True, exist_ok=True)
-    return directory / "qualifier_throughput_timing.json"
 
 
 class SeedDistanceQualifier(ShapeQualifier):
@@ -167,7 +157,7 @@ def test_batched_qualifier_speedup_and_parity(images):
         f"scalar loop ({scalar_seconds:.3f}s vs {batched_seconds:.3f}s)"
     )
 
-    payload = {
+    write_timing_artifact("qualifier_throughput_timing.json", {
         "bench": "qualifier_throughput",
         "batch": BATCH,
         "image_size": 96,
@@ -179,8 +169,7 @@ def test_batched_qualifier_speedup_and_parity(images):
         "speedup_vs_seed": speedup_vs_seed,
         "min_speedup_vs_scalar_asserted": MIN_SPEEDUP_VS_SCALAR,
         "min_speedup_vs_seed_asserted": MIN_SPEEDUP_VS_SEED,
-    }
-    _artifact_path().write_text(json.dumps(payload, indent=2))
+    })
 
 
 def test_seed_reference_still_agrees_on_matches(images):

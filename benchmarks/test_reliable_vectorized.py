@@ -15,15 +15,13 @@ via the ``BENCH_ARTIFACT_DIR`` environment variable.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import full_scale
+from benchmarks.timing_schema import write_timing_artifact
 from repro.data import render_sign
 from repro.faults.injector import FaultyExecutionUnit
 from repro.faults.models import TransientFault
@@ -32,14 +30,6 @@ from repro.reliable.executor import ReliableConv2D
 from repro.reliable.operators import RedundantOperator
 
 MIN_SPEEDUP = 20.0
-
-
-def _artifact_path() -> Path:
-    directory = Path(
-        os.environ.get("BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
-    )
-    directory.mkdir(parents=True, exist_ok=True)
-    return directory / "reliable_vectorized_timing.json"
 
 
 @pytest.fixture(scope="module")
@@ -88,8 +78,9 @@ def test_vectorized_dmr_speedup_and_bitwise_parity(bench_layer):
         f"({scalar_seconds:.3f}s vs {vectorized_seconds:.4f}s)"
     )
 
-    payload = {
+    write_timing_artifact("reliable_vectorized_timing.json", {
         "bench": "reliable_vectorized",
+        "batch": 1,
         "layer": description,
         "full_scale": full_scale(),
         "operator": "dmr",
@@ -98,8 +89,7 @@ def test_vectorized_dmr_speedup_and_bitwise_parity(bench_layer):
         "speedup": speedup,
         "operations": rep_s.operations,
         "min_speedup_asserted": MIN_SPEEDUP,
-    }
-    _artifact_path().write_text(json.dumps(payload, indent=2))
+    })
 
 
 def test_vectorized_injection_overhead_stays_bounded(bench_layer):

@@ -1,0 +1,213 @@
+"""Serving-layer throughput: micro-batching vs the serial infer loop.
+
+The deployment claim of the serving layer, asserted end to end: with
+64 concurrent in-flight single-image requests, the micro-batching
+server must deliver **>= 3x** the throughput of serving the same
+images through a serial per-request ``pipeline.infer()`` loop -- and
+every served result must be **bitwise identical** to that serial
+call's.  The speedup is pure batching (one batcher thread does all
+inference; no thread-level parallelism is assumed), so it reflects
+what the batched engines -- batch-invariant CNN forward, doubled-lane
+batched qualifier, vectorized kernels -- buy under request-per-image
+traffic.
+
+Writes the standard timing JSON (shared schema:
+``benchmarks/timing_schema.py``) for CI upload next to the
+reliable-conv and qualifier artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.timing_schema import write_timing_artifact
+from repro.api import (
+    PipelineConfig,
+    QualifierConfig,
+    ServingConfig,
+    build_pipeline,
+)
+from repro.data import render_sign
+from repro.models.smallcnn import small_cnn
+from tests.support.fuzz import assert_verdicts_bitwise_equal
+
+CONCURRENCY = 64
+CLIENT_THREADS = 8
+TOTAL_REQUESTS = 256  # sustained load: 4 full windows of 64
+ROUNDS = 3
+MIN_SPEEDUP = 3.0
+IMAGE_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    model = small_cnn(n_classes=8, input_size=IMAGE_SIZE)
+    return build_pipeline(
+        PipelineConfig(
+            architecture="parallel",
+            qualifier=QualifierConfig(redundant=True),
+            name="serving-bench",
+        ),
+        model,
+    )
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.stack([
+        render_sign(
+            i % 8, size=IMAGE_SIZE, rotation=np.deg2rad(3 * i - 60)
+        )
+        for i in range(CONCURRENCY)
+    ]).astype(np.float32)
+
+
+def _serve_round(server, images) -> tuple[list, float]:
+    """One sustained-load round: TOTAL_REQUESTS requests from
+    CLIENT_THREADS client threads, each thread keeping its share of
+    the 64-request window in flight (submit; once the window is full,
+    wait for its oldest completion before submitting the next) --
+    steady-state request-per-image traffic, wall-clocked from the
+    start signal to the last completion."""
+    per_thread_window = CONCURRENCY // CLIENT_THREADS
+    results: list = [None] * TOTAL_REQUESTS
+    barrier = threading.Barrier(CLIENT_THREADS + 1)
+
+    def client(thread_index: int) -> None:
+        barrier.wait(timeout=30)
+        window: list[tuple[int, object]] = []
+        for index in range(
+            thread_index, TOTAL_REQUESTS, CLIENT_THREADS
+        ):
+            if len(window) == per_thread_window:
+                oldest, pending = window.pop(0)
+                results[oldest] = pending.result(timeout=120)
+            window.append(
+                (index, server.submit(images[index % len(images)]))
+            )
+        for index, pending in window:
+            results[index] = pending.result(timeout=120)
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(CLIENT_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    assert all(r is not None for r in results)
+    return results, elapsed
+
+
+def test_serving_throughput_and_parity(pipeline, images):
+    # The honest baseline: the same pipeline serving the same images
+    # one request at a time, exactly as a non-batching front-end would.
+    serial = [pipeline.infer(image) for image in images]
+    serial_seconds = math.inf
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for index in range(TOTAL_REQUESTS):
+            pipeline.infer(images[index % len(images)])
+        serial_seconds = min(
+            serial_seconds, time.perf_counter() - start
+        )
+
+    config = ServingConfig(
+        max_batch=CONCURRENCY,
+        max_wait_ms=10.0,
+        queue_capacity=2 * CONCURRENCY,
+    )
+    served_seconds = math.inf
+    with pipeline.serve(config) as server:
+        _serve_round(server, images)  # warm-up: caches, allocators
+        for _ in range(ROUNDS):
+            results, elapsed = _serve_round(server, images)
+            served_seconds = min(served_seconds, elapsed)
+        stats = server.stats()
+
+    # Parity first: the speedup claim is only meaningful if every
+    # concurrent result is the serial result, bit for bit.
+    for i, got in enumerate(results):
+        want = serial[i % len(images)]
+        assert got.probabilities.tobytes() == (
+            want.probabilities.tobytes()
+        ), f"request {i}: probabilities diverged from serial infer()"
+        assert got.predicted_class == want.predicted_class, i
+        assert got.decision == want.decision, i
+        assert_verdicts_bitwise_equal(
+            got.verdict, want.verdict, f"request {i}"
+        )
+
+    serial_rps = TOTAL_REQUESTS / serial_seconds
+    served_rps = TOTAL_REQUESTS / served_seconds
+    speedup = served_rps / serial_rps
+    print(
+        f"\n{TOTAL_REQUESTS} requests, {CONCURRENCY} in-flight @ "
+        f"{IMAGE_SIZE}px: serial {serial_seconds * 1e3:.0f}ms "
+        f"({serial_rps:.0f} rps), served {served_seconds * 1e3:.0f}ms "
+        f"({served_rps:.0f} rps), {speedup:.2f}x, mean batch "
+        f"{stats.mean_batch_size:.1f}, p50 {stats.p50_latency_ms:.1f}ms "
+        f"p99 {stats.p99_latency_ms:.1f}ms"
+    )
+    assert stats.mean_batch_size > CONCURRENCY / 4, (
+        "micro-batching barely coalesced "
+        f"(mean batch {stats.mean_batch_size:.1f}); the speedup would "
+        "not be attributable to batching"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"serving only {speedup:.2f}x over the serial infer loop "
+        f"({served_seconds:.3f}s vs {serial_seconds:.3f}s)"
+    )
+
+    write_timing_artifact("serving_throughput_timing.json", {
+        "bench": "serving_throughput",
+        "batch": CONCURRENCY,
+        "image_size": IMAGE_SIZE,
+        "client_threads": CLIENT_THREADS,
+        "total_requests": TOTAL_REQUESTS,
+        "serial_seconds": serial_seconds,
+        "served_seconds": served_seconds,
+        "serial_rps": serial_rps,
+        "served_rps": served_rps,
+        "speedup_vs_serial": speedup,
+        "mean_batch_size": stats.mean_batch_size,
+        "p50_latency_ms": stats.p50_latency_ms,
+        "p99_latency_ms": stats.p99_latency_ms,
+        "min_speedup_vs_serial_asserted": MIN_SPEEDUP,
+    })
+
+
+def test_backpressure_under_sustained_overload(pipeline, images):
+    """Overload sanity: a reject-policy server under 4x queue-capacity
+    burst traffic stays live, serves what it accepted, and accounts
+    for every rejection."""
+    config = ServingConfig(
+        max_batch=16,
+        max_wait_ms=0.5,
+        queue_capacity=16,
+        overflow="reject",
+    )
+    accepted = []
+    rejected = 0
+    with pipeline.serve(config) as server:
+        for _ in range(4):
+            for image in images:
+                try:
+                    accepted.append(server.submit(image))
+                except Exception:
+                    rejected += 1
+        results = [p.result(timeout=120) for p in accepted]
+        stats = server.stats()
+    assert len(results) == len(accepted)
+    assert stats.completed == len(accepted)
+    assert stats.rejected == rejected
+    assert stats.completed + stats.rejected == 4 * len(images)

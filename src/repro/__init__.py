@@ -10,6 +10,11 @@ Subpackages
     qualifiers, operators and baselines, and the batch-first
     ``HybridPipeline`` facade (``infer`` / ``infer_batch`` /
     ``infer_stream``).  See ``docs/api-reference.md``.
+``repro.serving``
+    Concurrent micro-batching inference serving: ``PipelineServer``
+    coalesces single-image requests onto ``infer_batch`` with
+    backpressure, degradation routing and bitwise serial-``infer``
+    parity.  See ``docs/serving.md``.
 ``repro.core``
     The paper's contribution: the hybrid CNN (reliable + non-reliable
     execution paths), the SAX shape qualifier and the reliable-result

@@ -27,6 +27,10 @@ Three layers:
   per image and :class:`BatchResult` aggregates per batch, with the
   batched path vectorised through
   :meth:`repro.nn.network.Sequential.forward`.
+* **Serving** (:class:`PipelineServer` via ``HybridPipeline.serve``,
+  configured by :class:`ServingConfig`) -- concurrent single-image
+  submissions micro-batched onto ``infer_batch`` with backpressure
+  and bitwise serial-``infer`` parity; see ``docs/serving.md``.
 
 See ``docs/api-reference.md`` for the complete symbol reference.
 """
@@ -38,6 +42,7 @@ from repro.api.config import (
     PipelineConfig,
     QualifierConfig,
     Redundancy,
+    ServingConfig,
 )
 from repro.api.registry import (
     ARCHITECTURES,
@@ -57,6 +62,11 @@ from repro.api.pipeline import (
     build_pipeline,
     build_qualifier,
 )
+from repro.serving import (
+    PendingResult,
+    PipelineServer,
+    ServerStats,
+)
 
 __all__ = [
     "Architecture",
@@ -65,6 +75,7 @@ __all__ = [
     "PipelineConfig",
     "QualifierConfig",
     "PartitionConfig",
+    "ServingConfig",
     "Registry",
     "RegistryError",
     "ARCHITECTURES",
@@ -75,6 +86,9 @@ __all__ = [
     "CAMPAIGN_TARGETS",
     "BatchResult",
     "HybridPipeline",
+    "PipelineServer",
+    "PendingResult",
+    "ServerStats",
     "build_pipeline",
     "build_qualifier",
     "build_operator",

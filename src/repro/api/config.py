@@ -167,6 +167,81 @@ class PartitionConfig:
         return cls(**data)
 
 
+#: Backpressure policies of the serving queue.
+SERVING_OVERFLOW_POLICIES = ("block", "reject")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServingConfig:
+    """Micro-batching and backpressure knobs for
+    :class:`~repro.serving.server.PipelineServer`.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush a forming micro-batch as soon as it holds this many
+        requests.  The upper bound of the realized batch size; match
+        it to the throughput sweet spot of ``infer_batch``.
+    max_wait_ms:
+        Flush no later than this many milliseconds after the oldest
+        request in the forming batch -- the latency bound a
+        half-empty batch is allowed to cost.  ``0`` disables the wait
+        entirely: each flush takes only what is already queued.
+    queue_capacity:
+        Bound of the submission queue (requests accepted but not yet
+        batched).  The backpressure reservoir: bigger absorbs burstier
+        traffic, smaller bounds memory and queueing delay.
+    overflow:
+        What a full queue does to ``submit()``: ``"block"`` waits (up
+        to ``submit_timeout_s``), ``"reject"`` raises
+        :class:`~repro.serving.server.ServerOverloaded` immediately.
+    submit_timeout_s:
+        Longest a blocking ``submit()`` may wait on a full queue
+        before raising (None: wait indefinitely).  Ignored under
+        ``"reject"``.
+    latency_window:
+        How many recent completions feed the p50/p99 latency
+        percentiles of :meth:`~repro.serving.server.PipelineServer.
+        stats`.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 256
+    overflow: str = "block"
+    submit_timeout_s: float | None = None
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.queue_capacity < self.max_batch:
+            raise ValueError(
+                "queue_capacity must be at least max_batch "
+                f"({self.queue_capacity} < {self.max_batch}); a queue "
+                "smaller than one batch can never fill a flush"
+            )
+        if self.overflow not in SERVING_OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.overflow!r}; choose "
+                f"one of {SERVING_OVERFLOW_POLICIES}"
+            )
+        if self.submit_timeout_s is not None and self.submit_timeout_s < 0:
+            raise ValueError("submit_timeout_s must be non-negative")
+        if self.latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ServingConfig:
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
 @dataclass(frozen=True, kw_only=True)
 class PipelineConfig:
     """Everything :func:`repro.api.build_pipeline` needs to wire a

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import inspect
 import time
+from collections import deque
 from collections.abc import Iterable, Iterator
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.api.config import (
     PartitionConfig,
     PipelineConfig,
     QualifierConfig,
+    ServingConfig,
 )
 from repro.api.registry import ARCHITECTURES, BASELINES, OPERATORS, QUALIFIERS
 from repro.api.results import BatchResult
@@ -279,25 +281,74 @@ class HybridPipeline:
         self,
         images: Iterable[np.ndarray],
         batch_size: int = 32,
+        max_wait_ms: float = 0.0,
     ) -> Iterator[HybridResult]:
-        """Lazily classify an image stream in ``batch_size`` chunks.
+        """Lazily classify an image stream through the micro-batcher.
 
-        Yields one :class:`~repro.core.hybrid.HybridResult` per image,
-        in order, while only ever materialising ``batch_size`` images
-        -- the serving shape for an unbounded camera feed.  Each chunk
-        runs the fully batched path (CNN and qualifier engine alike),
-        so stream throughput tracks :meth:`infer_batch`.
+        Yields one :class:`~repro.core.hybrid.HybridResult` per image
+        while keeping at most ``2 * batch_size`` requests in flight --
+        the serving shape for an unbounded camera feed.  The stream is
+        served by a private :class:`~repro.serving.server.
+        PipelineServer` (``max_batch=batch_size``), so streaming uses
+        the same fully batched engines -- and carries the same bitwise
+        parity with per-image :meth:`infer` calls -- as
+        :meth:`infer_batch` and concurrent serving.
+
+        **Ordering guarantee**: results are yielded in submission
+        order, unconditionally.  Each submission's pending handle is
+        enqueued FIFO and the stream blocks on the *oldest* handle, so
+        even if micro-batches were to complete out of order (several
+        in flight, uneven flush sizes, a later batch finishing first),
+        a later image's result is never yielded before an earlier
+        image's.  ``tests/serving/test_stream.py`` pins this.
+
+        ``max_wait_ms`` bounds how long the batcher waits to fill a
+        flush; the default of 0 never waits on the producer (an
+        exhausted iterator still drains promptly), trading realized
+        batch size for latency only when the producer is slower than
+        inference.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        chunk: list[np.ndarray] = []
-        for image in images:
-            chunk.append(np.asarray(image, dtype=np.float32))
-            if len(chunk) == batch_size:
-                yield from self.hybrid.infer_batch(np.stack(chunk))
-                chunk = []
-        if chunk:
-            yield from self.hybrid.infer_batch(np.stack(chunk))
+        from repro.serving import PipelineServer
+
+        config = ServingConfig(
+            max_batch=batch_size,
+            max_wait_ms=max_wait_ms,
+            queue_capacity=2 * batch_size,
+            overflow="block",
+        )
+        pending: deque = deque()
+        with PipelineServer(self, config) as server:
+            for image in images:
+                pending.append(
+                    server.submit(np.asarray(image, dtype=np.float32))
+                )
+                # Bound in-flight work: the queue holds at most
+                # 2 * batch_size and we hold handles for the rest.
+                while len(pending) > 2 * batch_size:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+
+    def serve(
+        self,
+        config: ServingConfig | None = None,
+        on_degraded=None,
+    ):
+        """Construct a :class:`~repro.serving.server.PipelineServer`
+        around this pipeline (not yet started -- use ``with
+        pipeline.serve(...) as server:`` or call ``start()``).
+
+        The server owns the pipeline while running: all inference goes
+        through its single batcher thread, which is what keeps the
+        stateful model/qualifier internals single-writer and the
+        per-request results bitwise identical to serial :meth:`infer`
+        calls.  See ``docs/serving.md``.
+        """
+        from repro.serving import PipelineServer
+
+        return PipelineServer(self, config, on_degraded=on_degraded)
 
     def _require_view_support(self) -> None:
         if not self.supports_qualifier_views:

@@ -104,6 +104,20 @@ class Decision(enum.Enum):
     QUALIFIER_UNAVAILABLE = "qualifier_unavailable"
 
 
+#: Decisions in which the qualifier flagged the result for attention
+#: beyond normal use: a suppressed safety-class positive, a shape the
+#: CNN missed, or an unavailable dependable path.  The serving layer
+#: routes these to its graceful-degradation hook
+#: (:class:`repro.serving.server.PipelineServer`); a supervisory layer
+#: decides what "degraded" means operationally (slow down, hand off,
+#: alert).
+FLAGGED_DECISIONS = frozenset({
+    Decision.REJECTED_BY_QUALIFIER,
+    Decision.SHAPE_WITHOUT_CLASS,
+    Decision.QUALIFIER_UNAVAILABLE,
+})
+
+
 @dataclass
 class HybridResult:
     """Everything the hybrid network produces for one input.
@@ -133,6 +147,12 @@ class HybridResult:
     def confirmed(self) -> bool:
         """True only for a dependable positive on the safety class."""
         return self.decision is Decision.CONFIRMED
+
+    @property
+    def flagged(self) -> bool:
+        """True when the qualifier flagged this result for supervisory
+        attention (see :data:`FLAGGED_DECISIONS`)."""
+        return self.decision in FLAGGED_DECISIONS
 
 
 class ReliableResultBlock:

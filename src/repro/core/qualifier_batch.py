@@ -13,14 +13,23 @@ speculate-then-verify design of :mod:`repro.reliable.vectorized`:
    images in single array passes: batched grayscale/Sobel/threshold
    (:func:`~repro.vision.edges.edge_map_batch`), array-parallel
    connected-component labelling
-   (:func:`~repro.vision.contours.label_components_batch`), Moore
-   tracing only on each image's largest component, one SAX encoding of
-   the stacked series matrix, and one fancy-indexed MINDIST over the
-   precomputed template rotation tensor.
+   (:func:`~repro.vision.contours.label_components_batch`), lockstep
+   Moore tracing of every image's largest component
+   (:func:`~repro.vision.contours.trace_boundary_batch`),
+   length-grouped series extraction
+   (:func:`~repro.vision.series.centroid_distance_series_batch`), one
+   SAX encoding of the stacked series matrix, and one fancy-indexed
+   MINDIST over the precomputed template rotation tensor.
 2. **Verify.**  With ``redundant=True`` the whole batched pipeline
-   runs twice and the per-image verdict tuples ``(matches, distance,
-   word)`` are compared -- the same equality the scalar
-   ``CheckpointedSegment`` validator applies.
+   executes twice -- as one doubled-lane pass over ``[batch; batch]``,
+   the same way the vectorized reliable conv runs its DMR passes as
+   stacked arrays -- and the per-image verdict tuples ``(matches,
+   distance, word)`` of the two lanes are compared, the same equality
+   the scalar ``CheckpointedSegment`` validator applies.  Every
+   batched stage is bitwise per-image-stable with respect to batch
+   composition (the property the whole engine is built on), so lane
+   ``i`` and lane ``n + i`` compute exactly what two sequential runs
+   would.
 3. **Repair.**  Only images whose two runs disagree re-execute
    through the existing scalar checkpoint/rollback path
    (:meth:`~repro.core.qualifier.ShapeQualifier.check`), which rolls
@@ -35,10 +44,12 @@ stock :class:`~repro.sax.sax.SaxEncoder` (the condition
 requires), every stage is bitwise identical to the scalar pipeline per
 image: the batched frontend reduces the same contiguous windows
 through the same kernels, the array labeller provably reproduces the
-BFS component numbering, Moore tracing and series resampling are the
-scalar functions applied to identical masks, and the batched SAX/
-MINDIST forms reduce the same contiguous rows (see
-``tests/core/test_qualifier_batch.py``).  Subclassed qualifiers or
+BFS component numbering, the lockstep Moore trace replays the scalar
+walk's decision rule lane-wise, series extraction groups boundaries by
+length so every row reduction walks the scalar summation tree, and the
+batched SAX/MINDIST forms reduce the same contiguous rows (see
+``tests/core/test_qualifier_batch.py`` and the randomized differential
+harness in ``tests/support/fuzz.py``).  Subclassed qualifiers or
 encoders may override per-image hooks the batched pipeline would
 bypass, so ``"auto"`` falls back to the scalar loop for them;
 ``engine="batched"`` forces this engine regardless.
@@ -50,10 +61,13 @@ import numpy as np
 
 from repro.core.qualifier import QualifierVerdict, ShapeQualifier
 from repro.sax.sax import SaxEncoder, symbols_to_words
-from repro.vision.contours import largest_component_batch, trace_boundary
+from repro.vision.contours import (
+    largest_component_batch,
+    trace_boundary_batch,
+)
 from repro.vision.edges import edge_map_batch
 from repro.vision.morphology import binary_dilate_batch
-from repro.vision.series import centroid_distance_series
+from repro.vision.series import centroid_distance_series_batch
 
 #: The "definitively not the shape" outcome of one evaluation: no
 #: contour (or a degenerate one), exactly what the scalar path returns
@@ -96,22 +110,23 @@ def _qualify_masks(
     n = len(masks)
     results: list[tuple[bool, float, str] | None] = [None] * n
     components, found = largest_component_batch(masks)
-    series_rows: list[np.ndarray] = []
+    boundaries = trace_boundary_batch(components)
+    contours: list[np.ndarray] = []
     owners: list[int] = []
     for i in range(n):
-        if not found[i]:
+        points = boundaries[i]
+        if points is None or len(points) < 3:
+            # No foreground, or a degenerate boundary -- the cases the
+            # scalar path converts from ``ValueError``.
             results[i] = _MISS
             continue
-        points = trace_boundary(components[i])
-        if len(points) < 3:
-            results[i] = _MISS
-            continue
-        series_rows.append(
-            centroid_distance_series(points, n_samples=qualifier.n_samples)
-        )
+        contours.append(points)
         owners.append(i)
-    if series_rows:
-        symbols = qualifier.encoder.symbols_batch(np.stack(series_rows))
+    if owners:
+        series_rows = centroid_distance_series_batch(
+            contours, n_samples=qualifier.n_samples
+        )
+        symbols = qualifier.encoder.symbols_batch(series_rows)
         words = symbols_to_words(symbols)
         distances = qualifier._distance_symbols(symbols)
         for row, i in enumerate(owners):
@@ -149,16 +164,22 @@ def batched_check(
     images; see the module docstring for the scheme and the
     equivalence contract."""
     images = np.asarray(images, dtype=np.float32)
-    first = _qualify_masks(
-        qualifier, edge_map_batch(images, threshold=qualifier.edge_threshold)
-    )
     if not qualifier.redundant:
-        return [_verdict(t) for t in first]
-    second = _qualify_masks(
-        qualifier, edge_map_batch(images, threshold=qualifier.edge_threshold)
+        masks = edge_map_batch(images, threshold=qualifier.edge_threshold)
+        return [_verdict(t) for t in _qualify_masks(qualifier, masks)]
+    # Temporal redundancy as one doubled-lane pass: both executions of
+    # every image run through the same array instructions, lanes i and
+    # n + i, and are compared afterwards.  Per-image bitwise stability
+    # of every batched stage guarantees this equals two sequential
+    # whole-batch runs.
+    n = len(images)
+    masks = edge_map_batch(
+        np.concatenate([images, images]),
+        threshold=qualifier.edge_threshold,
     )
+    both = _qualify_masks(qualifier, masks)
     return _redundant_verdicts(
-        first, second, lambda i: qualifier.check(images[i])
+        both[:n], both[n:], lambda i: qualifier.check(images[i])
     )
 
 
@@ -200,15 +221,22 @@ def batched_check_feature_map(
     # (null verdict before any redundancy); blank its mask so the
     # shared qualification pass skips it the same way.
     masks[dead] = False
-    first = _qualify_masks(qualifier, masks)
     if qualifier.redundant:
-        second = _qualify_masks(qualifier, masks)
+        # Doubled-lane redundant execution of the contour stage; the
+        # magnitude/threshold/dilation frontend runs once per image,
+        # exactly as the scalar path computes it outside the segment.
+        n = len(masks)
+        both = _qualify_masks(
+            qualifier, np.concatenate([masks, masks])
+        )
         verdicts = _redundant_verdicts(
-            first, second,
+            both[:n], both[n:],
             lambda i: qualifier.check_feature_map(feature_maps[i]),
         )
     else:
-        verdicts = [_verdict(t) for t in first]
+        verdicts = [
+            _verdict(t) for t in _qualify_masks(qualifier, masks)
+        ]
     for i in np.nonzero(dead)[0]:
         verdicts[i] = QualifierVerdict()
     return verdicts

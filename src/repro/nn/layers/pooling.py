@@ -31,6 +31,24 @@ class MaxPool2D(Layer):
         k, s = self.pool_size, self.stride
         out_h = conv_output_size(h, k, s, 0)
         out_w = conv_output_size(w, k, s, 0)
+        if not training:
+            # Inference needs no argmax: fold ``maximum`` over the k*k
+            # window taps without materialising the window array.  The
+            # taps are visited in the window's row-major order, the
+            # exact element sequence ``maximum.reduce`` walks over the
+            # flattened window axis below, so the fold is bitwise
+            # identical to the training path's ``max`` (``maximum`` is
+            # an exact comparison -- no rounding -- and NaN/signed-zero
+            # propagation follows the same left-to-right order).
+            out = None
+            for i in range(k):
+                for j in range(k):
+                    tap = x[:, :, i : i + s * out_h : s, j : j + s * out_w : s]
+                    if out is None:
+                        out = np.array(tap)
+                    else:
+                        np.maximum(out, tap, out=out)
+            return out
         sn, sc, sh, sw = x.strides
         windows = np.lib.stride_tricks.as_strided(
             x,
@@ -40,9 +58,8 @@ class MaxPool2D(Layer):
         )
         flat = windows.reshape(n, c, out_h, out_w, k * k)
         out = flat.max(axis=-1)
-        if training:
-            argmax = flat.argmax(axis=-1)
-            self._cache = (x.shape, argmax)
+        argmax = flat.argmax(axis=-1)
+        self._cache = (x.shape, argmax)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

@@ -1,0 +1,32 @@
+"""``repro.serving`` -- concurrent micro-batching inference serving.
+
+Single-image requests from many client threads coalesce into
+``infer_batch`` calls sized by load (``max_batch`` / ``max_wait_ms``),
+with bounded-queue backpressure, per-request result demux, and bitwise
+parity with serial ``pipeline.infer()`` regardless of how requests
+interleave into batches.  See ``docs/serving.md``.
+
+>>> from repro.api import ServingConfig, build_pipeline
+>>> from repro.serving import PipelineServer
+>>> with PipelineServer(pipeline, ServingConfig(max_batch=32)) as server:
+...     pending = [server.submit(image) for image in images]
+...     results = [p.result() for p in pending]
+"""
+
+from repro.serving.server import (
+    PendingResult,
+    PipelineServer,
+    ServerClosed,
+    ServerError,
+    ServerOverloaded,
+)
+from repro.serving.stats import ServerStats
+
+__all__ = [
+    "PipelineServer",
+    "PendingResult",
+    "ServerStats",
+    "ServerError",
+    "ServerClosed",
+    "ServerOverloaded",
+]

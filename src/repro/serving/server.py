@@ -1,0 +1,482 @@
+"""Concurrent micro-batching server around a hybrid pipeline.
+
+The deployment gap this closes: the batched engines (vectorized
+reliable conv, batched qualifier, batch-invariant CNN forward) make
+``infer_batch`` several times cheaper per image than ``infer``, but
+real traffic arrives one image per request.  :class:`PipelineServer`
+accepts single-image submissions from any number of client threads and
+transparently coalesces them into ``infer_batch`` calls -- flushing on
+whichever comes first, ``max_batch`` requests or ``max_wait_ms``
+elapsed since the oldest queued request.
+
+The load-bearing guarantee is **parity, not just speed**: every
+per-request result is bitwise identical to what a serial
+``pipeline.infer()`` call would have produced, *regardless of how
+requests interleave into micro-batches*.  This is exactly what the
+batched engines' per-image bitwise stability buys (each stage's
+arithmetic for image ``i`` is independent of which other images share
+its batch); the serving tests and throughput benchmark assert it
+rather than assume it.
+
+Threading model: one batcher thread owns the pipeline and performs all
+inference.  The pipeline is deliberately *not* shared between
+concurrent ``infer_batch`` calls -- the model's batch-invariant mode is
+toggled around each call and the qualifier's rollback machinery is
+stateful, so a second in-flight call could observe half-configured
+layers.  Micro-batching, not thread parallelism, is where the
+throughput comes from.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.api.config import ServingConfig
+from repro.serving.stats import ServerStats, StatsRecorder
+
+
+class ServerError(RuntimeError):
+    """Base class for serving-layer errors."""
+
+
+class ServerClosed(ServerError):
+    """Submission attempted on a server that is not accepting work."""
+
+
+class ServerOverloaded(ServerError):
+    """Backpressure refused a submission (bounded queue at capacity)."""
+
+
+class PendingResult:
+    """Future-like handle for one submitted request.
+
+    The batcher completes it exactly once -- with a
+    :class:`~repro.core.hybrid.HybridResult`, or with the exception the
+    pipeline raised, or with :class:`ServerClosed` if the server was
+    stopped without draining.
+    """
+
+    __slots__ = ("_event", "_result", "_error", "_submitted_at",
+                 "_latency_s")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+        self._submitted_at = time.perf_counter()
+        self._latency_s: float | None = None
+
+    # -- batcher side ----------------------------------------------------
+    def _complete(self, result) -> None:
+        self._result = result
+        self._latency_s = time.perf_counter() - self._submitted_at
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._latency_s = time.perf_counter() - self._submitted_at
+        self._event.set()
+
+    # -- client side -----------------------------------------------------
+    def done(self) -> bool:
+        """True once a result or an error is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block for the result; re-raises the pipeline's exception if
+        the batch failed, raises ``TimeoutError`` on timeout."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"no result within {timeout} s (server busy or stopped?)"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block like :meth:`result` but return the error (or None)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"no result within {timeout} s")
+        return self._error
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Submit-to-completion latency; None while pending."""
+        return self._latency_s
+
+
+class _Request:
+    __slots__ = ("image", "qualifier_view", "pending")
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        qualifier_view: np.ndarray | None,
+        pending: PendingResult,
+    ) -> None:
+        self.image = image
+        self.qualifier_view = qualifier_view
+        self.pending = pending
+
+
+class PipelineServer:
+    """Micro-batching front-end for a :class:`~repro.api.pipeline.
+    HybridPipeline`.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline to serve.  Anything with the facade's
+        ``infer_batch(images, qualifier_views=None)`` shape works; the
+        batcher thread becomes its sole user while the server runs.
+    config:
+        Batching and backpressure knobs
+        (:class:`~repro.api.config.ServingConfig`); defaults apply
+        when omitted.
+    on_degraded:
+        Optional graceful-degradation hook: called from the batcher
+        thread with each completed :class:`~repro.core.hybrid.
+        HybridResult` whose decision is qualifier-flagged (rejected by
+        the qualifier, shape without class, or qualifier unavailable
+        -- see ``HybridResult.flagged``).  This is *routing*, not
+        replacement: the submitting client still receives the result;
+        the hook feeds whatever supervisory layer watches the fleet.
+        Exceptions it raises are swallowed (counted as served).
+
+    Use as a context manager for exception-safe draining::
+
+        with PipelineServer(pipeline, ServingConfig(max_batch=32)) as srv:
+            pending = [srv.submit(image) for image in images]
+            results = [p.result() for p in pending]
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        config: ServingConfig | None = None,
+        on_degraded: Callable | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config or ServingConfig()
+        self.on_degraded = on_degraded
+        self._queue: queue.Queue[_Request | None] = queue.Queue(
+            maxsize=self.config.queue_capacity
+        )
+        self._recorder = StatsRecorder(self.config.latency_window)
+        self._thread: threading.Thread | None = None
+        self._accepting = False
+        self._draining = True
+        self._state_lock = threading.Lock()
+        #: Requests popped from the queue but not yet demuxed; the
+        #: batcher's crash handler fails these so no handle ever
+        #: hangs on a dead thread.
+        self._inflight: list[_Request] = []
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True between a successful ``start()`` and ``stop()``."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> PipelineServer:
+        """Launch the batcher thread; idempotence is an error (a
+        second ``start`` on a running server raises)."""
+        with self._state_lock:
+            if self.running:
+                raise ServerError("server already running")
+            self._draining = True
+            self._thread = threading.Thread(
+                target=self._serve_loop,
+                name="pipeline-server-batcher",
+                daemon=True,
+            )
+            self._accepting = True
+            self._recorder.mark_started()
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and shut the batcher down.
+
+        ``drain=True`` (default) serves every already-queued request
+        before returning; ``drain=False`` fails queued requests with
+        :class:`ServerClosed`.  Calling stop on a stopped server is a
+        no-op.
+        """
+        with self._state_lock:
+            thread = self._thread
+            if thread is None:
+                return
+            self._accepting = False
+            self._draining = drain
+            try:
+                # Sentinel unblocks the batcher's blocking get.  A full
+                # queue can refuse it; the batcher then notices
+                # ``_accepting`` on its own (it re-checks around every
+                # flush and idle poll), so stop still terminates.
+                self._queue.put_nowait(None)
+            except queue.Full:
+                pass
+        thread.join(timeout)
+        if thread.is_alive():
+            raise ServerError(
+                f"batcher did not stop within {timeout} s"
+            )
+        with self._state_lock:
+            self._thread = None
+        # Fail any stragglers that raced past the closed gate after
+        # the batcher's final drain, so no PendingResult ever hangs.
+        self._cancel_remaining()
+        self._recorder.mark_stopped()
+
+    def __enter__(self) -> PipelineServer:
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- submission ------------------------------------------------------
+    def submit(
+        self,
+        image: np.ndarray,
+        qualifier_view: np.ndarray | None = None,
+    ) -> PendingResult:
+        """Enqueue one image; returns immediately with the pending
+        handle (unless backpressure applies -- see below).
+
+        ``qualifier_view`` optionally gives the dependable block a
+        different rendering of the same scene, exactly as
+        ``pipeline.infer(image, qualifier_view=...)`` would; requests
+        with and without views may be freely mixed (the batcher groups
+        compatible requests, see :meth:`_flush`).
+
+        Backpressure (``config.overflow``): with ``"block"`` a full
+        queue blocks the caller up to ``submit_timeout_s`` (forever
+        when None) and then raises :class:`ServerOverloaded`; with
+        ``"reject"`` a full queue raises immediately.  Either way the
+        rejection is counted in :meth:`stats`.
+        """
+        if not self._accepting:
+            raise ServerClosed("server is not accepting submissions")
+        request = _Request(
+            np.asarray(image, dtype=np.float32),
+            None
+            if qualifier_view is None
+            else np.asarray(qualifier_view, dtype=np.float32),
+            PendingResult(),
+        )
+        try:
+            if self.config.overflow == "reject":
+                self._queue.put_nowait(request)
+            else:
+                self._queue.put(
+                    request, timeout=self.config.submit_timeout_s
+                )
+        except queue.Full:
+            self._recorder.record_rejected()
+            raise ServerOverloaded(
+                f"queue at capacity ({self.config.queue_capacity}); "
+                f"overflow policy {self.config.overflow!r}"
+            ) from None
+        self._recorder.record_submitted()
+        if not self._accepting and not self.running:
+            # The server shut down while this submission was in
+            # flight; the batcher will never pop it -- fail it now
+            # rather than strand the caller on a dead queue.
+            self._cancel_remaining()
+        return request.pending
+
+    # -- metrics ---------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """A consistent snapshot of the server's counters."""
+        return self._recorder.snapshot(self._queue.qsize())
+
+    # -- batcher ---------------------------------------------------------
+    def _serve_loop(self) -> None:
+        try:
+            self._serve_until_stopped()
+        except BaseException as error:  # noqa: BLE001 -- must not hang
+            # The loop itself failed (only _flush's per-group work is
+            # individually guarded -- e.g. a MemoryError while
+            # stacking a batch).  A dead batcher must not strand
+            # blocked clients: fail everything still queued so every
+            # PendingResult completes with the error instead of
+            # hanging forever.
+            failure = ServerError(f"batcher thread died: {error!r}")
+            failure.__cause__ = error
+            for request in self._inflight:
+                if not request.pending.done():
+                    request.pending._fail(failure)
+                    self._recorder.record_cancelled()
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not None:
+                    item.pending._fail(failure)
+                    self._recorder.record_cancelled()
+            self._accepting = False
+
+    def _serve_until_stopped(self) -> None:
+        max_wait = self.config.max_wait_ms / 1e3
+        while True:
+            try:
+                item = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if not self._accepting:
+                    break
+                continue
+            if item is None or (
+                not self._accepting and not self._draining
+            ):
+                if self._draining:
+                    self._drain_remaining()
+                else:
+                    if item is not None:
+                        item.pending._fail(
+                            ServerClosed(
+                                "server stopped without draining"
+                            )
+                        )
+                        self._recorder.record_cancelled()
+                    self._cancel_remaining()
+                break
+            batch = [item]
+            self._inflight = batch  # crash handler's view of the batch
+            stopping = False
+            # Adaptive coalescing: sweep whatever is already queued
+            # (a burst batches immediately, with no timer in the way),
+            # then wait out the remainder of ``max_wait_ms`` for the
+            # batch to fill.
+            deadline = time.perf_counter() + max_wait
+            while len(batch) < self.config.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    try:
+                        extra = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if extra is None:
+                    stopping = True
+                    break
+                batch.append(extra)
+            self._flush(batch)
+            self._inflight = []
+            if stopping:
+                if self._draining:
+                    self._drain_remaining()
+                else:
+                    self._cancel_remaining()
+                break
+
+    def _drain_remaining(self) -> None:
+        """Serve whatever is still queued, in arrival order, in
+        ``max_batch``-sized flushes."""
+        batch: list[_Request] = []
+        self._inflight = batch
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            batch.append(item)
+            if len(batch) == self.config.max_batch:
+                self._flush(batch)
+                batch = []
+                self._inflight = batch
+        if batch:
+            self._flush(batch)
+        self._inflight = []
+
+    def _cancel_remaining(self) -> None:
+        cancelled = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            item.pending._fail(
+                ServerClosed("server stopped without draining")
+            )
+            cancelled += 1
+        if cancelled:
+            self._recorder.record_cancelled(cancelled)
+
+    def _flush(self, batch: list[_Request]) -> None:
+        """Run one micro-batch and demux results to their requests.
+
+        Requests are grouped into ``infer_batch``-compatible runs --
+        same image shape, and views either absent or present with one
+        shape -- so heterogeneous traffic (mixed resolutions, mixed
+        view usage) batches as far as possible and never errors
+        because of *other* requests in the flush.  Parity holds within
+        any grouping because every batched stage is per-image
+        bitwise-stable.
+        """
+        groups: dict[tuple, list[_Request]] = {}
+        for request in batch:
+            view = request.qualifier_view
+            key = (
+                request.image.shape,
+                None if view is None else view.shape,
+            )
+            groups.setdefault(key, []).append(request)
+        degraded = 0
+        failures = 0
+        latencies: list[float] = []
+        for (image_shape, view_shape), requests in groups.items():
+            try:
+                images = np.stack([r.image for r in requests])
+                views = (
+                    None
+                    if view_shape is None
+                    else np.stack([r.qualifier_view for r in requests])
+                )
+                if views is None:
+                    results = list(self.pipeline.infer_batch(images))
+                else:
+                    results = list(
+                        self.pipeline.infer_batch(
+                            images, qualifier_views=views
+                        )
+                    )
+                if len(results) != len(requests):
+                    raise ServerError(
+                        f"pipeline returned {len(results)} results for "
+                        f"{len(requests)} requests"
+                    )
+            except BaseException as error:  # noqa: BLE001 -- demuxed
+                for request in requests:
+                    request.pending._fail(error)
+                    failures += 1
+                continue
+            for request, result in zip(requests, results):
+                if getattr(result, "flagged", False):
+                    degraded += 1
+                    if self.on_degraded is not None:
+                        try:
+                            self.on_degraded(result)
+                        except Exception:  # noqa: BLE001 -- supervisory
+                            pass
+                request.pending._complete(result)
+                latency = request.pending.latency_seconds
+                if latency is not None:
+                    latencies.append(latency)
+        self._recorder.record_batch(
+            len(batch), latencies, failures=failures, degraded=degraded
+        )

@@ -1,0 +1,168 @@
+"""Server-side metrics: counters, latency percentiles, batch shape.
+
+The recorder is the single point the server threads touch (under its
+own lock, never the batcher's); :class:`ServerStats` is the immutable
+snapshot handed to callers, so reading metrics never races serving.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServerStats:
+    """One consistent snapshot of a :class:`~repro.serving.server.
+    PipelineServer`'s counters.
+
+    Attributes
+    ----------
+    submitted, completed, failed:
+        Requests accepted into the queue, requests whose result was
+        delivered, and requests completed with an error (the pipeline
+        raised; the exception is re-raised by ``PendingResult.result``).
+    rejected:
+        Submissions refused by backpressure (``overflow="reject"`` with
+        a full queue, or a ``block`` submission that timed out).
+    cancelled:
+        Requests abandoned by a non-draining stop.
+    degraded:
+        Completed results whose decision was qualifier-flagged and
+        therefore routed to the degradation hook (see
+        ``repro.core.hybrid.HybridResult.flagged``).
+    batches:
+        Micro-batches flushed to ``infer_batch``.
+    mean_batch_size:
+        Mean realized micro-batch size (completed + failed over
+        batches); the adaptivity figure of merit -- 1.0 means the
+        batcher never coalesced anything.
+    throughput_rps:
+        Completed requests per second of server uptime.
+    p50_latency_ms, p99_latency_ms:
+        Submit-to-completion latency percentiles over the most recent
+        ``latency_window`` completions (0.0 before any completion).
+    uptime_seconds:
+        Wall time since ``start()`` (frozen at ``stop()``).
+    queue_depth:
+        Requests waiting in the queue at snapshot time.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    cancelled: int
+    degraded: int
+    batches: int
+    mean_batch_size: float
+    throughput_rps: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    uptime_seconds: float
+    queue_depth: int
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (the latency-reporting convention:
+    p99 is an actual observed latency, never an interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values))  # 1-based nearest rank
+    index = min(len(sorted_values) - 1, max(0, rank - 1))
+    return sorted_values[index]
+
+
+class StatsRecorder:
+    """Thread-safe accumulator behind :meth:`PipelineServer.stats`."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.degraded = 0
+        self.batches = 0
+        self._batched_requests = 0
+        self._started_at: float | None = None
+        self._stopped_at: float | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def mark_started(self) -> None:
+        with self._lock:
+            self._started_at = time.perf_counter()
+            self._stopped_at = None
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            if self._started_at is not None:
+                self._stopped_at = time.perf_counter()
+
+    # -- events ----------------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_cancelled(self, count: int = 1) -> None:
+        with self._lock:
+            self.cancelled += count
+
+    def record_batch(
+        self, size: int, latencies_s: list[float], failures: int = 0,
+        degraded: int = 0,
+    ) -> None:
+        with self._lock:
+            self.batches += 1
+            self._batched_requests += size
+            self.completed += size - failures
+            self.failed += failures
+            self.degraded += degraded
+            self._latencies.extend(latencies_s)
+
+    # -- snapshot --------------------------------------------------------
+    def snapshot(self, queue_depth: int) -> ServerStats:
+        with self._lock:
+            if self._started_at is None:
+                uptime = 0.0
+            else:
+                end = self._stopped_at
+                if end is None:
+                    end = time.perf_counter()
+                uptime = end - self._started_at
+            ordered = sorted(self._latencies)
+            return ServerStats(
+                submitted=self.submitted,
+                completed=self.completed,
+                failed=self.failed,
+                rejected=self.rejected,
+                cancelled=self.cancelled,
+                degraded=self.degraded,
+                batches=self.batches,
+                mean_batch_size=(
+                    self._batched_requests / self.batches
+                    if self.batches
+                    else 0.0
+                ),
+                throughput_rps=(
+                    self.completed / uptime if uptime > 0 else 0.0
+                ),
+                p50_latency_ms=1e3 * _percentile(ordered, 0.50),
+                p99_latency_ms=1e3 * _percentile(ordered, 0.99),
+                uptime_seconds=uptime,
+                queue_depth=queue_depth,
+            )

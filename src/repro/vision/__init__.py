@@ -34,6 +34,7 @@ from repro.vision.contours import (
     largest_component,
     largest_contour,
     trace_boundary,
+    trace_boundary_batch,
 )
 from repro.vision.morphology import (
     binary_dilate,
@@ -43,6 +44,7 @@ from repro.vision.morphology import (
 from repro.vision.series import (
     centroid,
     centroid_distance_series,
+    centroid_distance_series_batch,
     resample_series,
     shape_signature,
 )
@@ -67,6 +69,7 @@ __all__ = [
     "binary_erode",
     "Contour",
     "trace_boundary",
+    "trace_boundary_batch",
     "label_components",
     "label_components_array",
     "label_components_batch",
@@ -74,6 +77,7 @@ __all__ = [
     "largest_contour",
     "centroid",
     "centroid_distance_series",
+    "centroid_distance_series_batch",
     "resample_series",
     "shape_signature",
 ]

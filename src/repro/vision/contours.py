@@ -52,6 +52,14 @@ def _rebase_table() -> list[list[int | None]]:
 
 _REBASE = _rebase_table()
 
+#: The rebase table as an int8 array for vectorized lookup; the None
+#: entries (non-adjacent neighbour pairs) become -1, which the trace
+#: never selects (see :func:`_rebase_table`).
+_REBASE_ARRAY = np.array(
+    [[-1 if v is None else v for v in row] for row in _REBASE],
+    dtype=np.int8,
+)
+
 
 @dataclass
 class Contour:
@@ -226,12 +234,25 @@ def largest_component_batch(
     found = masks.any(axis=(1, 2))
     if not found.any():
         return components, found
+    n, h, w = masks.shape
     representatives = _resolve_min_labels(masks)
-    for i in np.nonzero(found)[0]:
-        unique, counts = np.unique(
-            representatives[i][masks[i]], return_counts=True
-        )
-        components[i] = representatives[i] == unique[counts.argmax()]
+    # Per-image component sizes as one global bincount over
+    # image-offset representative keys.  argmax over each image's row
+    # returns the smallest representative among tied maxima -- the
+    # same tie-break as the sorted-unique formulation (ascending
+    # representatives, first maximum), which is the lowest BFS label.
+    img, rows, cols = np.nonzero(masks)
+    keys = img * np.int64(h * w) + representatives[img, rows, cols]
+    sizes = np.bincount(keys, minlength=n * h * w).reshape(n, h * w)
+    best = sizes.argmax(axis=1)
+    # Background pixels hold the sentinel h * w, never a representative
+    # (representatives are flat indices < h * w), so the comparison
+    # selects foreground only; images without foreground stay all-False
+    # because `best` can only address counted (foreground) keys there
+    # -- their whole row is zero, argmax returns 0, and no pixel of an
+    # empty mask holds representative 0.
+    components = representatives == best[:, None, None]
+    components[~found] = False
     return components, found
 
 
@@ -312,6 +333,113 @@ def trace_boundary(mask: np.ndarray) -> np.ndarray:
         boundary.append(pos)
     points = np.array(boundary, dtype=np.int64)
     return np.stack([points // fw - 1, points % fw - 1], axis=1)
+
+
+def trace_boundary_batch(
+    masks: np.ndarray,
+) -> list[np.ndarray | None]:
+    """Moore-trace every mask of an ``(n, h, w)`` stack in lockstep.
+
+    Returns one entry per mask: ``None`` where the mask has no
+    foreground, otherwise the exact ``(m, 2)`` point array
+    :func:`trace_boundary` produces for that mask.  All walks advance
+    together -- each step probes the eight Moore neighbours of every
+    still-active walk with whole-batch gathers -- so the per-step
+    Python overhead is paid once per *step* instead of once per
+    *boundary pixel*.  The decision rule at each step (clockwise scan
+    from just past the backtrack, first foreground neighbour wins,
+    terminate on state repeat / isolated pixel / start return) is the
+    scalar walk's, applied lane-wise, so the visited sequences are
+    identical by construction; ``tests/vision`` pins the equality on
+    random and degenerate masks.
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 3:
+        raise ValueError(f"expected (n, h, w) masks, got {masks.shape}")
+    n, h, w = masks.shape
+    results: list[np.ndarray | None] = [None] * n
+    if masks.size == 0:
+        return results
+    fw = w + 2
+    framed = np.zeros((n, h + 2, fw), dtype=np.uint8)
+    framed[:, 1:-1, 1:-1] = masks
+    cells = framed.reshape(n, -1)
+    flat = masks.reshape(n, -1)
+    counts = flat.sum(axis=1)
+    # Row-major first foreground pixel == the top-most then left-most
+    # start pixel of the scalar trace.
+    first = flat.argmax(axis=1)
+    start_r = first // w
+    start_c = first % w
+    start_pos = (start_r + 1) * fw + (start_c + 1)
+    for i in np.nonzero(counts == 1)[0]:
+        results[i] = np.array(
+            [[int(start_r[i]), int(start_c[i])]], dtype=np.int64
+        )
+    lanes = np.nonzero(counts > 1)[0]
+    if len(lanes) == 0:
+        return results
+    k = len(lanes)
+    moore_flat = np.array([dr * fw + dc for dr, dc in _MOORE],
+                          dtype=np.int64)
+    cells = cells[lanes]
+    pos = start_pos[lanes].astype(np.int64)
+    start = pos.copy()
+    scan_from = np.zeros(k, dtype=np.int64)  # west of start: background
+    seen = np.zeros((k, cells.shape[1] * 8), dtype=bool)
+    capacity = 64
+    out = np.zeros((k, capacity), dtype=np.int64)
+    out[:, 0] = pos
+    lengths = np.ones(k, dtype=np.int64)
+    active = np.arange(k)
+    steps = np.arange(1, 9, dtype=np.int64)
+    while len(active):
+        p = pos[active]
+        s = scan_from[active]
+        state = p * 8 + s
+        # Scalar loop order per lane: check/mark the (pixel, backtrack)
+        # state, scan clockwise from just past the backtrack, advance
+        # to the first foreground neighbour.
+        fresh = ~seen[active, state]
+        seen[active[fresh], state[fresh]] = True
+        active = active[fresh]
+        if not len(active):
+            break
+        p = p[fresh]
+        s = s[fresh]
+        dirs = (s[:, None] + steps[None, :]) % 8
+        neighbours = p[:, None] + moore_flat[dirs]
+        hits = (
+            cells[active[:, None], neighbours] != 0
+        )
+        advanced = hits.any(axis=1)
+        active = active[advanced]
+        if not len(active):
+            break
+        row = np.arange(len(advanced))[advanced]
+        probe = hits[row].argmax(axis=1)  # first foreground direction
+        s = s[advanced]
+        d = (s + probe + 1) % 8
+        # Backtrack = the last scanned background neighbour,
+        # re-expressed as a direction from the advanced-to pixel.
+        scan_from[active] = _REBASE_ARRAY[(s + probe) % 8, d]
+        new_pos = p[advanced] + moore_flat[d]
+        pos[active] = new_pos
+        closing = new_pos == start[active]
+        active = active[~closing]
+        if not len(active):
+            break
+        if lengths[active].max() == capacity:
+            capacity *= 2
+            grown = np.zeros((k, capacity), dtype=np.int64)
+            grown[:, : out.shape[1]] = out
+            out = grown
+        out[active, lengths[active]] = pos[active]
+        lengths[active] += 1
+    for row, i in enumerate(lanes):
+        points = out[row, : lengths[row]]
+        results[i] = np.stack([points // fw - 1, points % fw - 1], axis=1)
+    return results
 
 
 def largest_component(labels: np.ndarray) -> tuple[np.ndarray, int]:

@@ -9,10 +9,21 @@ peaks.  The signal feeds :mod:`repro.sax` for symbolic comparison.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.vision.contours import Contour, largest_contour
 from repro.vision.edges import edge_map
+
+
+@lru_cache(maxsize=8)
+def _angle_grid(n_samples: int) -> np.ndarray:
+    """The uniform angular resampling grid (pure function of its
+    length; cached so batched extraction stops rebuilding it)."""
+    grid = np.linspace(-np.pi, np.pi, n_samples, endpoint=False)
+    grid.setflags(write=False)
+    return grid
 
 
 def centroid(points: np.ndarray) -> tuple[float, float]:
@@ -46,12 +57,66 @@ def centroid_distance_series(
     angles = angles[order]
     distances = distances[order]
     # Resample on a uniform angular grid with circular interpolation.
-    grid = np.linspace(-np.pi, np.pi, n_samples, endpoint=False)
+    grid = _angle_grid(n_samples)
     extended_angles = np.concatenate(
         [angles - 2 * np.pi, angles, angles + 2 * np.pi]
     )
     extended_dist = np.concatenate([distances, distances, distances])
     return np.interp(grid, extended_angles, extended_dist)
+
+
+def centroid_distance_series_batch(
+    contours: list[np.ndarray], n_samples: int = 128
+) -> np.ndarray:
+    """:func:`centroid_distance_series` over many boundaries at once.
+
+    ``contours`` is a list of ``(m_i, 2)`` integer point arrays (each
+    with at least 3 points); the result row ``j`` is bitwise identical
+    to ``centroid_distance_series(contours[j], n_samples)``.  Boundaries
+    are grouped by length so every array pass reduces rows of one
+    common length: a row-wise reduction over a ``(g, m)`` stack walks
+    each row with the same pairwise-summation tree as the scalar
+    ``(m,)`` reduction, which is what keeps the centroid -- and
+    everything downstream of it -- bit-exact.  (Mixing lengths into
+    one padded array would change the summation trees and break that.)
+    """
+    series = np.empty((len(contours), n_samples), dtype=np.float64)
+    if not contours:
+        return series
+    grid = _angle_grid(n_samples)
+    by_length: dict[int, list[int]] = {}
+    for j, points in enumerate(contours):
+        if len(points) < 3:
+            raise ValueError("need at least 3 boundary points")
+        by_length.setdefault(len(points), []).append(j)
+    for rows in by_length.values():
+        stacked = np.stack(
+            [np.asarray(contours[j], dtype=np.float64) for j in rows]
+        )
+        # Same strided (stride-2) row reductions as the scalar
+        # ``points[:, 0].mean()`` on each (m, 2) member.
+        cr = stacked[:, :, 0].mean(axis=1)
+        cc = stacked[:, :, 1].mean(axis=1)
+        dr = stacked[:, :, 0] - cr[:, None]
+        dc = stacked[:, :, 1] - cc[:, None]
+        angles = np.arctan2(dr, dc)
+        distances = np.hypot(dr, dc)
+        order = np.argsort(angles, axis=1, kind="stable")
+        angles = np.take_along_axis(angles, order, axis=1)
+        distances = np.take_along_axis(distances, order, axis=1)
+        extended_angles = np.concatenate(
+            [angles - 2 * np.pi, angles, angles + 2 * np.pi], axis=1
+        )
+        extended_dist = np.concatenate(
+            [distances, distances, distances], axis=1
+        )
+        # np.interp has no batch axis; the per-row call is a single C
+        # pass and is not the hot part of extraction.
+        for row, j in enumerate(rows):
+            series[j] = np.interp(
+                grid, extended_angles[row], extended_dist[row]
+            )
+    return series
 
 
 def resample_series(series: np.ndarray, n_samples: int) -> np.ndarray:

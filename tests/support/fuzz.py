@@ -1,0 +1,251 @@
+"""Seeded randomized differential-parity harness.
+
+The engine matrix keeps growing -- scalar vs batched qualifier, scalar
+vs vectorized reliable conv, loop vs whole-array ECC decode -- and
+every pairing carries the same contract: *bitwise identical results*.
+Hand-enumerated parity cases rot as the input space grows; this
+harness replaces them with systematic fuzzing, applying the same
+discipline the engines themselves use (speculate with the fast path,
+verify against the reference).
+
+Design rules:
+
+* **Deterministic by construction.**  Every case derives its generator
+  from ``np.random.SeedSequence(root_seed, spawn_key=(index,))`` --
+  the campaign engine's spawning scheme -- so a failing case's id
+  (``caseNN``) is enough to replay it exactly, and adding cases never
+  reshuffles existing ones.
+* **Degenerates are first-class.**  Random inputs are biased toward
+  the boundary cases that break batched code: empty masks, constant
+  images, single pixels, tiny shapes, ragged batch sizes, mixed
+  dtypes.
+* **Bitwise assertions only.**  Comparisons go through storage bytes
+  (``tobytes``, ``struct.pack``) -- float equality would wave through
+  exactly the drift these tests exist to catch.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data import render_sign
+
+#: One root for the whole suite: cases are identified by (root, index).
+DEFAULT_ROOT_SEED = 20260729
+
+
+def case_rng(index: int, root_seed: int = DEFAULT_ROOT_SEED
+             ) -> np.random.Generator:
+    """The case's private, replayable generator."""
+    return np.random.default_rng(
+        np.random.SeedSequence(root_seed, spawn_key=(index,))
+    )
+
+
+def differential_cases(n: int, root_seed: int = DEFAULT_ROOT_SEED):
+    """``pytest.mark.parametrize`` values for ``n`` fuzz cases.
+
+    Usage::
+
+        @pytest.mark.parametrize("rng", differential_cases(12))
+        def test_parity(rng): ...
+    """
+    return [
+        pytest.param(
+            case_rng(index, root_seed), id=f"case{index:02d}"
+        )
+        for index in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Input generators
+# ---------------------------------------------------------------------------
+
+#: Dtypes a caller may realistically hand the qualifier; every path
+#: casts to float32 internally, and parity must survive the cast.
+IMAGE_DTYPES = (np.float32, np.float64, np.uint8)
+
+
+def random_image_batch(rng: np.random.Generator) -> np.ndarray:
+    """A random ``(n, 3, h, w)`` or ``(n, h, w)`` image batch.
+
+    Mixes rendered signs (the realistic path), noise, and degenerate
+    images (all-zero, constant, single bright pixel, tiny blob) in one
+    batch, with randomized batch size, resolution and dtype.
+    """
+    n = int(rng.integers(1, 9))
+    size = int(rng.choice([16, 24, 32, 48, 64]))
+    grayscale = bool(rng.random() < 0.25)
+    dtype = IMAGE_DTYPES[int(rng.integers(len(IMAGE_DTYPES)))]
+    images = []
+    for _ in range(n):
+        kind = int(rng.integers(6))
+        if kind <= 1:  # rendered sign, random class and rotation
+            image = render_sign(
+                int(rng.integers(8)),
+                size=size,
+                rotation=float(rng.uniform(-np.pi, np.pi)),
+            )
+        elif kind == 2:  # uniform noise
+            image = rng.random((3, size, size))
+        elif kind == 3:  # all zeros: no contour anywhere
+            image = np.zeros((3, size, size))
+        elif kind == 4:  # constant: zero gradient everywhere
+            image = np.full((3, size, size), float(rng.uniform(0.1, 1.0)))
+        else:  # single bright pixel / tiny blob
+            image = np.zeros((3, size, size))
+            r, c = rng.integers(0, size, 2)
+            image[:, r, c] = 1.0
+            if rng.random() < 0.5:
+                image[
+                    :,
+                    max(0, r - 1) : r + 2,
+                    max(0, c - 1) : c + 2,
+                ] = 1.0
+        image = np.asarray(image, dtype=np.float64)
+        if grayscale:
+            image = image.mean(axis=0)
+        if dtype == np.uint8:
+            image = (np.clip(image, 0.0, 1.0) * 255).astype(np.uint8)
+        else:
+            image = image.astype(dtype)
+        images.append(image)
+    return np.stack(images)
+
+
+def random_feature_map_batch(rng: np.random.Generator) -> np.ndarray:
+    """A random reliable-feature-map batch for the integrated path:
+    ``(n, h, w)``, ``(n, 1, h, w)`` or ``(n, 2, h, w)``, with some
+    all-zero (dead) maps and sign-flipped responses mixed in."""
+    n = int(rng.integers(1, 7))
+    size = int(rng.choice([12, 20, 32, 48]))
+    channels = int(rng.choice([0, 1, 2]))  # 0: no channel axis
+    shape = (
+        (n, size, size) if channels == 0 else (n, channels, size, size)
+    )
+    maps = rng.normal(0.0, 1.0, size=shape)
+    for i in range(n):
+        kind = int(rng.integers(4))
+        if kind == 0:
+            maps[i] = 0.0  # dead map: peak <= 0 short-circuit
+        elif kind == 1:
+            # An octagon-ish edge response: qualify-able content.
+            sign = render_sign(
+                0, size=size, rotation=float(rng.uniform(0, np.pi))
+            ).mean(axis=0)
+            maps[i] = sign - sign.mean()
+    return maps.astype(np.float32)
+
+
+def random_mask_batch(rng: np.random.Generator) -> np.ndarray:
+    """A random boolean ``(n, h, w)`` mask stack biased toward
+    labelling/tracing edge cases (empty, full, sparse, dense,
+    single-pixel)."""
+    n = int(rng.integers(1, 8))
+    h = int(rng.integers(1, 40))
+    w = int(rng.integers(1, 40))
+    masks = np.zeros((n, h, w), dtype=bool)
+    for i in range(n):
+        kind = int(rng.integers(5))
+        if kind == 0:
+            pass  # empty
+        elif kind == 1:
+            masks[i] = True  # full
+        elif kind == 2:
+            masks[i, rng.integers(h), rng.integers(w)] = True
+        elif kind == 3:
+            masks[i] = rng.random((h, w)) < 0.08  # sparse fragments
+        else:
+            masks[i] = rng.random((h, w)) < 0.6  # dense blob(s)
+    return masks
+
+
+def random_codewords(
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random SEC-DED codewords with injected bit errors.
+
+    Returns ``(data, corrupted_code)``: random uint32 data words
+    encoded, then randomly hit with 0, 1 or 2 bit flips per word
+    (clean / correctable / uncorrectable), including flips in parity
+    positions.
+    """
+    from repro.reliable.ecc import _N_POSITIONS, encode_words
+
+    n = int(rng.integers(1, 200))
+    data = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+        np.uint32
+    )
+    code = encode_words(data)
+    flips = rng.integers(0, 3, size=n)
+    for i in range(n):
+        positions = rng.choice(
+            _N_POSITIONS, size=int(flips[i]), replace=False
+        )
+        for bit in positions:
+            code[i] ^= np.uint64(1) << np.uint64(bit)
+    return data, code
+
+
+# ---------------------------------------------------------------------------
+# Bitwise assertions
+# ---------------------------------------------------------------------------
+
+
+def float_bits(value: float) -> bytes:
+    """The 64-bit storage pattern of a float (NaN-safe comparison)."""
+    return struct.pack("<d", value)
+
+
+def assert_arrays_bitwise_equal(got: np.ndarray, want: np.ndarray,
+                                context: str = "") -> None:
+    assert got.shape == want.shape, (
+        f"{context}: shape {got.shape} != {want.shape}"
+    )
+    assert got.dtype == want.dtype, (
+        f"{context}: dtype {got.dtype} != {want.dtype}"
+    )
+    assert got.tobytes() == want.tobytes(), (
+        f"{context}: storage bytes differ"
+    )
+
+
+def assert_verdicts_bitwise_equal(got, want, context: str = "") -> None:
+    """Verdict equality at storage-bit granularity: flags, distance
+    bits, word, reliability."""
+    assert got.matches == want.matches, (
+        f"{context}: matches {got.matches} != {want.matches}"
+    )
+    assert float_bits(got.distance) == float_bits(want.distance), (
+        f"{context}: distance bits {got.distance!r} != {want.distance!r}"
+    )
+    assert got.word == want.word, (
+        f"{context}: word {got.word!r} != {want.word!r}"
+    )
+    assert got.reliable == want.reliable, (
+        f"{context}: reliable {got.reliable} != {want.reliable}"
+    )
+
+
+def assert_reports_equal(got, want, context: str = "") -> None:
+    """Execution-report equality over the scalar/vectorized contract
+    fields (operations, error/rollback/failure counters, kind)."""
+    fields = (
+        "operations",
+        "errors_detected",
+        "rollbacks",
+        "persistent_failures",
+        "operator_kind",
+    )
+    for field in fields:
+        assert getattr(got, field) == getattr(want, field), (
+            f"{context}: report.{field} "
+            f"{getattr(got, field)!r} != {getattr(want, field)!r}"
+        )
+    assert got.failed_outputs == want.failed_outputs, (
+        f"{context}: failed_outputs differ"
+    )

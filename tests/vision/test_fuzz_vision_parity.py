@@ -1,0 +1,94 @@
+"""Randomized differential parity for the batched vision primitives.
+
+The batched qualifier engine stands on three vectorized primitives
+whose outputs must equal their scalar references exactly:
+
+* :func:`largest_component_batch` (bincount selection over union-find
+  representatives) vs BFS ``label_components`` + ``largest_component``;
+* :func:`trace_boundary_batch` (lockstep Moore walk) vs the sequential
+  ``trace_boundary``;
+* :func:`centroid_distance_series_batch` (length-grouped row-wise
+  extraction) vs per-contour ``centroid_distance_series``.
+
+Fuzzed masks cover empty, full, single-pixel, sparse-fragment and
+dense-blob geometries at random rectangle sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.contours import (
+    label_components,
+    largest_component,
+    largest_component_batch,
+    trace_boundary,
+    trace_boundary_batch,
+)
+from repro.vision.series import (
+    centroid_distance_series,
+    centroid_distance_series_batch,
+)
+from tests.support.fuzz import (
+    assert_arrays_bitwise_equal,
+    differential_cases,
+    random_mask_batch,
+)
+
+
+@pytest.mark.parametrize("rng", differential_cases(8, root_seed=314159))
+def test_vision_primitives_match_scalar_references(rng):
+    masks = random_mask_batch(rng)
+    components, found = largest_component_batch(masks)
+    boundaries = trace_boundary_batch(components)
+    contours = []
+    for i, mask in enumerate(masks):
+        context = f"mask {i} of {masks.shape}"
+        if not mask.any():
+            assert not found[i], context
+            assert not components[i].any(), context
+            assert boundaries[i] is None, context
+            continue
+        assert found[i], context
+        labels, count = label_components(mask)
+        want_component, area = largest_component(labels)
+        assert_arrays_bitwise_equal(
+            components[i], want_component, context
+        )
+        want_points = trace_boundary(want_component)
+        assert boundaries[i] is not None, context
+        assert_arrays_bitwise_equal(
+            boundaries[i], want_points, context
+        )
+        if len(want_points) >= 3:
+            contours.append(want_points)
+    if contours:
+        n_samples = int(rng.choice([64, 128]))
+        got_series = centroid_distance_series_batch(
+            contours, n_samples=n_samples
+        )
+        for j, points in enumerate(contours):
+            assert_arrays_bitwise_equal(
+                got_series[j],
+                centroid_distance_series(points, n_samples=n_samples),
+                f"series {j}",
+            )
+
+
+def test_series_batch_rejects_degenerate_contours():
+    with pytest.raises(ValueError):
+        centroid_distance_series_batch(
+            [np.array([[0, 0], [0, 1]])]
+        )
+
+
+def test_series_batch_empty_input():
+    assert centroid_distance_series_batch([]).shape == (0, 128)
+
+
+def test_trace_batch_matches_scalar_on_single_pixel():
+    mask = np.zeros((1, 5, 7), dtype=bool)
+    mask[0, 2, 3] = True
+    [points] = trace_boundary_batch(mask)
+    assert_arrays_bitwise_equal(points, trace_boundary(mask[0]))
