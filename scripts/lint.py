@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Run the determinism & dependability linter from a checkout.
+
+Thin wrapper over ``python -m repro.lint`` that works without
+PYTHONPATH plumbing::
+
+    scripts/lint.py                 # lint configured roots
+    scripts/lint.py --changed       # only git-modified files
+    scripts/lint.py --list-rules
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    # Default --root to the checkout; flags the caller passes later
+    # win under argparse's last-one-wins rule.
+    sys.exit(main(["--root", str(REPO_ROOT)] + sys.argv[1:]))

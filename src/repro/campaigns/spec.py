@@ -127,6 +127,9 @@ class FaultSpec:
         )
         # Surface bad parameter values (probability out of range, bit
         # out of range, ...) at spec-construction time, not mid-shard.
+        # repro: allow[RNG-SEED] -- throwaway validation generator,
+        # discarded immediately; trial streams come from
+        # campaigns.seeding's spawned SeedSequences.
         self.build(np.random.default_rng(0))
 
     def build(self, rng: np.random.Generator) -> FaultModel:

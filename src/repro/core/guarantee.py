@@ -101,6 +101,9 @@ def bucket_overflow_probability(
         nxt[ceiling] = dist[ceiling]  # absorbing
         for level in range(ceiling):
             mass = dist[level]
+            # repro: allow[FLOAT-EQ] -- analytic probability mass
+            # (sums of non-negative products), skipping empty chain
+            # states; not a redundancy/word comparison.
             if mass == 0.0:
                 continue
             up = min(level + factor, ceiling)
@@ -240,6 +243,8 @@ class ReliabilityGuarantee:
     def improvement_factor(self) -> float:
         """Unprotected SDC / protected-path SDC (higher is better)."""
         protected = self.protected_path_sdc()
+        # repro: allow[FLOAT-EQ] -- division-by-zero guard on an
+        # analytic SDC probability; not a redundancy/word comparison.
         if protected == 0.0:
             return float("inf")
         return self.unprotected_sdc() / protected

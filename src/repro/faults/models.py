@@ -51,6 +51,11 @@ class FaultModel:
     deterministic: bool = False
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
+        # repro: allow[RNG-SEED] -- deliberate fresh entropy: the PR 2
+        # fix replacing the shared default_rng(0) that bit-correlated
+        # "independent" fault streams.  Campaign paths always pass an
+        # explicit SeedSequence-spawned generator; this default only
+        # covers ad-hoc interactive use.
         self.rng = rng if rng is not None else np.random.default_rng()
         self.activations = 0
 

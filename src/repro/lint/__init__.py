@@ -1,0 +1,63 @@
+"""Determinism & dependability linter for the repro stack.
+
+Every guarantee this reproduction makes -- bitwise engine parity,
+word-level voting, worker-count-invariant campaigns -- has been broken
+at least once by a hazard that is mechanically detectable:
+
+* float ``==`` silently qualifying sign-bit upsets on zero results
+  (fixed in PR 3 by moving every qualifier comparison onto IEEE-754
+  storage words, golden pin 198 -> 202);
+* a shared ``default_rng(0)`` making nominally independent fault
+  streams identical and campaigns order-dependent (fixed in PR 2);
+* BLAS kernel selection changing reduction order and breaking bitwise
+  batch-vs-scalar parity (fixed in PR 4 by tap-sequential
+  accumulation).
+
+This package catches those classes of bug *statically*, at CI time,
+instead of re-discovering them one golden-pin regression at a time.
+It is deliberately stdlib-only (``ast`` + ``tokenize``) so the lint
+gate needs no third-party installs.
+
+Entry points::
+
+    python -m repro.lint                  # lint configured roots
+    python -m repro.lint src tests        # lint explicit paths
+    scripts/lint.py --changed             # only git-modified files
+
+Suppression: ``# repro: allow[RULE-ID] -- justification`` on (or on a
+standalone line above) the offending line; ``allow-file[RULE-ID]`` in
+the file's first comment block for whole-file waivers.  Grandfathered
+findings live in the committed baseline (``lint-baseline.json``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.config import DEFAULT_CONFIG_FILE, LintConfig, load_config
+from repro.lint.engine import LintResult, iter_python_files, lint_file, run_lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import RULES, Rule, register
+from repro.lint.reporters import REPORT_VERSION, render_human, render_json
+
+# Importing the rules package populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_CONFIG_FILE",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "REPORT_VERSION",
+    "RULES",
+    "Rule",
+    "Severity",
+    "iter_python_files",
+    "lint_file",
+    "load_config",
+    "register",
+    "render_human",
+    "render_json",
+    "run_lint",
+]

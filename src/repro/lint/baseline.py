@@ -1,0 +1,138 @@
+"""Committed baseline of grandfathered findings.
+
+The gate is *zero new findings*: anything not in the baseline (and not
+pragma-suppressed) fails the run.  Baselines exist so the linter can
+land with teeth even if a finding class cannot be fixed in the same
+PR; the intended trajectory is monotone shrinkage -- entries are
+removed when fixed (``--update-baseline`` prunes them automatically)
+and a **stale** entry (one that no longer matches any finding) also
+fails the run, so the file cannot quietly rot into a pile of dead
+waivers.
+
+Matching is by fingerprint -- ``sha1(rule | path | normalized source
+line)`` -- so pure line-number drift does not invalidate entries, while
+any edit to the offending line does (and forces a re-audit, which is
+the point).  ``count`` covers several identical lines in one file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    count: int = 1
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "count": self.count,
+        }
+        if self.note:
+            data["note"] = self.note
+        return data
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline
+        (the shipped tree's steady state)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                fingerprint=item["fingerprint"],
+                count=int(item.get("count", 1)),
+                note=item.get("note", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, baselined) and return the stale
+        entries whose budget went unused."""
+        budget: Counter[str] = Counter()
+        for entry in self.entries:
+            budget[entry.fingerprint] += entry.count
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [e for e in self.entries if budget[e.fingerprint] >= e.count]
+        # Partially consumed entries (count 3, two matches) are stale
+        # too in spirit, but keeping them non-fatal would hide nothing:
+        # --update-baseline rewrites exact counts either way.  Strict
+        # staleness = no match at all.
+        return new, baselined, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], notes: dict[str, str] | None = None
+    ) -> "Baseline":
+        """Baseline covering exactly the given findings; ``notes`` maps
+        fingerprints to justifications carried over from a previous
+        baseline (manual notes survive ``--update-baseline``)."""
+        notes = notes or {}
+        grouped: dict[str, BaselineEntry] = {}
+        for finding in findings:
+            key = finding.fingerprint
+            if key in grouped:
+                grouped[key].count += 1
+            else:
+                grouped[key] = BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    fingerprint=key,
+                    note=notes.get(key, ""),
+                )
+        return cls(list(grouped.values()))

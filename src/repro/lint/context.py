@@ -1,0 +1,118 @@
+"""Per-file analysis context: parsed tree, import aliases, source.
+
+Rules see one :class:`FileContext` per file.  The context's job is to
+answer the two questions every AST rule asks:
+
+* *what does this dotted expression actually refer to?* --
+  :meth:`FileContext.qualname` resolves local aliases through the
+  file's imports, so ``rng = npr.default_rng()`` under
+  ``import numpy.random as npr`` and ``from numpy.random import
+  default_rng`` both resolve to ``numpy.random.default_rng``;
+* *what text is on line N?* -- for snippets and fingerprints.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding
+from repro.lint.pragmas import Suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+
+def build_import_map(tree: ast.AST) -> dict[str, str]:
+    """Local name -> fully dotted module/symbol path, from every
+    ``import``/``from ... import`` in the file (any nesting level).
+
+    Relative imports (``from .foo import bar``) stay unresolved -- the
+    linter targets absolute third-party/stdlib hazards, and a relative
+    alias can never shadow ``numpy``/``time``/``random``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                full = alias.name if alias.asname else local
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    rel_path: str
+    source: str
+    tree: ast.AST
+    suppressions: Suppressions
+    imports: dict[str, str] = field(default_factory=dict)
+    lines: list[str] = field(default_factory=list)
+    #: set by the engine; rules read per-rule options through
+    #: :meth:`options_for` so standalone (test) contexts fall back to
+    #: packaged defaults.
+    config: "LintConfig | None" = None
+
+    @classmethod
+    def parse(cls, rel_path: str, source: str) -> "FileContext":
+        tree = ast.parse(source)
+        return cls(
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            suppressions=Suppressions.scan(source),
+            imports=build_import_map(tree),
+            lines=source.splitlines(),
+        )
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def qualname(self, node: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted path through the
+        import map; None when the expression is not a plain chain
+        (calls, subscripts, literals...).
+
+        A local variable that happens to share a module's name wins --
+        alias resolution is a heuristic, which is the right trade for
+        a linter: the repo convention (``import numpy as np``) resolves
+        exactly, and a shadowing false positive is one pragma away.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def call_qualname(self, node: ast.Call) -> str | None:
+        """:meth:`qualname` of a call's callee."""
+        return self.qualname(node.func)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return self.suppressions.allows(finding.rule, finding.line)
+
+    def options_for(self, rule_id: str) -> dict:
+        """Per-rule options from the active config, falling back to
+        the packaged defaults when the context was built bare."""
+        if self.config is not None:
+            return self.config.options_for(rule_id)
+        from repro.lint.config import DEFAULT_RULE_OPTIONS
+
+        return DEFAULT_RULE_OPTIONS.get(rule_id, {})

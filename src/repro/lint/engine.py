@@ -1,0 +1,130 @@
+"""The lint driver: walk files, run scoped rules, apply the baseline.
+
+Kept free of CLI concerns so tests (and future tooling) can call
+:func:`run_lint` in-process and get structured results back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.config import LintConfig
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import RULES
+
+#: Pseudo-rule id for files the parser rejects: a file that cannot be
+#: parsed cannot be checked, which must fail the gate rather than pass
+#: it silently.
+PARSE_ERROR = "PARSE-ERROR"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)  #: new (gate-failing)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the zero-new-findings gate passes: nothing new
+        *and* no dead baseline entries."""
+        return not self.findings and not self.stale_baseline
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        # Outside the root (absolute fixture paths in tests): keep the
+        # name stable rather than erroring.
+        return path.as_posix()
+
+
+def iter_python_files(paths: list[Path], config: LintConfig) -> list[Path]:
+    """Expand files/directories into the sorted, de-duplicated list of
+    lintable ``.py`` files, honouring config excludes."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if not path.is_absolute():
+            path = config.root / path
+        candidates = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            if candidate.suffix != ".py":
+                continue
+            if config.is_excluded(_rel_path(candidate, config.root)):
+                continue
+            out.append(candidate)
+    return out
+
+
+def lint_file(
+    path: Path, config: LintConfig, rules: list | None = None
+) -> list[Finding]:
+    """All non-suppressed findings for one file."""
+    rel = _rel_path(Path(path), config.root)
+    source = Path(path).read_text(encoding="utf-8")
+    try:
+        ctx = FileContext.parse(rel, source)
+        ctx.config = config
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                severity=Severity.ERROR,
+                path=rel,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    active = rules if rules is not None else list(RULES.values())
+    findings: list[Finding] = []
+    for rule in active:
+        if not config.rule_applies(rule, rel):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def run_lint(
+    paths: list[Path],
+    config: LintConfig,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint ``paths`` and split findings against ``baseline``."""
+    result = LintResult()
+    all_findings: list[Finding] = []
+    for path in iter_python_files(paths, config):
+        all_findings.extend(lint_file(path, config))
+        result.files_scanned += 1
+    all_findings.sort(key=lambda f: f.sort_key)
+    if baseline is None:
+        baseline = Baseline()
+    new, baselined, stale = baseline.partition(all_findings)
+    result.findings = new
+    result.baselined = baselined
+    result.stale_baseline = stale
+    return result

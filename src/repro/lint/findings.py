@@ -1,0 +1,69 @@
+"""Finding and severity types shared by every lint layer."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    Both severities fail the zero-new-findings gate; the split exists
+    so reports surface dependability hazards (``ERROR`` -- breaks a
+    bitwise/determinism contract) ahead of hygiene debt (``WARNING``).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def normalize_snippet(snippet: str) -> str:
+    """Whitespace-collapsed source line, the stable part of a
+    fingerprint (line *numbers* drift on every edit; the offending
+    line's text rarely does)."""
+    return " ".join(snippet.split())
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str  #: repo-relative POSIX path
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    #: sorts findings into (file, position, rule) order
+    sort_key: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sort_key", (self.path, self.line, self.col, self.rule)
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching:
+        two findings on the same (rule, file, normalized line text)
+        share a fingerprint."""
+        payload = f"{self.rule}|{self.path}|{normalize_snippet(self.snippet)}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,87 @@
+"""``# repro: allow[...]`` suppression pragmas.
+
+Two forms, both requiring explicit rule ids (there is deliberately no
+blanket ``allow[*]`` -- a waiver names the invariant it waives):
+
+* line pragma -- suppresses the named rules on the line it shares
+  with code, or, when the comment stands alone, on the next line that
+  holds code (so long statements and decorated defs can carry a
+  pragma without column-overflow fights)::
+
+      agreed = np.array_equal(w0, w1)  # repro: allow[FLOAT-APPROX] -- int64 words
+
+      # repro: allow[REDUCE-ORDER] -- native path; parity asserted in tests
+      native = patches @ wmat.T
+
+* file pragma -- ``# repro: allow-file[RULE-ID]`` anywhere in the
+  file suppresses the rule for the whole file.
+
+Justifications after ``--`` are convention, not syntax: the linter
+ignores them, reviewers do not.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow-file|allow)\s*"
+    r"\[\s*(?P<ids>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)\s*\]"
+)
+
+
+def _split_ids(raw: str) -> set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+@dataclass
+class Suppressions:
+    """Parsed pragma state for one file."""
+
+    file_rules: set[str] = field(default_factory=set)
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        supp = cls()
+        lines = source.splitlines()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return supp
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = _split_ids(match.group("ids"))
+            if match.group("kind") == "allow-file":
+                supp.file_rules |= ids
+                continue
+            lineno = tok.start[0]
+            prefix = lines[lineno - 1][: tok.start[1]] if lineno <= len(lines) else ""
+            if prefix.strip():
+                # Trailing comment: applies to its own (code) line.
+                supp.line_rules.setdefault(lineno, set()).update(ids)
+            else:
+                # Standalone comment: applies to the next line holding
+                # code (skipping blanks and further comments).
+                target = lineno + 1
+                while target <= len(lines):
+                    stripped = lines[target - 1].strip()
+                    if stripped and not stripped.startswith("#"):
+                        break
+                    target += 1
+                supp.line_rules.setdefault(target, set()).update(ids)
+        return supp
+
+    def allows(self, rule_id: str, lineno: int) -> bool:
+        if rule_id in self.file_rules:
+            return True
+        return rule_id in self.line_rules.get(lineno, ())

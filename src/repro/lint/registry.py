@@ -1,0 +1,65 @@
+"""Rule base class and the global rule registry."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import FileContext
+
+#: All registered rules, id -> instance.  Populated by importing
+#: :mod:`repro.lint.rules`.
+RULES: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one parsed file.  ``scope`` names a path
+    class from :class:`~repro.lint.config.LintConfig.scopes` --
+    ``"all"`` applies everywhere the walker reaches; anything else
+    restricts the rule to the configured globs (e.g. ``"parity"`` for
+    the modules that promise bitwise results).
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    scope: str = "all"
+    #: one-paragraph invariant statement, surfaced by ``--list-rules``
+    #: and docs; cite the incident that motivated the rule.
+    rationale: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses ------------------------------------------
+    def finding(self, ctx: "FileContext", node, message: str) -> Finding:
+        """Build a finding anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line(line),
+        )
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of the rule to
+    :data:`RULES`; re-registration of an id is a programming error."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return rule_cls

@@ -1,0 +1,14 @@
+"""Rule modules.  Importing this package registers every rule.
+
+One module per hazard family; each rule's docstring/rationale cites
+the incident that motivated it (PR 2/3/4 post-mortems).
+"""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    ambient,
+    float_compare,
+    hygiene,
+    locks,
+    randomness,
+    reductions,
+)

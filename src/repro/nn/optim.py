@@ -21,16 +21,20 @@ class Optimizer:
         self.lr = lr
 
     def step(self) -> None:
-        for param in self.params:
+        for slot, param in enumerate(self.params):
             if param.frozen:
                 continue
-            self._update(param)
+            self._update(param, slot)
 
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
 
-    def _update(self, param: Parameter) -> None:
+    def _update(self, param: Parameter, slot: int) -> None:
+        """Apply one update; ``slot`` is the parameter's position in
+        ``self.params``, the key for any per-parameter state (state
+        keyed by ``id()`` leaks heap addresses into compute state --
+        the lint AMBIENT-ID hazard)."""
         raise NotImplementedError
 
 
@@ -43,7 +47,7 @@ class SGD(Optimizer):
         super().__init__(params, lr)
         self.weight_decay = weight_decay
 
-    def _update(self, param: Parameter) -> None:
+    def _update(self, param: Parameter, slot: int) -> None:
         grad = param.grad
         if self.weight_decay:
             grad = grad + self.weight_decay * param.value
@@ -63,13 +67,13 @@ class Momentum(Optimizer):
         super().__init__(params, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = {id(p): np.zeros_like(p.value) for p in self.params}
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
 
-    def _update(self, param: Parameter) -> None:
+    def _update(self, param: Parameter, slot: int) -> None:
         grad = param.grad
         if self.weight_decay:
             grad = grad + self.weight_decay * param.value
-        vel = self._velocity[id(param)]
+        vel = self._velocity[slot]
         vel *= self.momentum
         vel -= self.lr * grad
         param.value += vel
@@ -90,17 +94,17 @@ class Adam(Optimizer):
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
-        self._m = {id(p): np.zeros_like(p.value) for p in self.params}
-        self._v = {id(p): np.zeros_like(p.value) for p in self.params}
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         super().step()
 
-    def _update(self, param: Parameter) -> None:
-        m = self._m[id(param)]
-        v = self._v[id(param)]
+    def _update(self, param: Parameter, slot: int) -> None:
+        m = self._m[slot]
+        v = self._v[slot]
         m *= self.beta1
         m += (1.0 - self.beta1) * param.grad
         v *= self.beta2

@@ -259,6 +259,11 @@ class ReliableConv2D:
             f for f in range(layer.out_channels) if f not in reliable_set
         ]
         if native_filters:
+            # repro: allow[REDUCE-ORDER] -- audited: the *native*
+            # (unprotected) filter lane, outside the qualified path by
+            # definition; per-image batch-vs-scalar parity is pinned
+            # by tests/api/test_batch_parity.py and
+            # tests/reliable/test_vectorized_parity.py.
             native = patches @ wmat[native_filters].T + bias[native_filters]
             out[:, native_filters] = native.transpose(0, 3, 1, 2)
         return patches, wmat, bias, sorted(reliable_set), out, report
@@ -268,6 +273,9 @@ class ReliableConv2D:
     ) -> tuple[np.ndarray, ExecutionReport]:
         """The paper-literal engine: Algorithm 3, one qualified
         operation at a time (``engine="scalar"``)."""
+        # repro: allow[AMBIENT-TIME] -- report metadata only
+        # (ExecutionReport.elapsed_seconds); never feeds outputs or
+        # qualification decisions.
         start = time.perf_counter()
         patches, wmat, bias, sorted_filters, out, report = self._prepare(
             x, filters
@@ -320,6 +328,7 @@ class ReliableConv2D:
         report.operations = stats.operations
         report.errors_detected = stats.errors_detected
         report.rollbacks = stats.rollbacks
+        # repro: allow[AMBIENT-TIME] -- report metadata only.
         report.elapsed_seconds = time.perf_counter() - start
 
 
@@ -359,6 +368,7 @@ def redundant_layer_forward(
     """
     if copies < 2:
         raise ValueError("redundancy needs at least 2 copies")
+    # repro: allow[AMBIENT-TIME] -- report metadata only.
     start = time.perf_counter()
     report = ExecutionReport(
         operator_kind=f"layer-{'dmr' if copies == 2 else 'tmr'}"
@@ -369,6 +379,10 @@ def redundant_layer_forward(
         attempts += 1
         report.operations += copies
         if copies == 2:
+            # repro: allow[FLOAT-APPROX] -- operands are int64
+            # storage-word views (_comparable_words), so array_equal
+            # here *is* the word comparator in array form: identical
+            # NaN payloads agree, +0.0/-0.0 disagree.
             agreed = bool(np.array_equal(
                 _comparable_words(outputs[0]),
                 _comparable_words(outputs[1]),
@@ -384,12 +398,14 @@ def redundant_layer_forward(
         report.errors_detected += 1
         if attempts > max_rollbacks:
             report.persistent_failures += 1
+            # repro: allow[AMBIENT-TIME] -- report metadata only.
             report.elapsed_seconds = time.perf_counter() - start
             raise PersistentFailureError(
                 "layer-level redundant execution kept disagreeing",
                 errors_detected=report.errors_detected,
             )
         report.rollbacks += 1
+    # repro: allow[AMBIENT-TIME] -- report metadata only.
     report.elapsed_seconds = time.perf_counter() - start
     return result, report
 

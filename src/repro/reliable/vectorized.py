@@ -173,6 +173,9 @@ def speculative_forward(
     )
     if unit is None:
         return executor._forward_scalar(x, filters)
+    # repro: allow[AMBIENT-TIME] -- report metadata only
+    # (ExecutionReport.elapsed_seconds); never feeds outputs or
+    # qualification decisions.
     start = time.perf_counter()
     patches, wmat, bias, sorted_filters, out, report = executor._prepare(
         x, filters

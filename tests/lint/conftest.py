@@ -1,0 +1,35 @@
+"""Shared helpers for the lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def permissive_config(root: Path) -> LintConfig:
+    """A config under which *every* rule applies to every file --
+    fixtures opt into all scopes so each rule can be exercised in
+    isolation from the repo's path policy."""
+    return LintConfig(
+        root=root,
+        exclude=[],
+        scopes={"parity": ["*"], "compute": ["*"], "src": ["*"]},
+        rule_options={"RNG-SEED": {"strict_paths": ["*"]}},
+    )
+
+
+@pytest.fixture
+def fixtures_config() -> LintConfig:
+    return permissive_config(FIXTURES)
+
+
+def lint_fixture(name: str, config: LintConfig | None = None):
+    """Findings for one corpus file under the permissive config."""
+    config = config or permissive_config(FIXTURES)
+    return lint_file(FIXTURES / name, config)

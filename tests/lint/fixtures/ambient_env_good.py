@@ -1,0 +1,9 @@
+"""AMBIENT-ENV corpus: explicit configuration (none flagged)."""
+
+
+def threshold(config) -> float:
+    return config.qualifier_threshold  # resolved at the boundary
+
+
+def engine_default(engine: str = "auto") -> str:
+    return engine

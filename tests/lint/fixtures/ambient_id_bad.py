@@ -1,0 +1,12 @@
+"""AMBIENT-ID corpus: id()-keyed state (all flagged)."""
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, params):
+        self.params = params
+        self.state = {id(p): np.zeros_like(p) for p in params}
+
+    def update(self, param):
+        return self.state[id(param)]

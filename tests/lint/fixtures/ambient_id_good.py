@@ -1,0 +1,12 @@
+"""AMBIENT-ID corpus: slot-indexed state (none flagged)."""
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, params):
+        self.params = list(params)
+        self.state = [np.zeros_like(p) for p in self.params]
+
+    def update(self, slot: int):
+        return self.state[slot]

@@ -1,0 +1,16 @@
+"""AMBIENT-TIME corpus: clock reads in compute code (all flagged)."""
+
+import time
+from time import perf_counter
+
+
+def stamp_result(value: float) -> dict:
+    return {"value": value, "at": time.time()}
+
+
+def profile_inline():
+    return perf_counter()  # from-import alias
+
+
+def monotonic_guard() -> float:
+    return time.monotonic()

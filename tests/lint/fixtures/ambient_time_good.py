@@ -1,0 +1,6 @@
+"""AMBIENT-TIME corpus: clock-free compute (none flagged)."""
+
+
+def stamp_result(value: float, logical_step: int) -> dict:
+    # Logical clocks replay; wall clocks do not.
+    return {"value": value, "at": logical_step}

@@ -1,0 +1,22 @@
+"""FLOAT-APPROX corpus: value-level comparator calls (all flagged)."""
+
+import math
+
+import numpy as np
+from numpy import allclose
+
+
+def tolerance(a, b) -> bool:
+    return np.allclose(a, b)
+
+
+def tolerance_imported(a, b) -> bool:
+    return allclose(a, b)
+
+
+def scalar_tolerance(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9)
+
+
+def exact_but_value_level(a, b) -> bool:
+    return np.array_equal(a, b)  # inherits ==' NaN/signed-zero holes

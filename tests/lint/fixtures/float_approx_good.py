@@ -1,0 +1,9 @@
+"""FLOAT-APPROX corpus: word-level comparison (none flagged)."""
+
+import numpy as np
+
+from repro.reliable.bits import word_view
+
+
+def words_agree(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool((word_view(a) == word_view(b)).all())

@@ -1,0 +1,29 @@
+"""FLOAT-EQ corpus: value-level float equality (all flagged)."""
+
+import math
+
+import numpy as np
+
+
+def qualify(result: float, redundant: float) -> bool:
+    return result == 0.0  # literal float comparison
+
+
+def check_nan(value: float) -> bool:
+    return value != float("nan")  # float() conversion comparison
+
+
+def against_constant(x: float) -> bool:
+    return x == np.inf  # numpy float constant
+
+
+def arithmetic(x: float) -> bool:
+    return x == 2.0 * 3.0  # arithmetic over float literals
+
+
+def chained(a: float, b: float) -> bool:
+    return 0.0 == a == b  # chained comparison with a float literal
+
+
+def converted(a, b) -> bool:
+    return float(a) == math.pi  # both sides float-like

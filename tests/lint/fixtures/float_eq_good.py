@@ -1,0 +1,23 @@
+"""FLOAT-EQ corpus: sanctioned comparisons (none flagged)."""
+
+from repro.reliable.bits import same_word, word_view
+
+
+def qualify(result: float, redundant: float) -> bool:
+    return same_word(result, redundant)  # storage-word comparator
+
+
+def qualify_array(a, b) -> bool:
+    return bool((word_view(a) == word_view(b)).all())  # int64 words
+
+
+def engine_choice(engine: str) -> bool:
+    return engine == "auto"  # string comparison is fine
+
+
+def count_check(n: int) -> bool:
+    return n == 0  # int comparison is fine
+
+
+def ordering(x: float) -> bool:
+    return x <= 0.5  # ordering comparisons are not equality

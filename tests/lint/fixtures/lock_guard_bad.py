@@ -1,0 +1,23 @@
+"""LOCK-GUARD corpus: guarded attributes touched bare (flagged)."""
+
+import threading
+
+
+class Server:
+    _guarded_by = {"_lock": ("_accepting", "_pending")}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._accepting = True  # __init__ is exempt
+        self._pending = 0
+
+    def submit(self):
+        if not self._accepting:  # read outside the lock
+            raise RuntimeError("closed")
+        self._pending += 1  # write outside the lock
+
+    def deferred(self):
+        with self._lock:
+            def flip():
+                self._accepting = False  # closure runs after release
+            return flip

@@ -1,0 +1,27 @@
+"""LOCK-GUARD corpus: every access under the declared lock (clean)."""
+
+import threading
+
+
+class Server:
+    _guarded_by = {"_lock": ("_accepting", "_pending")}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._pending = 0
+
+    def submit(self):
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("closed")
+            self._pending += 1
+
+    def stop(self):
+        with self._lock:
+            self._accepting = False
+            drained = self._pending
+        return drained  # local once outside
+
+    def unguarded_ok(self):
+        return self._lock  # undeclared attributes stay clean

@@ -1,0 +1,14 @@
+"""LRU-METHOD corpus: cached instance methods (all flagged)."""
+
+import functools
+from functools import lru_cache
+
+
+class Encoder:
+    @lru_cache(maxsize=None)
+    def symbols(self, word: str) -> tuple:
+        return tuple(word)
+
+    @functools.cache
+    def table(self):
+        return {}

@@ -1,0 +1,16 @@
+"""LRU-METHOD corpus: module-level caches only (none flagged)."""
+
+import functools
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def symbol_table(alphabet: int) -> tuple:
+    return tuple(range(alphabet))
+
+
+class Encoder:
+    @staticmethod
+    @functools.cache
+    def breakpoints(alphabet: int) -> tuple:
+        return tuple(range(alphabet))  # static: no self in the key

@@ -1,0 +1,15 @@
+"""MUT-DEFAULT corpus: shared mutable defaults (all flagged)."""
+
+
+def append_result(value, results=[]):
+    results.append(value)
+    return results
+
+
+def merge(config, overrides={}):
+    return {**config, **overrides}
+
+
+def tag(item, seen=set(), *, labels=list()):
+    seen.add(item)
+    return labels

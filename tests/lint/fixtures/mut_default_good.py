@@ -1,0 +1,15 @@
+"""MUT-DEFAULT corpus: None defaults materialised inside (clean)."""
+
+
+def append_result(value, results=None):
+    results = [] if results is None else results
+    results.append(value)
+    return results
+
+
+def merge(config, overrides=None):
+    return {**config, **(overrides or {})}
+
+
+def scale(value, factor=1.0, label="x"):
+    return value * factor  # immutable defaults are fine

@@ -1,0 +1,15 @@
+"""REDUCE-AXES corpus: multi-axis reductions (all flagged)."""
+
+import numpy as np
+
+
+def collapse(batch):
+    return np.sum(batch, axis=(1, 2))
+
+
+def collapse_method(batch):
+    return batch.sum(axis=(0, 1))
+
+
+def product(batch):
+    return np.prod(batch, axis=(2, 3))

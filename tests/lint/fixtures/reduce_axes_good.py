@@ -1,0 +1,11 @@
+"""REDUCE-AXES corpus: one axis at a time (none flagged)."""
+
+import numpy as np
+
+
+def collapse(batch):
+    return np.sum(np.sum(batch, axis=2), axis=1)  # fixed reduction order
+
+
+def collapse_single(batch):
+    return batch.sum(axis=0)  # single-axis reduction is deterministic

@@ -1,0 +1,23 @@
+"""REDUCE-ORDER corpus: BLAS-shaped contractions (all flagged)."""
+
+import numpy as np
+
+
+def gemm(patches, weights):
+    return patches @ weights.T  # matmul operator
+
+
+def contraction(a, b):
+    return np.einsum("ij,jk->ik", a, b)
+
+
+def tensor_contraction(maps, kernel):
+    return np.tensordot(maps, kernel, axes=2)
+
+
+def dot_call(a, b):
+    return np.dot(a, b)
+
+
+def dot_method(a, b):
+    return a.dot(b)  # method form, same BLAS dispatch

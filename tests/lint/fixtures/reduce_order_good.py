@@ -1,0 +1,12 @@
+"""REDUCE-ORDER corpus: tap-sequential accumulation (none flagged)."""
+
+import numpy as np
+
+
+def correlate_tap_sequential(image, taps):
+    """Fixed summation tree: accumulate one tap at a time, in a
+    deterministic order independent of input shape."""
+    acc = np.zeros_like(image)
+    for offset, weight in taps:
+        acc = acc + weight * np.roll(image, offset)
+    return acc

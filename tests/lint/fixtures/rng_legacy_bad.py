@@ -1,0 +1,20 @@
+"""RNG-LEGACY corpus: numpy hidden-global-stream API (all flagged)."""
+
+import numpy as np
+import numpy.random as npr
+
+
+def seed_everything(seed: int) -> None:
+    np.random.seed(seed)  # global stream
+
+
+def noise(shape):
+    return np.random.rand(*shape)
+
+
+def aliased(n: int):
+    return npr.randint(0, 10, size=n)  # aliased module import
+
+
+def legacy_object():
+    return np.random.RandomState(7)  # legacy generator class

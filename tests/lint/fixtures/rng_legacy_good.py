@@ -1,0 +1,12 @@
+"""RNG-LEGACY corpus: explicit Generator discipline (none flagged)."""
+
+import numpy as np
+
+
+def noise(shape, rng: np.random.Generator):
+    return rng.normal(size=shape)  # method on an explicit Generator
+
+
+def spawn_stream(seed: int, trial: int) -> np.random.Generator:
+    seq = np.random.SeedSequence(seed, spawn_key=(trial,))
+    return np.random.default_rng(seq)

@@ -1,0 +1,18 @@
+"""RNG-SEED corpus (linted with strict paths matching this file).
+
+Unseeded, literal-seeded, and module-level generators: all flagged.
+"""
+
+import numpy as np
+
+MODULE_RNG = np.random.default_rng(1234)  # module-level shared stream
+
+
+class FaultSource:
+    rng = np.random.default_rng()  # class attribute: shared + fresh entropy
+
+    def unseeded(self):
+        return np.random.default_rng()  # fresh entropy
+
+    def constant(self):
+        return np.random.default_rng(0)  # every caller gets one stream

@@ -1,0 +1,12 @@
+"""RNG-SEED corpus: campaign-derived streams (none flagged)."""
+
+import numpy as np
+
+
+def trial_stream(root: np.random.SeedSequence, trial: int):
+    child = root.spawn(1)[0] if trial else root
+    return np.random.default_rng(child)  # derived from a SeedSequence
+
+
+def from_parameter(seed: int):
+    return np.random.default_rng(seed)  # caller-controlled seed

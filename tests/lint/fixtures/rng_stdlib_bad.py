@@ -1,0 +1,15 @@
+"""RNG-STDLIB corpus: process-global stdlib stream (all flagged)."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def scramble(items) -> None:
+    random.shuffle(items)

@@ -1,0 +1,11 @@
+"""RNG-STDLIB corpus: explicit instances / unrelated names (clean)."""
+
+import random
+
+
+def pick(items, seed: int):
+    return random.Random(seed).choice(items)  # explicit seeded instance
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()  # method on an explicit instance, not the module

@@ -1,0 +1,16 @@
+"""SET-ITER corpus: hash-order iteration feeding numbers (flagged)."""
+
+
+def accumulate(values):
+    total = 0.0
+    for v in set(values):  # hash-order float accumulation
+        total += v
+    return total
+
+
+def direct_sum(values):
+    return sum({abs(v) for v in values})  # sum over a set comprehension
+
+
+def literal_iteration():
+    return [name.upper() for name in {"paa", "sax", "mindist"}]

@@ -1,0 +1,12 @@
+"""SET-ITER corpus: pinned iteration order (none flagged)."""
+
+
+def accumulate(values):
+    total = 0.0
+    for v in sorted(set(values)):  # sorted() pins the order
+        total += v
+    return total
+
+
+def membership(values, probe) -> bool:
+    return probe in set(values)  # membership tests are order-free

@@ -1,0 +1,124 @@
+"""Baseline add / match / expire behaviour."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Baseline, run_lint
+from repro.lint.baseline import BaselineEntry
+
+from tests.lint.conftest import permissive_config
+
+VIOLATION = "def f(x):\n    return x == 0.5\n"
+FIXED = "def f(x):\n    return x <= 0.5\n"
+
+
+def _tree(tmp_path, source: str):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return path
+
+
+def test_unbaselined_finding_fails_the_gate(tmp_path):
+    _tree(tmp_path, VIOLATION)
+    result = run_lint([tmp_path], permissive_config(tmp_path))
+    assert not result.ok
+    assert [f.rule for f in result.findings] == ["FLOAT-EQ"]
+
+
+def test_baselined_finding_passes_the_gate(tmp_path):
+    _tree(tmp_path, VIOLATION)
+    config = permissive_config(tmp_path)
+    first = run_lint([tmp_path], config)
+    baseline = Baseline.from_findings(first.findings)
+    second = run_lint([tmp_path], config, baseline)
+    assert second.ok
+    assert second.findings == []
+    assert len(second.baselined) == 1
+
+
+def test_baseline_add_then_expire(tmp_path):
+    """The full lifecycle: grandfather a finding, fix the code, and
+    the now-dead entry fails the run until pruned."""
+    path = _tree(tmp_path, VIOLATION)
+    config = permissive_config(tmp_path)
+    baseline = Baseline.from_findings(run_lint([tmp_path], config).findings)
+
+    path.write_text(FIXED)
+    after_fix = run_lint([tmp_path], config, baseline)
+    assert after_fix.findings == []
+    assert len(after_fix.stale_baseline) == 1
+    assert not after_fix.ok, "a stale entry must fail the gate"
+
+    pruned = Baseline.from_findings(
+        after_fix.findings + after_fix.baselined
+    )
+    assert pruned.entries == []
+    assert run_lint([tmp_path], config, pruned).ok
+
+
+def test_count_budget_covers_identical_lines_only_up_to_count(tmp_path):
+    source = (
+        "def f(x):\n"
+        "    a = x == 0.5\n"
+        "    b = x == 0.5\n"
+        "    return a or b\n"
+    )
+    _tree(tmp_path, source)
+    config = permissive_config(tmp_path)
+    findings = run_lint([tmp_path], config).findings
+    assert len(findings) == 2
+    # Identical lines share a fingerprint; a count-1 entry covers one.
+    entry = BaselineEntry(
+        rule="FLOAT-EQ",
+        path=findings[0].path,
+        fingerprint=findings[0].fingerprint,
+        count=1,
+    )
+    result = run_lint([tmp_path], config, Baseline([entry]))
+    assert len(result.findings) == 1
+    assert len(result.baselined) == 1
+    assert result.stale_baseline == []
+
+
+def test_fingerprint_survives_line_drift(tmp_path):
+    path = _tree(tmp_path, VIOLATION)
+    config = permissive_config(tmp_path)
+    baseline = Baseline.from_findings(run_lint([tmp_path], config).findings)
+    # Prepend unrelated code: line numbers move, the offending line
+    # text does not.
+    path.write_text("import math\n\n\n" + VIOLATION)
+    result = run_lint([tmp_path], config, baseline)
+    assert result.ok
+    assert len(result.baselined) == 1
+
+
+def test_save_load_round_trip_and_notes(tmp_path):
+    entry = BaselineEntry(
+        rule="FLOAT-EQ",
+        path="src/mod.py",
+        fingerprint="ab" * 20,
+        count=2,
+        note="audited 2026-08: analytic guard",
+    )
+    path = tmp_path / "baseline.json"
+    Baseline([entry]).save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == [entry]
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == []
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    try:
+        Baseline.load(path)
+    except ValueError as error:
+        assert "version" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

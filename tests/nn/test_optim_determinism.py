@@ -1,0 +1,116 @@
+"""Regression: optimiser state is keyed by parameter slot, not id().
+
+Stateful optimisers (Momentum, Adam) used to keep per-parameter state
+in ``id(param)``-keyed dicts. ``id()`` is a heap address: two
+identically-configured runs got identical *values* but the state
+containers iterated in address order, and any future serialisation or
+replay of that state would have been process-specific. The lint rule
+AMBIENT-ID now bans it; state lives in slot-indexed lists. These tests
+pin the observable guarantees of that change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.optim import SGD, Adam, Momentum
+from repro.nn.parameter import Parameter
+from repro.reliable.bits import word_view
+
+
+def _words_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise array equality via int64 storage words -- the
+    sanctioned comparator (float == would miss -0.0/NaN flips)."""
+    return bool(np.all(word_view(a) == word_view(b)))
+
+
+def _params(seed: int = 7) -> list[Parameter]:
+    rng = np.random.default_rng(seed)
+    return [
+        Parameter(rng.normal(size=(4, 3)).astype(np.float32), name="w"),
+        Parameter(rng.normal(size=(3,)).astype(np.float32), name="b"),
+        Parameter(rng.normal(size=(2, 2)).astype(np.float32), name="v"),
+    ]
+
+
+def _grads(step: int, params: list[Parameter]) -> None:
+    rng = np.random.default_rng(1000 + step)
+    for param in params:
+        param.grad = rng.normal(size=param.shape).astype(np.float32)
+
+
+def _run(optim_factory, steps: int = 5) -> list[np.ndarray]:
+    params = _params()
+    optim = optim_factory(params)
+    for step in range(steps):
+        _grads(step, params)
+        optim.step()
+        optim.zero_grad()
+    return [p.value.copy() for p in params]
+
+
+def _assert_bitwise_identical(a: list[np.ndarray], b: list[np.ndarray]):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert _words_equal(left, right)
+
+
+def test_momentum_two_runs_bitwise_identical():
+    _assert_bitwise_identical(
+        _run(lambda p: Momentum(p, lr=0.05, momentum=0.9)),
+        _run(lambda p: Momentum(p, lr=0.05, momentum=0.9)),
+    )
+
+
+def test_adam_two_runs_bitwise_identical():
+    _assert_bitwise_identical(
+        _run(lambda p: Adam(p, lr=1e-3)),
+        _run(lambda p: Adam(p, lr=1e-3)),
+    )
+
+
+def test_state_is_slot_indexed_not_id_keyed():
+    params = _params()
+    momentum = Momentum(params, lr=0.05)
+    adam = Adam(params, lr=1e-3)
+    assert isinstance(momentum._velocity, list)
+    assert len(momentum._velocity) == len(params)
+    assert isinstance(adam._m, list) and isinstance(adam._v, list)
+    for slot, param in enumerate(params):
+        assert momentum._velocity[slot].shape == param.shape
+        assert adam._m[slot].shape == param.shape
+
+
+def test_state_tracks_slot_after_value_rebinding():
+    """Replacing a Parameter's ndarray (as FilterPin-style pinning
+    does) must not orphan optimiser state: the slot, not the object's
+    address, is the key."""
+    params = _params()
+    momentum = Momentum(params, lr=0.05)
+    _grads(0, params)
+    momentum.step()
+    before = momentum._velocity[1].copy()
+    params[1].value = params[1].value.copy()  # new ndarray, same slot
+    _grads(1, params)
+    momentum.step()
+    after = momentum._velocity[1]
+    assert after.shape == before.shape
+    assert not _words_equal(after, before)
+
+
+def test_frozen_parameter_skips_update_and_keeps_state_aligned():
+    params = _params()
+    adam = Adam(params, lr=1e-3)
+    params[0].frozen = True
+    frozen_before = params[0].value.copy()
+    _grads(0, params)
+    adam.step()
+    assert _words_equal(params[0].value, frozen_before)
+    assert not _words_equal(params[1].value, _params()[1].value)
+
+
+def test_sgd_remains_stateless_and_deterministic():
+    _assert_bitwise_identical(
+        _run(lambda p: SGD(p, lr=0.05, weight_decay=1e-4)),
+        _run(lambda p: SGD(p, lr=0.05, weight_decay=1e-4)),
+    )
