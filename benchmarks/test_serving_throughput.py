@@ -1,19 +1,29 @@
-"""Serving-layer throughput: micro-batching vs the serial infer loop.
+"""Serving-layer throughput: micro-batching vs the serial infer loop,
+for **both** paper architectures.
 
 The deployment claim of the serving layer, asserted end to end: with
 64 concurrent in-flight single-image requests, the micro-batching
-server must deliver **>= 3x** the throughput of serving the same
+server must deliver a multiple of the throughput of serving the same
 images through a serial per-request ``pipeline.infer()`` loop -- and
 every served result must be **bitwise identical** to that serial
 call's.  The speedup is pure batching (one batcher thread does all
 inference; no thread-level parallelism is assumed), so it reflects
 what the batched engines -- batch-invariant CNN forward, doubled-lane
-batched qualifier, vectorized kernels -- buy under request-per-image
-traffic.
+batched qualifier, single-pass speculate-then-verify kernels -- buy
+under request-per-image traffic.
 
-Writes the standard timing JSON (shared schema:
-``benchmarks/timing_schema.py``) for CI upload next to the
-reliable-conv and qualifier artifacts.
+Historically this bench pinned ``architecture="parallel"`` because the
+integrated (Figure-2) hybrid's ``infer_batch`` lost to its own
+per-image loop.  That regression is fixed (deterministic units run one
+speculative pass instead of ``executions_per_op`` identical ones, and
+the pass accumulates in tap-major scratch buffers), so the pin is
+gone: both architectures are asserted, the parallel hybrid at >= 3x
+and the integrated hybrid at >= 2x -- plus a direct >= 2x bar on
+integrated ``infer_batch`` against its serial loop at batch 64.
+
+Writes one standard timing JSON per architecture, plus the integrated
+batch artifact (shared schema: ``benchmarks/timing_schema.py``) for
+CI upload next to the reliable-conv and qualifier artifacts.
 """
 
 from __future__ import annotations
@@ -34,27 +44,56 @@ from repro.api import (
 )
 from repro.data import render_sign
 from repro.models.smallcnn import small_cnn
-from tests.support.fuzz import assert_verdicts_bitwise_equal
+from tests.support.fuzz import (
+    assert_reports_equal,
+    assert_verdicts_bitwise_equal,
+)
 
 CONCURRENCY = 64
 CLIENT_THREADS = 8
 TOTAL_REQUESTS = 256  # sustained load: 4 full windows of 64
 ROUNDS = 3
-MIN_SPEEDUP = 3.0
 IMAGE_SIZE = 32
+BATCH = 64
+
+#: Per-architecture serving floors.  The parallel hybrid qualifies the
+#: input image (cheap CNN, one qualifier pass); the integrated hybrid
+#: additionally runs its dependable partition per request, which
+#: amortises less, hence the lower -- but now comfortably held -- bar.
+MIN_SPEEDUP = {"parallel": 3.0, "integrated": 2.0}
+
+#: Direct floor on integrated ``infer_batch`` vs its per-image loop.
+MIN_BATCH_SPEEDUP = 2.0
+
+#: One timing artifact per architecture (literal names: the contracts
+#: suite greps bench sources for every CI-uploaded artifact).
+ARTIFACTS = {
+    "parallel": "serving_throughput_timing.json",
+    "integrated": "integrated_serving_throughput_timing.json",
+}
 
 
-@pytest.fixture(scope="module")
-def pipeline():
+def build_serving_pipeline(architecture: str):
     model = small_cnn(n_classes=8, input_size=IMAGE_SIZE)
     return build_pipeline(
         PipelineConfig(
-            architecture="parallel",
+            architecture=architecture,
             qualifier=QualifierConfig(redundant=True),
-            name="serving-bench",
+            pin_sobel=architecture == "integrated",
+            name=f"serving-bench-{architecture}",
         ),
         model,
     )
+
+
+@pytest.fixture(scope="module", params=["parallel", "integrated"])
+def arch(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def pipeline(arch):
+    return build_serving_pipeline(arch)
 
 
 @pytest.fixture(scope="module")
@@ -108,7 +147,23 @@ def _serve_round(server, images) -> tuple[list, float]:
     return results, elapsed
 
 
-def test_serving_throughput_and_parity(pipeline, images):
+def _assert_request_parity(got, want, context: str) -> None:
+    assert got.probabilities.tobytes() == (
+        want.probabilities.tobytes()
+    ), f"{context}: probabilities diverged from serial infer()"
+    assert got.predicted_class == want.predicted_class, context
+    assert got.decision == want.decision, context
+    assert_verdicts_bitwise_equal(got.verdict, want.verdict, context)
+    assert (got.reliable_report is None) == (
+        want.reliable_report is None
+    ), context
+    if got.reliable_report is not None:
+        assert_reports_equal(
+            got.reliable_report, want.reliable_report, context
+        )
+
+
+def test_serving_throughput_and_parity(arch, pipeline, images):
     # The honest baseline: the same pipeline serving the same images
     # one request at a time, exactly as a non-batching front-end would.
     serial = [pipeline.infer(image) for image in images]
@@ -135,24 +190,20 @@ def test_serving_throughput_and_parity(pipeline, images):
         stats = server.stats()
 
     # Parity first: the speedup claim is only meaningful if every
-    # concurrent result is the serial result, bit for bit.
+    # concurrent result is the serial result, bit for bit -- per-image
+    # execution reports included.
     for i, got in enumerate(results):
-        want = serial[i % len(images)]
-        assert got.probabilities.tobytes() == (
-            want.probabilities.tobytes()
-        ), f"request {i}: probabilities diverged from serial infer()"
-        assert got.predicted_class == want.predicted_class, i
-        assert got.decision == want.decision, i
-        assert_verdicts_bitwise_equal(
-            got.verdict, want.verdict, f"request {i}"
+        _assert_request_parity(
+            got, serial[i % len(images)], f"{arch} request {i}"
         )
 
     serial_rps = TOTAL_REQUESTS / serial_seconds
     served_rps = TOTAL_REQUESTS / served_seconds
     speedup = served_rps / serial_rps
+    min_speedup = MIN_SPEEDUP[arch]
     print(
-        f"\n{TOTAL_REQUESTS} requests, {CONCURRENCY} in-flight @ "
-        f"{IMAGE_SIZE}px: serial {serial_seconds * 1e3:.0f}ms "
+        f"\n[{arch}] {TOTAL_REQUESTS} requests, {CONCURRENCY} in-flight "
+        f"@ {IMAGE_SIZE}px: serial {serial_seconds * 1e3:.0f}ms "
         f"({serial_rps:.0f} rps), served {served_seconds * 1e3:.0f}ms "
         f"({served_rps:.0f} rps), {speedup:.2f}x, mean batch "
         f"{stats.mean_batch_size:.1f}, p50 {stats.p50_latency_ms:.1f}ms "
@@ -163,13 +214,17 @@ def test_serving_throughput_and_parity(pipeline, images):
         f"(mean batch {stats.mean_batch_size:.1f}); the speedup would "
         "not be attributable to batching"
     )
-    assert speedup >= MIN_SPEEDUP, (
-        f"serving only {speedup:.2f}x over the serial infer loop "
-        f"({served_seconds:.3f}s vs {serial_seconds:.3f}s)"
+    assert speedup >= min_speedup, (
+        f"{arch} serving only {speedup:.2f}x over the serial infer "
+        f"loop ({served_seconds:.3f}s vs {serial_seconds:.3f}s)"
     )
 
-    write_timing_artifact("serving_throughput_timing.json", {
-        "bench": "serving_throughput",
+    write_timing_artifact(ARTIFACTS[arch], {
+        "bench": (
+            "serving_throughput" if arch == "parallel"
+            else "integrated_serving_throughput"
+        ),
+        "architecture": arch,
         "batch": CONCURRENCY,
         "image_size": IMAGE_SIZE,
         "client_threads": CLIENT_THREADS,
@@ -182,14 +237,68 @@ def test_serving_throughput_and_parity(pipeline, images):
         "mean_batch_size": stats.mean_batch_size,
         "p50_latency_ms": stats.p50_latency_ms,
         "p99_latency_ms": stats.p99_latency_ms,
-        "min_speedup_vs_serial_asserted": MIN_SPEEDUP,
+        "min_speedup_vs_serial_asserted": min_speedup,
+    })
+
+
+def test_integrated_infer_batch_beats_serial_loop():
+    """The tentpole bar, measured directly: integrated ``infer_batch``
+    at batch 64 (32px) is >= 2x its own per-image ``infer`` loop,
+    bitwise identical result for result."""
+    pipeline = build_serving_pipeline("integrated")
+    batch_images = np.stack([
+        render_sign(
+            i % 8, size=IMAGE_SIZE, rotation=np.deg2rad(5 * i - 45)
+        )
+        for i in range(BATCH)
+    ]).astype(np.float32)
+
+    # Warm-up both paths: imports, caches, allocators.
+    pipeline.infer_batch(batch_images[:4])
+    pipeline.infer(batch_images[0])
+
+    serial_seconds = math.inf
+    batch_seconds = math.inf
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        singles = [pipeline.infer(image) for image in batch_images]
+        serial_seconds = min(
+            serial_seconds, time.perf_counter() - start
+        )
+        start = time.perf_counter()
+        batch = pipeline.infer_batch(batch_images)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    for i, (got, want) in enumerate(zip(batch, singles)):
+        _assert_request_parity(got, want, f"batch image {i}")
+
+    speedup = serial_seconds / batch_seconds
+    print(
+        f"\n[integrated] infer_batch({BATCH}) @ {IMAGE_SIZE}px: "
+        f"serial loop {serial_seconds * 1e3:.0f}ms, batch "
+        f"{batch_seconds * 1e3:.0f}ms, {speedup:.2f}x"
+    )
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"integrated infer_batch only {speedup:.2f}x its per-image "
+        f"loop ({batch_seconds:.3f}s vs {serial_seconds:.3f}s)"
+    )
+
+    write_timing_artifact("integrated_infer_batch_timing.json", {
+        "bench": "integrated_infer_batch",
+        "architecture": "integrated",
+        "batch": BATCH,
+        "image_size": IMAGE_SIZE,
+        "serial_seconds": serial_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup_vs_serial": speedup,
+        "min_speedup_vs_serial_asserted": MIN_BATCH_SPEEDUP,
     })
 
 
 def test_backpressure_under_sustained_overload(pipeline, images):
-    """Overload sanity: a reject-policy server under 4x queue-capacity
-    burst traffic stays live, serves what it accepted, and accounts
-    for every rejection."""
+    """Overload sanity (both architectures): a reject-policy server
+    under 4x queue-capacity burst traffic stays live, serves what it
+    accepted, and accounts for every rejection."""
     config = ServingConfig(
         max_batch=16,
         max_wait_ms=0.5,

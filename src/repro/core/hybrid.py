@@ -368,11 +368,14 @@ class IntegratedHybridCNN:
         per-image loop.  Probabilities and decisions are bitwise
         identical to n :meth:`infer` calls; the reliable executor
         allocates its leaky bucket per image, so even abort points
-        match single-image inference.  The one shared artefact is the
-        :class:`~repro.reliable.executor.ExecutionReport`: every
-        result of the batch carries the same aggregate report, and
-        per-image failure attribution comes from
-        ``report.failed_outputs``.
+        match single-image inference.  Each result's
+        ``reliable_report`` is that image's slice of the batched
+        :class:`~repro.reliable.executor.ExecutionReport`
+        (``report.per_image``), equivalent counter-for-counter to the
+        report the same image would get from :meth:`infer` --
+        ``elapsed_seconds`` aside, which repeats the batch wall time.
+        A custom engine that does not populate ``per_image`` degrades
+        to attaching the aggregate report to every result.
         """
         return self._infer_stack(np.asarray(images, dtype=np.float32))
 
@@ -411,6 +414,15 @@ class IntegratedHybridCNN:
                 alive, _qualify_feature_map_batch(self.qualifier, stacked)
             ):
                 verdicts[i] = verdict
+        # Per-image report attribution: each result carries its own
+        # slice of the batched execution, so batch and serial paths
+        # report equivalently.  Engines that leave per_image empty
+        # (custom registrations) fall back to the aggregate.
+        per_image = (
+            report.per_image
+            if len(report.per_image) == len(features)
+            else None
+        )
         results = []
         for i in range(len(features)):
             predicted, decision = self.result_block.combine(
@@ -418,6 +430,8 @@ class IntegratedHybridCNN:
             )
             results.append(HybridResult(
                 probabilities[i], predicted, verdicts[i], decision,
-                reliable_report=report,
+                reliable_report=(
+                    per_image[i] if per_image is not None else report
+                ),
             ))
         return results

@@ -108,14 +108,18 @@ class ArrayFaultyExecutionUnit(ArrayExecutionUnit):
     def deterministic(self) -> bool:  # type: ignore[override]
         return self.base.deterministic and self.fault.deterministic
 
-    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        result = self.base.multiply(a, b)
+    def multiply(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        result = self.base.multiply(a, b, out=out)
         if self.targets in ("both", "multiply"):
             result = self.fault.apply_array(result)
         return result
 
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        result = self.base.add(a, b)
+    def add(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        result = self.base.add(a, b, out=out)
         if self.targets in ("both", "add"):
             result = self.fault.apply_array(result)
         return result

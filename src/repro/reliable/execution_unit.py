@@ -74,14 +74,26 @@ class ArrayExecutionUnit:
     Algorithm 3 path.  Fault-injecting units set it False (or derive
     it from their fault model) and the ``"auto"`` engine policy then
     keeps the scalar path.
+
+    ``out`` is an optional float64 scratch buffer the caller permits
+    the unit to write the result into (it may alias ``a``).  A unit is
+    free to ignore it -- callers must always consume the *returned*
+    array, never assume ``out`` was filled.  Elementwise IEEE-754
+    arithmetic is value-identical regardless of output placement, so
+    honouring ``out`` never changes a single stored word; it only
+    spares the allocation that otherwise dominates large-batch passes.
     """
 
     deterministic: bool = False
 
-    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def multiply(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def add(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         raise NotImplementedError
 
 
@@ -91,11 +103,15 @@ class Float64ArrayUnit(ArrayExecutionUnit):
 
     deterministic = True
 
-    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.multiply(a, b)
+    def multiply(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        return np.multiply(a, b, out=out)
 
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.add(a, b)
+    def add(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        return np.add(a, b, out=out)
 
 
 class Float32ArrayUnit(ArrayExecutionUnit):
@@ -105,16 +121,24 @@ class Float32ArrayUnit(ArrayExecutionUnit):
     the result widens back to binary64 -- the same
     round/compute/widen chain as the scalar unit, so every element
     matches ``float(np.float32(a) <op> np.float32(b))`` bit for bit.
+    The ``out`` scratch hint is ignored (the intermediate lives in
+    binary32, so there is no float64 temporary to save).
     """
 
     deterministic = True
 
-    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def multiply(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        del out
         return (
             np.asarray(a, dtype=np.float32) * np.asarray(b, dtype=np.float32)
         ).astype(np.float64)
 
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def add(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        del out
         return (
             np.asarray(a, dtype=np.float32) + np.asarray(b, dtype=np.float32)
         ).astype(np.float64)

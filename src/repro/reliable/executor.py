@@ -42,7 +42,18 @@ from repro.reliable.voting import majority_vote
 
 @dataclass
 class ExecutionReport:
-    """What happened while executing a layer reliably."""
+    """What happened while executing a layer reliably.
+
+    A batched execution is one report whose counters aggregate the
+    whole batch; ``per_image`` additionally attributes them, one
+    sub-report per input image in batch order.  Each sub-report's
+    counters cover exactly that image's share (its ``failed_outputs``
+    are rebased to image index 0, so it reads like a single-image
+    run), and its ``elapsed_seconds`` repeats the aggregate wall time
+    -- the batch ran as one timed pass, so per-image timing does not
+    exist.  Engines that predate the field may leave it empty; readers
+    fall back to the aggregate then.
+    """
 
     operations: int = 0
     errors_detected: int = 0
@@ -51,6 +62,7 @@ class ExecutionReport:
     elapsed_seconds: float = 0.0
     operator_kind: str = "plain"
     failed_outputs: list[tuple[int, ...]] = field(default_factory=list)
+    per_image: list["ExecutionReport"] = field(default_factory=list)
 
     @property
     def error_rate(self) -> float:
@@ -58,6 +70,44 @@ class ExecutionReport:
         if self.operations == 0:
             return 0.0
         return self.errors_detected / self.operations
+
+
+class _ImageSlice:
+    """Delta-snapshot one image's share of a batched execution.
+
+    Construct at the top of an engine's per-image loop, call
+    :meth:`snapshot` at the bottom: the difference of the running
+    counters is that image's :class:`ExecutionReport`, with its
+    ``failed_outputs`` rebased to image index 0 so the sub-report is
+    indistinguishable from the report of a single-image run.
+    """
+
+    def __init__(
+        self, report: ExecutionReport, stats: ConvolutionStats
+    ) -> None:
+        self._report = report
+        self._stats = stats
+        self._operations = stats.operations
+        self._errors = stats.errors_detected
+        self._rollbacks = stats.rollbacks
+        self._failures = report.persistent_failures
+        self._failed = len(report.failed_outputs)
+
+    def snapshot(self) -> ExecutionReport:
+        report, stats = self._report, self._stats
+        return ExecutionReport(
+            operations=stats.operations - self._operations,
+            errors_detected=stats.errors_detected - self._errors,
+            rollbacks=stats.rollbacks - self._rollbacks,
+            persistent_failures=(
+                report.persistent_failures - self._failures
+            ),
+            operator_kind=report.operator_kind,
+            failed_outputs=[
+                (0,) + tuple(pos[1:])
+                for pos in report.failed_outputs[self._failed:]
+            ],
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +334,7 @@ class ReliableConv2D:
 
         stats = ConvolutionStats()
         for img in range(n):
+            image_slice = _ImageSlice(report, stats)
             # One bucket per image: the error budget is an attribute
             # of one inference, so a batched execution aborts exactly
             # when the same image would abort on its own -- the
@@ -316,6 +367,7 @@ class ReliableConv2D:
                             )
                             out[img, f, i, j] = np.nan
                             bucket.reset()
+            report.per_image.append(image_slice.snapshot())
         self._fill_report(report, stats, start)
         return out, report
 
@@ -330,6 +382,10 @@ class ReliableConv2D:
         report.rollbacks = stats.rollbacks
         # repro: allow[AMBIENT-TIME] -- report metadata only.
         report.elapsed_seconds = time.perf_counter() - start
+        # Per-image timing does not exist for a batched pass; each
+        # attribution sub-report repeats the aggregate wall time.
+        for sub in report.per_image:
+            sub.elapsed_seconds = report.elapsed_seconds
 
 
 def _scalar_engine(

@@ -14,6 +14,10 @@ check fires):
    :class:`~repro.reliable.execution_unit.ArrayExecutionUnit` (DMR =
    2 passes, TMR = 3).  Accumulation is tap-sequential, so every
    output element's float chain is exactly the scalar path's chain.
+   A *deterministic* unit provably repeats the same words on every
+   pass, so one pass stands in for all of them
+   (:func:`_speculative_passes`) -- that is what makes the exact mode
+   faster than native redundancy, not just equal to it.
 2. **Verify.** Compare the passes element-wise on 64-bit storage
    words (``float64.view(int64)``): DMR word-compare, TMR word-vote
    with the scalar voter's earliest-first tie-break.  Identical NaN
@@ -68,6 +72,7 @@ from repro.reliable.execution_unit import ArrayExecutionUnit, as_array_unit
 from repro.reliable.executor import (
     ExecutionReport,
     ReliableConv2D,
+    _ImageSlice,
     register_engine,
 )
 from repro.reliable.leaky_bucket import LeakyBucket
@@ -105,32 +110,78 @@ def speculation_is_exact(operator: Operator) -> bool:
     return unit is not None and unit.deterministic
 
 
+def _tap_major(patches: np.ndarray) -> np.ndarray:
+    """``(n, oh, ow, L)`` patches as contiguous float64
+    ``(L, n, oh, ow)``.
+
+    The per-tap slice the speculative pass broadcasts is then a
+    contiguous view instead of a strided gather, which is where a
+    large-batch pass spends most of its time.  Pure layout change:
+    every element holds the same word, so the accumulation chain is
+    untouched.
+    """
+    return patches.transpose(3, 0, 1, 2).astype(np.float64)
+
+
 def _speculative_pass(
-    patches: np.ndarray,
+    patches_t: np.ndarray,
     weights: np.ndarray,
     bias: np.ndarray,
     unit: ArrayExecutionUnit,
 ) -> np.ndarray:
     """One full redundant execution of the reliable partition.
 
-    ``patches`` is ``(n, oh, ow, L)`` float64, ``weights`` ``(F, L)``,
-    ``bias`` ``(F,)``.  Accumulates tap-by-tap -- the vectorisation is
-    across output elements, never across the reduction, so each
-    element's operation chain (L multiplies, L accumulates, one bias
-    add, in order) reproduces the scalar engine's float sequence
-    exactly.  Returns ``(n, F, oh, ow)`` float64.
+    ``patches_t`` is tap-major ``(L, n, oh, ow)`` float64 (see
+    :func:`_tap_major`), ``weights`` ``(F, L)``, ``bias`` ``(F,)``.
+    Accumulates tap-by-tap -- the vectorisation is across output
+    elements, never across the reduction, so each element's operation
+    chain (L multiplies, L accumulates, one bias add, in order)
+    reproduces the scalar engine's float sequence exactly.  The
+    accumulator and product scratch are allocated once and offered to
+    the unit via the ``out`` hint (value-identical either way; see
+    :class:`~repro.reliable.execution_unit.ArrayExecutionUnit`).
+    Returns ``(n, F, oh, ow)`` float64.
     """
-    n, oh, ow, taps = patches.shape
+    taps, n, oh, ow = patches_t.shape
     n_filters = weights.shape[0]
     acc = np.zeros((n, n_filters, oh, ow), dtype=np.float64)
+    scratch = np.empty_like(acc)
     with np.errstate(
         over="ignore", invalid="ignore", divide="ignore", under="ignore"
     ):
         for t in range(taps):
-            xt = patches[:, :, :, t][:, None]         # (n, 1, oh, ow)
+            xt = patches_t[t][:, None]                # (n, 1, oh, ow)
             wt = weights[:, t][None, :, None, None]   # (1, F, 1, 1)
-            acc = unit.add(acc, unit.multiply(xt, wt))
-        return unit.add(acc, bias[None, :, None, None])
+            acc = unit.add(
+                acc, unit.multiply(xt, wt, out=scratch), out=acc
+            )
+        return unit.add(acc, bias[None, :, None, None], out=acc)
+
+
+def _speculative_passes(
+    patches_t: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    unit: ArrayExecutionUnit,
+    operator: Operator,
+) -> list[np.ndarray]:
+    """The redundant executions the verify step compares.
+
+    A deterministic unit provably returns identical words on every
+    execution of the same operation, so its ``executions_per_op``
+    passes would be bit-for-bit copies and the verify step could never
+    fire -- one pass suffices and the others are skipped.  (The
+    fast-path report derives its counters from the element count, not
+    the pass count, so skipping the copies changes no counter
+    either.)  Non-deterministic units -- stochastic fault
+    injection under ``engine="vectorized"`` -- keep their real
+    per-pass executions, one independent fault stream each.
+    """
+    n_passes = 1 if unit.deterministic else operator.executions_per_op
+    return [
+        _speculative_pass(patches_t, weights, bias, unit)
+        for _ in range(n_passes)
+    ]
 
 
 def _verify(passes: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -187,13 +238,12 @@ def speculative_forward(
         executor._fill_report(report, stats, start)
         return out, report
 
-    patches64 = patches.astype(np.float64)
+    patches_t = _tap_major(patches)
     weights64 = wmat[sorted_filters].astype(np.float64)
     bias64 = bias[sorted_filters].astype(np.float64)
-    passes = [
-        _speculative_pass(patches64, weights64, bias64, unit)
-        for _ in range(operator.executions_per_op)
-    ]
+    passes = _speculative_passes(
+        patches_t, weights64, bias64, unit, operator
+    )
     value, disagree = _verify(passes)
     # Store through the same float64 -> float32 cast as the scalar
     # per-element assignment; sNaN carriers signal "invalid" on the
@@ -208,6 +258,13 @@ def speculative_forward(
         # the scalar engine would have counted one operation per
         # multiply/accumulate/bias and never touched a bucket level.
         stats.operations = n * per_image_elements * ops_per_element
+        report.per_image = [
+            ExecutionReport(
+                operations=per_image_elements * ops_per_element,
+                operator_kind=report.operator_kind,
+            )
+            for _ in range(n)
+        ]
         executor._fill_report(report, stats, start)
         return out, report
 
@@ -218,6 +275,7 @@ def speculative_forward(
     # error (its speculative attempt) and one rollback, then
     # re-executes through scalar Algorithm 3 with the same bucket.
     for img in range(n):
+        image_slice = _ImageSlice(report, stats)
         bucket = LeakyBucket(
             factor=executor.bucket_factor, ceiling=executor.bucket_ceiling
         )
@@ -266,6 +324,7 @@ def speculative_forward(
         if tail:
             stats.operations += tail * ops_per_element
             bucket.record_successes(tail * ops_per_element)
+        report.per_image.append(image_slice.snapshot())
     executor._fill_report(report, stats, start)
     return out, report
 
@@ -325,13 +384,10 @@ def vectorized_reliable_convolution(
         )
     bucket = bucket if bucket is not None else LeakyBucket()
     stats = stats if stats is not None else ConvolutionStats()
-    patches = patch.reshape(1, 1, 1, -1)
+    patches_t = _tap_major(patch.reshape(1, 1, 1, -1))
     wrow = weights.reshape(1, -1)
     brow = np.asarray([bias], dtype=np.float64)
-    passes = [
-        _speculative_pass(patches, wrow, brow, unit)
-        for _ in range(operator.executions_per_op)
-    ]
+    passes = _speculative_passes(patches_t, wrow, brow, unit, operator)
     value, disagree = _verify(passes)
     ops = 2 * patch.size + 1
     if not disagree[0, 0, 0, 0]:

@@ -105,14 +105,20 @@ def test_every_bench_emitting_timing_json_uses_shared_writer():
 
 
 def test_benches_cover_the_uploaded_artifacts():
-    """The three CI-uploaded artifacts each have a producing bench
-    that routes through the shared writer."""
+    """Every CI-uploaded artifact has a producing bench that routes
+    through the shared writer (the serving bench emits one per
+    architecture now that the ``parallel`` pin is gone, plus the
+    integrated ``infer_batch`` bar)."""
     expected = {
         "reliable_vectorized_timing.json":
             "test_reliable_vectorized.py",
         "qualifier_throughput_timing.json":
             "test_qualifier_throughput.py",
         "serving_throughput_timing.json":
+            "test_serving_throughput.py",
+        "integrated_serving_throughput_timing.json":
+            "test_serving_throughput.py",
+        "integrated_infer_batch_timing.json":
             "test_serving_throughput.py",
     }
     for artifact, bench in expected.items():

@@ -368,6 +368,54 @@ class TestEnginePolicy:
         monkeypatch.setattr(qualifier_batch, "batched_check", exploding)
         qualifier.check_batch(sign_batch[:2])
 
+    def test_auto_dispatches_batched_for_feature_maps(
+        self, monkeypatch, feature_batch
+    ):
+        """The dispatch audit: ``engine="auto"`` must route feature
+        maps through the batched engine exactly as it routes images.
+        A silent per-map scalar degradation -- the integrated-hybrid
+        batch regression's prime suspect -- fails here."""
+        calls = {"batched": 0}
+        real = qualifier_batch.batched_check_feature_map
+
+        def spying(qualifier, maps):
+            calls["batched"] += 1
+            return real(qualifier, maps)
+
+        monkeypatch.setattr(
+            qualifier_batch, "batched_check_feature_map", spying
+        )
+        qualifier = ShapeQualifier()  # engine="auto"
+        got = qualifier.check_feature_map_batch(feature_batch)
+        assert calls["batched"] == 1
+        singles = [
+            qualifier.check_feature_map(fm) for fm in feature_batch
+        ]
+        assert_verdicts_bitwise_equal(got, singles)
+
+    def test_feature_map_dispatch_honours_scalar_pins(
+        self, monkeypatch, feature_batch
+    ):
+        """The same policy that degrades images to the scalar loop --
+        subclassed qualifier, or an explicit ``engine="scalar"`` --
+        degrades feature maps too (and only then)."""
+
+        def exploding(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("batched engine must not run")
+
+        monkeypatch.setattr(
+            qualifier_batch, "batched_check_feature_map", exploding
+        )
+
+        class TightQualifier(ShapeQualifier):
+            def _distance(self, word: str) -> float:
+                return 0.0
+
+        for qualifier in (
+            TightQualifier(), ShapeQualifier(engine="scalar")
+        ):
+            qualifier.check_feature_map_batch(feature_batch[:2])
+
     def test_config_engine_reaches_qualifier(self):
         pipeline = build_pipeline(
             PipelineConfig(

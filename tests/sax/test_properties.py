@@ -38,10 +38,28 @@ def test_paa_output_within_input_range(series, segments):
     assert out.max() <= series.max() + 1e-9
 
 
-@given(series_strategy, st.integers(1, 16))
+@st.composite
+def divisible_series(draw):
+    """A (series, segments) pair with ``len(series) % segments == 0``.
+
+    Constructed, not filtered: an ``assume`` on divisibility discards
+    ~15/16 of generated inputs and trips the FilterTooMuch health
+    check on unlucky seeds.
+    """
+    segments = draw(st.integers(1, 16))
+    blocks = draw(st.integers(1, 12))
+    series = draw(npst.arrays(
+        dtype=np.float64,
+        shape=st.just(segments * blocks),
+        elements=st.floats(-1e6, 1e6),
+    ))
+    return series, segments
+
+
+@given(divisible_series())
 @settings(max_examples=50, deadline=None)
-def test_paa_preserves_global_mean(series, segments):
-    assume(len(series) % segments == 0)
+def test_paa_preserves_global_mean(case):
+    series, segments = case
     out = paa(series, segments)
     np.testing.assert_allclose(out.mean(), series.mean(), atol=1e-6)
 

@@ -17,7 +17,10 @@ import pytest
 
 from repro.api import ServingConfig
 from tests.serving.conftest import make_pipeline
-from tests.support.fuzz import assert_verdicts_bitwise_equal
+from tests.support.fuzz import (
+    assert_reports_equal,
+    assert_verdicts_bitwise_equal,
+)
 
 
 def _serve_concurrently(pipeline, images, seed: int, n_threads: int = 6):
@@ -80,7 +83,10 @@ def test_concurrent_results_bitwise_equal_serial_infer(images, engine):
 
 def test_concurrent_results_bitwise_equal_integrated(images):
     """The integrated hybrid (in-network reliable partition) carries
-    the same contract through the server."""
+    the same contract through the server -- including each request's
+    per-image ``reliable_report``, which must be the report the same
+    image gets from a serial ``infer`` whatever micro-batch the
+    interleaving packed it into."""
     pipeline = make_pipeline(architecture="integrated")
     serial = [pipeline.infer(image) for image in images]
     served = _serve_concurrently(pipeline, images, seed=3)
@@ -90,6 +96,11 @@ def test_concurrent_results_bitwise_equal_integrated(images):
         ), i
         assert got.decision == want.decision, i
         assert_verdicts_bitwise_equal(got.verdict, want.verdict, str(i))
+        assert got.reliable_report is not None, i
+        assert_reports_equal(
+            got.reliable_report, want.reliable_report,
+            f"served vs serial reliable_report, image {i}",
+        )
 
 
 def test_qualifier_views_served_bitwise(images):
