@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Assert the project pass stays cheap enough for pre-commit use.
+
+Runs ``python -m repro.lint --project`` twice -- once to populate the
+summary cache, once cache-warm -- and fails if the warm run exceeds
+the wall-clock budget (default 10 s, ``--budget`` to override).  The
+analyzer is only useful while developers can afford to run it on every
+commit; this is the regression test for that property.
+
+Stdlib-only, like the linter itself: CI runs it with no installs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_budget.py [--budget 10.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_project_pass() -> tuple[float, int]:
+    """One ``--project`` run; (wall seconds, exit code)."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--project"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(
+            f"lint --project failed with exit {proc.returncode}"
+        )
+    return elapsed, proc.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=10.0,
+        help="cache-warm wall-clock budget in seconds (default: 10)",
+    )
+    args = parser.parse_args(argv)
+
+    cold, _ = run_project_pass()
+    warm, _ = run_project_pass()
+    print(
+        f"lint --project: cold {cold:.2f}s, cache-warm {warm:.2f}s "
+        f"(budget {args.budget:.1f}s)"
+    )
+    if warm > args.budget:
+        print(
+            f"BUDGET EXCEEDED: cache-warm project pass took {warm:.2f}s "
+            f"> {args.budget:.1f}s; the analyzer must stay cheap enough "
+            f"to run on every commit",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

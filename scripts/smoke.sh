@@ -13,8 +13,8 @@ TEST_TIMEOUT="${SMOKE_TEST_TIMEOUT:-600}"
 EXAMPLE_TIMEOUT="${SMOKE_EXAMPLE_TIMEOUT:-300}"
 LINT_TIMEOUT="${SMOKE_LINT_TIMEOUT:-120}"
 
-echo "== determinism lint (timeout ${LINT_TIMEOUT}s) =="
-timeout "${LINT_TIMEOUT}" python -m repro.lint src tests benchmarks
+echo "== determinism lint, project pass (timeout ${LINT_TIMEOUT}s) =="
+timeout "${LINT_TIMEOUT}" python -m repro.lint --project src tests benchmarks
 
 echo "== tier-1 tests (timeout ${TEST_TIMEOUT}s) =="
 timeout "${TEST_TIMEOUT}" python -m pytest -x -q -m "not slow"

@@ -164,5 +164,9 @@ def run_operator_campaign(
             "bucket_ceiling": bucket_ceiling,
         },
     )
+    # repro: allow[TAINT-FLOW] -- run_campaign's clock reads feed the
+    # report's wall-clock metadata only, never a verdict; campaign
+    # verdict invariance across workers/timing is pinned by
+    # tests/campaigns/test_determinism.py.
     report = run_campaign(spec, fault_factory=fault_factory)
     return report.to_campaign_result()

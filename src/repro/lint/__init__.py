@@ -33,10 +33,12 @@ findings live in the committed baseline (``lint-baseline.json``).
 from __future__ import annotations
 
 from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.callgraph import CallGraph
 from repro.lint.config import DEFAULT_CONFIG_FILE, LintConfig, load_config
 from repro.lint.engine import LintResult, iter_python_files, lint_file, run_lint
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import RULES, Rule, register
+from repro.lint.project import ProjectModel, build_project
+from repro.lint.registry import RULES, ProjectRule, Rule, register
 from repro.lint.reporters import REPORT_VERSION, render_human, render_json
 
 # Importing the rules package populates the registry.
@@ -45,14 +47,18 @@ from repro.lint import rules as _rules  # noqa: F401  (side-effect import)
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "DEFAULT_CONFIG_FILE",
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectModel",
+    "ProjectRule",
     "REPORT_VERSION",
     "RULES",
     "Rule",
     "Severity",
+    "build_project",
     "iter_python_files",
     "lint_file",
     "load_config",

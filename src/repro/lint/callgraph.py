@@ -1,0 +1,344 @@
+"""Best-effort intra-repo call graph over project summaries.
+
+Resolution covers the call shapes this repo actually uses:
+
+* plain and dotted names through each file's import map, including one
+  level of package re-export (``from repro.api import build_pipeline``
+  resolves into ``repro.api.pipeline``);
+* ``self.method()`` within a class, walking project-resolvable bases;
+* ``self.<attr>.method()`` through inferred instance attribute types
+  (``self._recorder = StatsRecorder(...)`` in ``__init__``);
+* ``Cls(...)`` instantiation (an edge to ``Cls.__init__``);
+* ``repro.api`` registry indirection: ``REGISTRY.get(...)`` call sites
+  gain an edge to *every* builder registered into that registry
+  (decorator or call form), because any of them may run there.
+
+Anything else (duck-typed parameters, closures passed around) stays
+unresolved -- the analysis is deliberately a sound-ish approximation
+biased toward the repo's idioms, not a type checker.  Unresolved calls
+simply contribute no edges, which for the taint/lock rules means "no
+finding" rather than a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.project import MODULE_BODY, ProjectModel
+
+_MAX_REEXPORT_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call: ``caller`` invokes ``callee`` at
+    ``path:line`` while lexically holding ``held`` locks (normalized,
+    class-qualified ids)."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    held: tuple[str, ...] = ()
+
+
+@dataclass
+class CallGraph:
+    model: ProjectModel
+    #: caller qualname -> outgoing edges, deterministic order
+    edges: dict[str, list[Edge]] = field(default_factory=dict)
+    #: callee qualname -> caller qualnames
+    reverse: dict[str, set[str]] = field(default_factory=dict)
+
+    # symbol tables -------------------------------------------------------
+    _module_paths: dict[str, str] = field(default_factory=dict)
+    _functions: dict[str, dict] = field(default_factory=dict)
+    _function_paths: dict[str, str] = field(default_factory=dict)
+    _classes: dict[str, dict] = field(default_factory=dict)
+    _registrations: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._index()
+        self._resolve_registrations()
+        self._build_edges()
+
+    # -- indexing --------------------------------------------------------
+    def _index(self) -> None:
+        for rel_path in sorted(self.model.summaries):
+            summary = self.model.summaries[rel_path]
+            self._module_paths[summary["module"]] = rel_path
+            for function in summary["functions"]:
+                self._functions[function["qualname"]] = function
+                self._function_paths[function["qualname"]] = rel_path
+            for cls in summary["classes"]:
+                qualname = f"{summary['module']}.{cls['name']}"
+                self._classes[qualname] = cls
+
+    def function(self, qualname: str) -> dict | None:
+        return self._functions.get(qualname)
+
+    def path_of(self, qualname: str) -> str | None:
+        return self._function_paths.get(qualname)
+
+    def class_info(self, qualname: str) -> dict | None:
+        return self._classes.get(qualname)
+
+    def registered_builders(self, registry: str) -> list[str]:
+        return self._registrations.get(registry, [])
+
+    # -- dotted-name resolution ------------------------------------------
+    def resolve(self, dotted: str, _depth: int = 0) -> str | None:
+        """Resolve a dotted reference to a project function qualname
+        (classes resolve to their ``__init__`` when defined).  None
+        when the name leaves the repo or cannot be pinned down."""
+        if _depth > _MAX_REEXPORT_DEPTH:
+            return None
+        if dotted in self._functions:
+            return dotted
+        if dotted in self._classes:
+            init = f"{dotted}.__init__"
+            return init if init in self._functions else None
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            rel_path = self._module_paths.get(module)
+            if rel_path is None:
+                continue
+            remainder = parts[cut:]
+            candidate = f"{module}.{'.'.join(remainder)}"
+            if candidate in self._functions:
+                return candidate
+            head_cls = f"{module}.{remainder[0]}"
+            if head_cls in self._classes:
+                if len(remainder) == 1:
+                    init = f"{head_cls}.__init__"
+                    return init if init in self._functions else None
+                return self._method_on(head_cls, remainder[1])
+            # Package re-export: follow the module's own import of the
+            # head symbol (repro.api.__init__ re-exports the world).
+            imports = self.model.summaries[rel_path]["imports"]
+            if remainder[0] in imports:
+                target = ".".join(
+                    [imports[remainder[0]], *remainder[1:]]
+                )
+                return self.resolve(target, _depth + 1)
+            return None
+        return None
+
+    def _method_on(self, cls_qualname: str, method: str, _depth: int = 0) -> str | None:
+        """Method lookup walking project-resolvable bases."""
+        if _depth > 4:
+            return None
+        candidate = f"{cls_qualname}.{method}"
+        if candidate in self._functions:
+            return candidate
+        cls = self._classes.get(cls_qualname)
+        if cls is None:
+            return None
+        for base in cls["bases"]:
+            base_cls = self._resolve_class(base)
+            if base_cls is None and "." not in base:
+                # Bare base defined in the class's own module.
+                base_cls = self._resolve_class(
+                    f"{cls_qualname.rpartition('.')[0]}.{base}"
+                )
+            if base_cls is not None:
+                found = self._method_on(base_cls, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_class(self, dotted: str, _depth: int = 0) -> str | None:
+        if _depth > _MAX_REEXPORT_DEPTH:
+            return None
+        if dotted in self._classes:
+            return dotted
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            rel_path = self._module_paths.get(module)
+            if rel_path is None:
+                continue
+            remainder = parts[cut:]
+            candidate = f"{module}.{'.'.join(remainder)}"
+            if candidate in self._classes:
+                return candidate
+            imports = self.model.summaries[rel_path]["imports"]
+            if remainder[0] in imports:
+                target = ".".join([imports[remainder[0]], *remainder[1:]])
+                return self._resolve_class(target, _depth + 1)
+            return None
+        return None
+
+    # -- registrations ----------------------------------------------------
+    def _resolve_registrations(self) -> None:
+        grouped: dict[str, set[str]] = {}
+        for rel_path in sorted(self.model.summaries):
+            summary = self.model.summaries[rel_path]
+            for reg in summary["registrations"]:
+                target = reg["target"]
+                resolved = (
+                    target
+                    if target in self._functions
+                    else self.resolve(target)
+                )
+                if resolved is None and "." not in target:
+                    resolved = self.resolve(
+                        f"{summary['module']}.{target}"
+                    )
+                if resolved is not None:
+                    grouped.setdefault(reg["registry"], set()).add(resolved)
+        self._registrations = {
+            registry: sorted(targets)
+            for registry, targets in grouped.items()
+        }
+
+    # -- edges -----------------------------------------------------------
+    def _qualify_held(
+        self, held: list[str], module: str, cls: str | None
+    ) -> tuple[str, ...]:
+        """Normalize lexical lock ids: ``self.X`` becomes
+        ``module.Class.X`` so the same lock matches across methods and
+        call sites; module-level ids pass through."""
+        out = []
+        for lock in held:
+            if lock.startswith("self."):
+                if cls is None:
+                    continue
+                out.append(f"{module}.{cls}.{lock[len('self.'):]}")
+            else:
+                out.append(lock)
+        return tuple(out)
+
+    def _build_edges(self) -> None:
+        for rel_path, summary, function in self.model.iter_functions():
+            module = summary["module"]
+            cls = function["cls"]
+            caller = function["qualname"]
+            out: list[Edge] = []
+            for call in function["calls"]:
+                held = self._qualify_held(call["held"], module, cls)
+                callees: list[str] = []
+                kind = call["kind"]
+                if kind == "dotted":
+                    resolved = self.resolve(call["target"])
+                    if resolved is None and "." not in call["target"]:
+                        # Bare name, same module: ``stamp()`` inside
+                        # util/helpers.py means util.helpers.stamp.
+                        resolved = self.resolve(
+                            f"{module}.{call['target']}"
+                        )
+                    if resolved is not None:
+                        callees.append(resolved)
+                elif kind == "self" and cls is not None:
+                    resolved = self._method_on(
+                        f"{module}.{cls}", call["method"]
+                    )
+                    if resolved is not None:
+                        callees.append(resolved)
+                elif kind == "selfattr" and cls is not None:
+                    cls_info = self._classes.get(f"{module}.{cls}")
+                    if cls_info is not None:
+                        attr_type = cls_info["attr_types"].get(call["attr"])
+                        if attr_type is not None:
+                            attr_cls = self._resolve_class(attr_type)
+                            if attr_cls is None and "." not in attr_type:
+                                attr_cls = self._resolve_class(
+                                    f"{module}.{attr_type}"
+                                )
+                            if attr_cls is not None:
+                                resolved = self._method_on(
+                                    attr_cls, call["method"]
+                                )
+                                if resolved is not None:
+                                    callees.append(resolved)
+                elif kind == "registry":
+                    callees.extend(
+                        self.registered_builders(call["registry"])
+                    )
+                for callee in callees:
+                    edge = Edge(
+                        caller=caller,
+                        callee=callee,
+                        path=rel_path,
+                        line=call["line"],
+                        held=held,
+                    )
+                    out.append(edge)
+                    self.reverse.setdefault(callee, set()).add(caller)
+            if out:
+                self.edges[caller] = out
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.edges.values())
+
+    # -- file-level impact analysis --------------------------------------
+    def caller_files(self, rel_paths: set[str]) -> set[str]:
+        """Transitive reverse-dependency closure at file granularity:
+        every file containing a function that (directly or through
+        other files) calls into a function defined in ``rel_paths``.
+        Module-body pseudo-functions count -- an import-time call is
+        still a dependency."""
+        file_callers: dict[str, set[str]] = {}
+        for edges in self.edges.values():
+            for edge in edges:
+                callee_path = self._function_paths.get(edge.callee)
+                if callee_path is not None and callee_path != edge.path:
+                    file_callers.setdefault(callee_path, set()).add(edge.path)
+        impacted: set[str] = set()
+        frontier = set(rel_paths)
+        while frontier:
+            current = frontier.pop()
+            for caller in file_callers.get(current, ()):
+                if caller not in impacted and caller not in rel_paths:
+                    impacted.add(caller)
+                    frontier.add(caller)
+        return impacted
+
+    # -- taint propagation (used by TAINT-FLOW) ---------------------------
+    def propagate_taint(self) -> dict[str, dict]:
+        """Fixpoint of "calls something that reads ambient state".
+
+        Returns ``qualname -> witness`` where a witness is either the
+        function's own first source (``{"source": {...}}``) or the
+        first tainted callee it reaches (``{"via": Edge}``), forming a
+        chain down to a concrete source.  Module bodies are excluded
+        as seeds (import-time code is not a verdict path) but do relay
+        taint."""
+        tainted: dict[str, dict] = {}
+        worklist: list[str] = []
+        for _, _, function in self.model.iter_functions():
+            if function["sources"] and not function["name"] == MODULE_BODY:
+                tainted[function["qualname"]] = {
+                    "source": function["sources"][0]
+                }
+                worklist.append(function["qualname"])
+        while worklist:
+            current = worklist.pop()
+            for caller in sorted(self.reverse.get(current, ())):
+                if caller in tainted:
+                    continue
+                via = next(
+                    edge
+                    for edge in self.edges[caller]
+                    if edge.callee == current
+                )
+                tainted[caller] = {"via": via}
+                worklist.append(caller)
+        return tainted
+
+    def taint_chain(self, qualname: str, tainted: dict[str, dict]) -> tuple[list[str], dict | None]:
+        """The witness chain from ``qualname`` down to its source:
+        (function qualnames, source dict)."""
+        chain = [qualname]
+        seen = {qualname}
+        witness = tainted.get(qualname)
+        while witness is not None and "via" in witness:
+            nxt = witness["via"].callee
+            if nxt in seen:
+                return chain, None
+            chain.append(nxt)
+            seen.add(nxt)
+            witness = tainted.get(nxt)
+        return chain, (witness or {}).get("source")

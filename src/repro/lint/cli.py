@@ -70,11 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "also run the whole-program pass: call-graph taint flow, "
+            "inter-procedural lock discipline, parity obligations"
+        ),
+    )
+    parser.add_argument(
         "--changed",
         action="store_true",
         help=(
-            "lint only git-modified/untracked .py files (fast local "
-            "loop; baseline still applies)"
+            "lint git-modified/untracked .py files plus their "
+            "reverse-call-graph callers (fast local loop; baseline "
+            "still applies)"
         ),
     )
     parser.add_argument(
@@ -102,6 +111,29 @@ def _git_changed_files(root: Path) -> list[Path]:
         for name in files
         if name.endswith(".py") and (root / name).exists()
     )
+
+
+def _with_callers(paths: list[Path], config: LintConfig) -> list[Path]:
+    """Impact analysis for ``--changed``: expand the changed set with
+    every file whose call graph reaches into it -- an edit to a helper
+    re-lints the paths that depend on it, not just the helper."""
+    from repro.lint.callgraph import CallGraph
+    from repro.lint.engine import _rel_path, iter_python_files
+    from repro.lint.project import build_project
+
+    all_files = iter_python_files(
+        [config.root / root for root in config.roots], config
+    )
+    model = build_project(all_files, config)
+    graph = CallGraph(model)
+    changed_rel = {_rel_path(p, config.root) for p in paths}
+    impacted = graph.caller_files(changed_rel)
+    extra = [
+        path
+        for path in all_files
+        if _rel_path(path, config.root) in impacted
+    ]
+    return sorted({*paths, *extra})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -139,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         if not paths:
             print("0 findings in 0 file(s) [--changed: nothing modified]")
             return 0
+        paths = _with_callers(paths, config)
     else:
         paths = [Path(p) for p in args.paths] or [
             root / r for r in config.roots
@@ -156,7 +189,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro.lint: bad baseline: {error}", file=sys.stderr)
             return 2
 
-    result = run_lint(paths, config, baseline)
+    result = run_lint(paths, config, baseline, project=args.project)
 
     if args.update_baseline:
         notes = {e.fingerprint: e.note for e in baseline.entries if e.note}

@@ -13,7 +13,7 @@ from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.config import LintConfig
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import RULES
+from repro.lint.registry import RULES, ProjectRule
 
 #: Pseudo-rule id for files the parser rejects: a file that cannot be
 #: parsed cannot be checked, which must fail the gate rather than pass
@@ -29,6 +29,8 @@ class LintResult:
     baselined: list[Finding] = field(default_factory=list)
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
+    #: call-graph statistics when the ``--project`` pass ran, else None
+    project: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -109,17 +111,65 @@ def lint_file(
     return findings
 
 
+def run_project_pass(
+    lint_rel_paths: set[str], config: LintConfig
+) -> tuple[list[Finding], dict]:
+    """The whole-program pass: build the project model over *all*
+    configured roots (an inter-procedural property of a file depends
+    on its callers elsewhere), run every :class:`ProjectRule`, and
+    keep the findings anchored in ``lint_rel_paths``."""
+    from repro.lint.callgraph import CallGraph
+    from repro.lint.project import build_project
+
+    files = iter_python_files(
+        [config.root / root for root in config.roots], config
+    )
+    model = build_project(files, config)
+    graph = CallGraph(model)
+    findings: list[Finding] = []
+    for rule in RULES.values():
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(model, graph, config):
+            if finding.path not in lint_rel_paths:
+                continue
+            if not config.rule_applies(rule, finding.path):
+                continue
+            supp = model.suppressions_for(finding.path)
+            if supp.allows(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    stats = {
+        "modules": len(model.summaries),
+        "functions": model.function_count,
+        "call_edges": graph.edge_count,
+        "cache_hits": model.cache_hits,
+        "cache_misses": model.cache_misses,
+    }
+    return findings, stats
+
+
 def run_lint(
     paths: list[Path],
     config: LintConfig,
     baseline: Baseline | None = None,
+    project: bool = False,
 ) -> LintResult:
-    """Lint ``paths`` and split findings against ``baseline``."""
+    """Lint ``paths`` and split findings against ``baseline``.  With
+    ``project=True`` the whole-program pass runs on top and its
+    findings join the same baseline/exit-code machinery."""
     result = LintResult()
     all_findings: list[Finding] = []
+    lint_rel_paths: set[str] = set()
     for path in iter_python_files(paths, config):
         all_findings.extend(lint_file(path, config))
+        lint_rel_paths.add(_rel_path(path, config.root))
         result.files_scanned += 1
+    if project:
+        project_findings, result.project = run_project_pass(
+            lint_rel_paths, config
+        )
+        all_findings.extend(project_findings)
     all_findings.sort(key=lambda f: f.sort_key)
     if baseline is None:
         baseline = Baseline()

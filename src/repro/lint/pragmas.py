@@ -32,6 +32,12 @@ PRAGMA_RE = re.compile(
     r"\[\s*(?P<ids>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)\s*\]"
 )
 
+#: Repo-relative ``.py`` paths inside a pragma justification -- the
+#: convention for citing the pinning/parity test that audits a waiver.
+CITATION_RE = re.compile(
+    r"(?:tests|src|benchmarks)/[A-Za-z0-9_\-./]*\.py"
+)
+
 
 def _split_ids(raw: str) -> set[str]:
     return {part.strip() for part in raw.split(",") if part.strip()}
@@ -85,3 +91,59 @@ class Suppressions:
         if rule_id in self.file_rules:
             return True
         return rule_id in self.line_rules.get(lineno, ())
+
+
+def pragma_citations(source: str) -> list[dict]:
+    """Every pragma in ``source`` with the test paths its
+    justification cites.
+
+    Justifications routinely wrap across a comment *block*::
+
+        # repro: allow[REDUCE-ORDER] -- audited; parity is pinned
+        # by tests/api/test_batch_parity.py.
+        native = patches @ wmat.T
+
+    so for a standalone pragma the citation scan extends over the
+    contiguous pure-comment lines that follow it; a trailing pragma
+    (sharing its line with code) is scanned alone.  Returns
+    ``[{"line", "rules", "cited"}, ...]`` suitable for the project
+    summary cache.
+    """
+    lines = source.splitlines()
+    out: list[dict] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        lineno = tok.start[0]
+        prefix = lines[lineno - 1][: tok.start[1]] if lineno <= len(lines) else ""
+        block = [tok.string]
+        if not prefix.strip():
+            cursor = lineno + 1
+            while cursor <= len(lines):
+                stripped = lines[cursor - 1].strip()
+                if not stripped.startswith("#"):
+                    break
+                block.append(stripped)
+                cursor += 1
+        cited = sorted(
+            {
+                path
+                for text in block
+                for path in CITATION_RE.findall(text)
+            }
+        )
+        out.append(
+            {
+                "line": lineno,
+                "rules": sorted(_split_ids(match.group("ids"))),
+                "cited": cited,
+            }
+        )
+    return out

@@ -53,6 +53,40 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A whole-program invariant checker.
+
+    Project rules live in the same registry (so ``--list-rules``,
+    pragmas, baselines and docs treat them uniformly) but run only
+    during the ``--project`` pass: :meth:`check` yields nothing, and
+    :meth:`check_project` sees the full
+    :class:`~repro.lint.project.ProjectModel` plus the resolved
+    :class:`~repro.lint.callgraph.CallGraph`.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, model, graph, config) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses ------------------------------------------
+    def project_finding(
+        self, model, rel_path: str, line: int, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``rel_path:line``, pulling the
+        snippet lazily from the project model."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=rel_path,
+            line=line,
+            col=0,
+            message=message,
+            snippet=model.line(rel_path, line),
+        )
+
+
 def register(rule_cls: type[Rule]) -> type[Rule]:
     """Class decorator adding one instance of the rule to
     :data:`RULES`; re-registration of an id is a programming error."""

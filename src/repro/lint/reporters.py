@@ -13,7 +13,9 @@ from repro.lint.engine import LintResult
 from repro.lint.registry import RULES
 
 REPORT_SCHEMA = "repro-lint-report"
-REPORT_VERSION = 1
+#: v2 added the "project" section (call-graph stats from --project;
+#: null on per-file-only runs).
+REPORT_VERSION = 2
 
 
 def render_human(result: LintResult, verbose: bool = False) -> str:
@@ -53,6 +55,14 @@ def render_human(result: LintResult, verbose: bool = False) -> str:
                 else ""
             )
         )
+    if result.project is not None:
+        stats = result.project
+        out.append(
+            f"project pass: {stats['functions']} function(s) in "
+            f"{stats['modules']} module(s), {stats['call_edges']} call "
+            f"edge(s) [{stats['cache_hits']} cached, "
+            f"{stats['cache_misses']} summarized]"
+        )
     if verbose and result.baselined:
         out.append("baselined findings:")
         for finding in result.baselined:
@@ -69,6 +79,7 @@ def render_json(result: LintResult) -> str:
         "version": REPORT_VERSION,
         "ok": result.ok,
         "files_scanned": result.files_scanned,
+        "project": result.project,
         "findings": [f.to_dict() for f in result.findings],
         "baselined": [f.to_dict() for f in result.baselined],
         "stale_baseline": [e.to_dict() for e in result.stale_baseline],

@@ -12,3 +12,4 @@ from repro.lint.rules import (  # noqa: F401  (registration side effects)
     randomness,
     reductions,
 )
+from repro.lint.rules import interproc  # noqa: F401  (imports the above)

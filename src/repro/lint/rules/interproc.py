@@ -1,0 +1,313 @@
+"""Whole-program rules: taint flow, lock discipline, parity coverage.
+
+These run only under ``--project`` (see
+:class:`~repro.lint.registry.ProjectRule`): each gets the full
+:class:`~repro.lint.project.ProjectModel` and the resolved
+:class:`~repro.lint.callgraph.CallGraph`, so a hazard can be traced
+through call chains the per-file rules cannot see.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from fnmatch import fnmatch
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at runtime: this module is loaded while
+    # repro.lint.project is itself mid-import (it pulls in the rules
+    # package for the shared source tables).
+    from repro.lint.callgraph import CallGraph
+    from repro.lint.project import ProjectModel
+
+#: Mirrors :data:`repro.lint.project.MODULE_BODY` (import-cycle-free).
+MODULE_BODY = "<module>"
+
+#: Where parity obligations may be discharged (overridable via the
+#: PARITY-ORPHAN ``test_globs`` option).
+DEFAULT_TEST_GLOBS = [
+    "tests/*parity*",
+    "tests/*golden*",
+    "tests/*fuzz*",
+    "tests/*determinism*",
+    "tests/support/fuzz.py",
+]
+
+
+def _normalize_lock(lock: str, module: str, cls: str | None) -> str | None:
+    """Class-qualify ``self.<attr>`` lock ids the same way the call
+    graph does for held stacks, so acquisition sites and call sites
+    name the same lock the same way."""
+    if lock.startswith("self."):
+        if cls is None:
+            return None
+        return f"{module}.{cls}.{lock[len('self.'):]}"
+    return lock
+
+
+@register
+class TaintFlowRule(ProjectRule):
+    id = "TAINT-FLOW"
+    title = "compute path reaches a nondeterminism source through calls"
+    severity = Severity.ERROR
+    scope = "compute"
+    rationale = (
+        "The per-file ambient/RNG rules stop at function boundaries, so "
+        "a clock read or unseeded RNG in an unscoped helper silently "
+        "leaks into every verdict path that calls it.  This rule "
+        "propagates the same source set along the call graph and flags "
+        "the call site where compute-scoped code first depends on it, "
+        "with the full witness chain down to the concrete source."
+    )
+
+    def check_project(
+        self, model: ProjectModel, graph: CallGraph, config
+    ) -> Iterator[Finding]:
+        tainted = graph.propagate_taint()
+        for caller in sorted(graph.edges):
+            function = graph.function(caller)
+            if function is None or function["name"] == MODULE_BODY:
+                continue  # import-time code is not a verdict path
+            caller_path = graph.path_of(caller)
+            if caller_path is None or not config.in_scope(
+                "compute", caller_path
+            ):
+                continue
+            for edge in graph.edges[caller]:
+                if edge.callee not in tainted:
+                    continue
+                callee_path = graph.path_of(edge.callee)
+                if callee_path is None or config.in_scope(
+                    "compute", callee_path
+                ):
+                    # In-scope callees are the lexical rules' problem;
+                    # only the escape across the scope boundary is new
+                    # information.
+                    continue
+                chain, source = graph.taint_chain(edge.callee, tainted)
+                witness = " -> ".join([caller, *chain])
+                if source is not None:
+                    origin = (
+                        f"{source['what']} "
+                        f"[{source['rule']} at {callee_path.rsplit('/', 1)[-1]}"
+                        f" via {chain[-1]}:{source['line']}]"
+                    )
+                else:
+                    origin = "a nondeterministic source"
+                yield self.project_finding(
+                    model,
+                    edge.path,
+                    edge.line,
+                    f"compute-scoped code reaches {origin} through "
+                    f"{witness}; hoist the ambient read out of the "
+                    f"verdict path or inject it as a parameter",
+                )
+
+
+@register
+class LockCallRule(ProjectRule):
+    id = "LOCK-CALL"
+    title = "_requires_lock helper called without the declared lock held"
+    severity = Severity.ERROR
+    scope = "all"
+    rationale = (
+        "Extracting a locked region into a helper used to blind "
+        "LOCK-GUARD: the helper touches guarded attributes with no "
+        "lexical `with` in sight.  _requires_lock declares the "
+        "contract on the helper; this rule closes the loop by checking "
+        "every resolved call site actually holds the declared lock."
+    )
+
+    def check_project(
+        self, model: ProjectModel, graph: CallGraph, config
+    ) -> Iterator[Finding]:
+        for rel_path in sorted(model.summaries):
+            summary = model.summaries[rel_path]
+            for cls in summary["classes"]:
+                for method, locks in sorted(cls["requires_lock"].items()):
+                    qualname = (
+                        f"{summary['module']}.{cls['name']}.{method}"
+                    )
+                    for caller in sorted(graph.reverse.get(qualname, ())):
+                        for edge in graph.edges[caller]:
+                            if edge.callee != qualname:
+                                continue
+                            # Cross-class call sites compare by bare
+                            # attribute name: the held stack is
+                            # qualified to the *caller's* class.
+                            held_attrs = {
+                                h.rpartition(".")[2] for h in edge.held
+                            }
+                            missing = [
+                                lock
+                                for lock in locks
+                                if lock not in held_attrs
+                            ]
+                            if missing:
+                                needed = ", ".join(
+                                    f"self.{lock}" for lock in missing
+                                )
+                                yield self.project_finding(
+                                    model,
+                                    edge.path,
+                                    edge.line,
+                                    f"{qualname} declares _requires_lock "
+                                    f"({needed}) but this call site does "
+                                    f"not hold it",
+                                )
+
+
+@register
+class LockOrderRule(ProjectRule):
+    id = "LOCK-ORDER"
+    title = "two locks acquired in inconsistent order across the graph"
+    severity = Severity.ERROR
+    scope = "all"
+    rationale = (
+        "A->B in one thread and B->A in another is a deadlock waiting "
+        "for load.  Each function's lock acquisitions (direct, and "
+        "transitive through calls made while holding a lock) yield "
+        "ordered pairs; any pair present in both directions anywhere "
+        "in the program is flagged at both sites."
+    )
+
+    def check_project(
+        self, model: ProjectModel, graph: CallGraph, config
+    ) -> Iterator[Finding]:
+        direct: dict[str, set[str]] = {}
+        pairs: dict[tuple[str, str], tuple[str, int]] = {}
+        for rel_path, summary, function in model.iter_functions():
+            module, cls = summary["module"], function["cls"]
+            acquired: set[str] = set()
+            for acq in function["acquisitions"]:
+                lock = _normalize_lock(acq["lock"], module, cls)
+                if lock is None:
+                    continue
+                acquired.add(lock)
+                for held in acq["held"]:
+                    outer = _normalize_lock(held, module, cls)
+                    if outer is not None and outer != lock:
+                        pairs.setdefault(
+                            (outer, lock), (rel_path, acq["line"])
+                        )
+            direct[function["qualname"]] = acquired
+
+        # Transitive acquisition sets: fixpoint, cycle-safe because the
+        # union only grows.
+        effective = {qn: set(locks) for qn, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for caller, edges in graph.edges.items():
+                eff = effective.setdefault(caller, set())
+                for edge in edges:
+                    callee_eff = effective.get(edge.callee)
+                    if callee_eff and not callee_eff <= eff:
+                        eff |= callee_eff
+                        changed = True
+
+        for caller in sorted(graph.edges):
+            for edge in graph.edges[caller]:
+                for lock in sorted(effective.get(edge.callee, ())):
+                    for outer in edge.held:
+                        if outer != lock:
+                            pairs.setdefault(
+                                (outer, lock), (edge.path, edge.line)
+                            )
+
+        for first, second in sorted(pairs):
+            if first < second and (second, first) in pairs:
+                here = pairs[(first, second)]
+                there = pairs[(second, first)]
+                for (a, b), site, other in (
+                    ((first, second), here, there),
+                    ((second, first), there, here),
+                ):
+                    yield self.project_finding(
+                        model,
+                        site[0],
+                        site[1],
+                        f"lock order inversion: {a} is held while "
+                        f"acquiring {b} here, but {other[0]}:{other[1]} "
+                        f"acquires them in the opposite order",
+                    )
+
+
+@register
+class ParityOrphanRule(ProjectRule):
+    id = "PARITY-ORPHAN"
+    title = "public batch API not exercised by any parity/fuzz test"
+    severity = Severity.ERROR
+    scope = "src"
+    rationale = (
+        "The repo's contract is that every vectorized path is bitwise-"
+        "equal to its scalar reference, and the only durable evidence "
+        "is a parity or fuzz test that names it.  A public *_batch "
+        "callable no parity test references is an unproven claim; this "
+        "rule makes the obligation structural."
+    )
+
+    def check_project(
+        self, model: ProjectModel, graph: CallGraph, config
+    ) -> Iterator[Finding]:
+        globs = config.options_for(self.id).get(
+            "test_globs", DEFAULT_TEST_GLOBS
+        )
+        referenced: set[str] = set()
+        for rel_path in sorted(model.summaries):
+            if any(fnmatch(rel_path, pattern) for pattern in globs):
+                referenced.update(
+                    model.summaries[rel_path]["referenced_names"]
+                )
+        for rel_path, summary, function in model.iter_functions():
+            if not rel_path.startswith("src/"):
+                continue
+            name = function["name"]
+            if not (function["public"] and name.endswith("_batch")):
+                continue
+            if name in referenced:
+                continue
+            yield self.project_finding(
+                model,
+                rel_path,
+                function["line"],
+                f"public batch API {function['qualname']} is not "
+                f"referenced by any parity/fuzz test (searched "
+                f"{', '.join(globs)}); add coverage or a pragma citing "
+                f"the pinning test",
+            )
+
+
+@register
+class PragmaStaleRule(ProjectRule):
+    id = "PRAGMA-STALE"
+    title = "pragma justification cites a file that does not exist"
+    severity = Severity.ERROR
+    scope = "all"
+    rationale = (
+        "A waiver is only as good as the pinning test it cites.  When "
+        "that test is renamed or deleted, the pragma keeps suppressing "
+        "with a dangling citation -- the suppression outlives its "
+        "evidence.  Stale citations fail the gate instead."
+    )
+
+    def check_project(
+        self, model: ProjectModel, graph: CallGraph, config
+    ) -> Iterator[Finding]:
+        for rel_path in sorted(model.summaries):
+            for pragma in model.summaries[rel_path]["pragmas"]:
+                for cited in pragma["cited"]:
+                    if (config.root / cited).is_file():
+                        continue
+                    rules = ", ".join(pragma["rules"])
+                    yield self.project_finding(
+                        model,
+                        rel_path,
+                        pragma["line"],
+                        f"allow[{rules}] pragma cites {cited}, which "
+                        f"does not exist; update the citation or drop "
+                        f"the waiver",
+                    )

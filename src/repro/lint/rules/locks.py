@@ -28,6 +28,7 @@ from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Rule, register
 
 DECLARATION = "_guarded_by"
+REQUIRES = "_requires_lock"
 EXEMPT_METHODS = {"__init__", "__del__"}
 
 
@@ -73,6 +74,36 @@ def _guarded_map(class_node: ast.ClassDef) -> dict[str, str]:
             for attr in attrs:
                 guarded[attr] = key.value
     return guarded
+
+
+def _requires_map(class_node: ast.ClassDef) -> dict[str, list[str]]:
+    """method name -> lock attrs, from the ``_requires_lock`` class
+    attribute.  An annotated helper is checked *as if* its declared
+    locks were held; the project pass (LOCK-CALL) then verifies every
+    call site actually holds them."""
+    requires: dict[str, list[str]] = {}
+    for stmt in class_node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == REQUIRES for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            locks = _literal_str_seq(val)
+            if locks is not None:
+                requires[key.value] = locks
+    return requires
 
 
 def _self_attr(node: ast.AST, self_name: str) -> str | None:
@@ -166,6 +197,7 @@ class LockDisciplineRule(Rule):
             guarded = _guarded_map(class_node)
             if not guarded:
                 continue
+            requires = _requires_map(class_node)
             for method in class_node.body:
                 if not isinstance(
                     method, (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -177,6 +209,7 @@ class LockDisciplineRule(Rule):
                 if not args:
                     continue  # staticmethod-style: no self to track
                 checker = _MethodChecker(self, ctx, guarded, args[0].arg)
+                checker.held.extend(requires.get(method.name, []))
                 for stmt in method.body:
                     checker.visit(stmt)
                 yield from checker.findings

@@ -163,6 +163,16 @@ class PipelineServer:
     #: batcher thread alone (its crash handler included).
     _guarded_by = {"_state_lock": ("_accepting", "_draining", "_thread")}
 
+    #: Helpers extracted from locked regions.  Declaring the lock they
+    #: need keeps them honest both ways: the lexical LOCK-GUARD rule
+    #: checks their guarded-attribute accesses as if the lock were
+    #: held, and the project pass (LOCK-CALL) verifies every call site
+    #: actually holds it.
+    _requires_lock = {
+        "_launch_batcher": ("_state_lock",),
+        "_close_intake": ("_state_lock",),
+    }
+
     def __init__(
         self,
         pipeline,
@@ -201,16 +211,20 @@ class PipelineServer:
         with self._state_lock:
             if self.running:
                 raise ServerError("server already running")
-            self._draining = True
-            self._thread = threading.Thread(
-                target=self._serve_loop,
-                name="pipeline-server-batcher",
-                daemon=True,
-            )
-            self._accepting = True
-            self._recorder.mark_started()
-            self._thread.start()
+            self._launch_batcher()
         return self
+
+    def _launch_batcher(self) -> None:
+        """Arm the intake gates and start the batcher thread."""
+        self._draining = True
+        self._thread = threading.Thread(
+            target=self._serve_loop,
+            name="pipeline-server-batcher",
+            daemon=True,
+        )
+        self._accepting = True
+        self._recorder.mark_started()
+        self._thread.start()
 
     def stop(self, drain: bool = True, timeout: float | None = None) -> None:
         """Stop accepting work and shut the batcher down.
@@ -224,16 +238,7 @@ class PipelineServer:
             thread = self._thread
             if thread is None:
                 return
-            self._accepting = False
-            self._draining = drain
-            try:
-                # Sentinel unblocks the batcher's blocking get.  A full
-                # queue can refuse it; the batcher then notices
-                # ``_accepting`` on its own (it re-checks around every
-                # flush and idle poll), so stop still terminates.
-                self._queue.put_nowait(None)
-            except queue.Full:
-                pass
+            self._close_intake(drain)
         thread.join(timeout)
         if thread.is_alive():
             raise ServerError(
@@ -245,6 +250,19 @@ class PipelineServer:
         # the batcher's final drain, so no PendingResult ever hangs.
         self._cancel_remaining()
         self._recorder.mark_stopped()
+
+    def _close_intake(self, drain: bool) -> None:
+        """Close the submission gate and nudge the batcher awake."""
+        self._accepting = False
+        self._draining = drain
+        try:
+            # Sentinel unblocks the batcher's blocking get.  A full
+            # queue can refuse it; the batcher then notices
+            # ``_accepting`` on its own (it re-checks around every
+            # flush and idle poll), so stop still terminates.
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
 
     def __enter__(self) -> PipelineServer:
         return self.start()

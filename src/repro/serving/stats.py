@@ -84,6 +84,25 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 class StatsRecorder:
     """Thread-safe accumulator behind :meth:`PipelineServer.stats`."""
 
+    #: Thread-safety contract, machine-checked by LOCK-GUARD: every
+    #: counter is written by the batcher thread and read by snapshot
+    #: callers, so all access goes through ``_lock``.
+    _guarded_by = {
+        "_lock": (
+            "submitted",
+            "completed",
+            "failed",
+            "rejected",
+            "cancelled",
+            "degraded",
+            "batches",
+            "_batched_requests",
+            "_started_at",
+            "_stopped_at",
+            "_latencies",
+        ),
+    }
+
     def __init__(self, latency_window: int = 2048) -> None:
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_window)
@@ -122,6 +141,10 @@ class StatsRecorder:
         with self._lock:
             self.cancelled += count
 
+    # repro: allow[PARITY-ORPHAN] -- a metrics accumulator, not a
+    # vectorized/scalar parity pair; counter correctness is covered by
+    # tests/serving/test_server.py and result parity by
+    # tests/serving/test_determinism.py.
     def record_batch(
         self, size: int, latencies_s: list[float], failures: int = 0,
         degraded: int = 0,

@@ -6,10 +6,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import LintConfig, lint_file
+from repro.lint import LintConfig, lint_file, run_lint
 
 FIXTURES = Path(__file__).parent / "fixtures"
+INTERPROC = FIXTURES / "interproc"
 REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The interproc fixture projects contain files named like tests (the
+#: PARITY-ORPHAN corpus needs them); they are lint subjects, not suite
+#: members.
+collect_ignore_glob = ["fixtures/*"]
 
 
 def permissive_config(root: Path) -> LintConfig:
@@ -33,3 +39,26 @@ def lint_fixture(name: str, config: LintConfig | None = None):
     """Findings for one corpus file under the permissive config."""
     config = config or permissive_config(FIXTURES)
     return lint_file(FIXTURES / name, config)
+
+
+def project_config(root: Path) -> LintConfig:
+    """Config for an interproc fixture mini-project: the fixture dir is
+    the repo root, ``compute/`` + ``src/`` are compute/parity-scoped
+    (``util/`` and friends deliberately are not -- that boundary is
+    what TAINT-FLOW watches)."""
+    return LintConfig(
+        root=root,
+        roots=["."],
+        exclude=["*/__pycache__/*"],
+        scopes={
+            "parity": ["compute/*", "src/*"],
+            "compute": ["compute/*", "src/*"],
+            "src": ["src/*"],
+        },
+    )
+
+
+def lint_project_fixture(name: str):
+    """Full ``--project`` run over one interproc fixture project."""
+    root = INTERPROC / name
+    return run_lint([root], project_config(root), project=True)

@@ -1,0 +1,8 @@
+"""Registered builder reached only through registry indirection."""
+
+from registry import BUILDERS
+
+
+@BUILDERS.register("widget")
+def build_widget():
+    return object()

@@ -1,0 +1,11 @@
+"""Mutually recursive pair: the graph and taint walk must terminate."""
+
+
+def ping(n):
+    if n:
+        return pong(n - 1)
+    return 0
+
+
+def pong(n):
+    return ping(n)

@@ -1,0 +1,13 @@
+"""Entry points tying the fixture together."""
+
+from pkg import make_widget
+from registry import BUILDERS
+
+
+def dispatch(name):
+    builder = BUILDERS.get(name)
+    return builder()
+
+
+def top():
+    return make_widget()

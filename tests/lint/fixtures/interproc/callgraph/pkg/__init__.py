@@ -1,0 +1,3 @@
+"""Package facade: re-exports resolved by the call graph."""
+
+from pkg.impl import Widget, make_widget  # noqa: F401

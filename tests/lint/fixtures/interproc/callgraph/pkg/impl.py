@@ -1,0 +1,31 @@
+"""Classes and helpers exercising every call shape the graph resolves."""
+
+import time
+
+
+class Helper:
+    def assist(self):
+        return 1
+
+
+class Base:
+    def ping(self):
+        return "ping"
+
+
+class Widget(Base):
+    def __init__(self):
+        self.helper = Helper()
+
+    def run(self):
+        self.ping()  # inherited method, resolved via base walk
+        self.helper.assist()  # attr-typed method call
+        return stamp()  # bare same-module call
+
+
+def make_widget():
+    return Widget()  # instantiation -> __init__ edge
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,19 @@
+"""Minimal registry matching the repro.api ALL-CAPS convention."""
+
+
+class Registry:
+    def __init__(self):
+        self._items = {}
+
+    def register(self, key):
+        def decorate(fn):
+            self._items[key] = fn
+            return fn
+
+        return decorate
+
+    def get(self, key):
+        return self._items[key]
+
+
+BUILDERS = Registry()

@@ -1,0 +1,23 @@
+"""_requires_lock helper invoked without the declared lock held."""
+
+import threading
+
+
+class Server:
+    _guarded_by = {"_lock": ("_count",)}
+    _requires_lock = {"_bump": ("_lock",)}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def _bump(self):
+        # Legal lexically: the annotation says the caller holds _lock.
+        self._count += 1
+
+    def unlocked_call(self):
+        self._bump()  # LOCK-CALL: no lock held here
+
+    def locked_call(self):
+        with self._lock:
+            self._bump()

@@ -1,0 +1,24 @@
+"""_requires_lock helper whose every call site holds the lock."""
+
+import threading
+
+
+class Server:
+    _guarded_by = {"_lock": ("_count",)}
+    _requires_lock = {"_bump": ("_lock",)}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def _bump(self):
+        self._count += 1
+
+    def locked_call(self):
+        with self._lock:
+            self._bump()
+
+    def locked_twice(self):
+        with self._lock:
+            self._bump()
+            self._bump()

@@ -1,0 +1,22 @@
+"""Lock order inversion only visible through the call graph."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        helper()  # acquires LOCK_B transitively: order A -> B
+
+
+def helper():
+    with LOCK_B:
+        pass
+
+
+def backward():
+    with LOCK_B:
+        with LOCK_A:  # order B -> A: inversion
+            pass

@@ -1,0 +1,22 @@
+"""Consistent lock order everywhere, including through calls."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        helper()
+
+
+def helper():
+    with LOCK_B:
+        pass
+
+
+def also_forward():
+    with LOCK_A:
+        with LOCK_B:
+            pass

@@ -1,0 +1,9 @@
+"""Public batch API with no parity/fuzz test referencing it."""
+
+
+def double(value):
+    return value * 2
+
+
+def double_batch(values):  # PARITY-ORPHAN: no parity test names this
+    return [double(value) for value in values]

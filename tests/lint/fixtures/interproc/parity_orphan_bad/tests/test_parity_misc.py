@@ -1,0 +1,7 @@
+"""Parity test that only exercises the scalar path."""
+
+from ops import double
+
+
+def test_double():
+    assert double(3) == 6

@@ -1,0 +1,9 @@
+"""Public batch API covered by a parity test."""
+
+
+def double(value):
+    return value * 2
+
+
+def double_batch(values):
+    return [double(value) for value in values]

@@ -1,0 +1,8 @@
+"""Parity test covering both the scalar and batch paths."""
+
+from ops import double, double_batch
+
+
+def test_double_batch_matches_scalar():
+    values = [1, 2, 3]
+    assert double_batch(values) == [double(v) for v in values]

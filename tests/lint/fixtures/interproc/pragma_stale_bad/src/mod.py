@@ -1,0 +1,5 @@
+"""Pragma whose citation points at a file that does not exist."""
+
+
+def near_origin(a):
+    return a == 0.1  # repro: allow[FLOAT-EQ] -- pinned by tests/test_missing_parity.py

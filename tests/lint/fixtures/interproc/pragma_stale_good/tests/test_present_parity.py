@@ -1,0 +1,7 @@
+"""The file cited by the pragma in src/mod.py."""
+
+from mod import near_origin
+
+
+def test_near_origin():
+    assert near_origin(0.1)

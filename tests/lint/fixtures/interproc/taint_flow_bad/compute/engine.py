@@ -1,0 +1,14 @@
+"""Compute-scoped code leaking ambient state through call chains."""
+
+from util.helpers import stamp, wrapped_stamp
+
+
+def evaluate(values):
+    total = 0.0
+    for value in values:
+        total += value
+    return total, stamp()  # one hop to time.time()
+
+
+def evaluate_relayed(values):
+    return sum(values), wrapped_stamp()  # two hops

@@ -1,0 +1,12 @@
+"""Unscoped helpers: the lexical rules never look here."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def wrapped_stamp():
+    # Second hop: taint must travel through this relay.
+    return stamp()

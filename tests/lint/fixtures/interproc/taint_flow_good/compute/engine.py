@@ -1,0 +1,12 @@
+"""Compute-scoped code whose helpers take everything as parameters."""
+
+from util.helpers import scale, shift
+
+
+def evaluate(values, timestamp):
+    # Ambient state (the timestamp) is injected by the caller at the
+    # boundary, so the verdict path itself stays deterministic.
+    total = 0.0
+    for value in values:
+        total += scale(value)
+    return shift(total, timestamp)

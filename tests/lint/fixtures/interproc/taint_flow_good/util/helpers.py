@@ -1,0 +1,9 @@
+"""Pure helpers: nothing ambient, nothing to propagate."""
+
+
+def scale(value):
+    return value * 2.0
+
+
+def shift(value, offset):
+    return value + offset

@@ -178,3 +178,75 @@ def test_changed_lints_only_modified_files(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "mod.py" in out and "fresh.py" in out
     assert "legacy.py" not in out
+
+
+def test_changed_relints_callers_of_a_modified_helper(tmp_path, capsys):
+    """Impact analysis: an innocent edit to helper.py must pull
+    caller.py (whose violation sits on a call into the helper) back
+    into the lint set through the reverse call graph."""
+    root = _repo(tmp_path, CLEAN)
+    (root / "helper.py").write_text("def helper(x):\n    return x + 1\n")
+    (root / "caller.py").write_text(
+        "from helper import helper\n"
+        "\n"
+        "\n"
+        "def use(x):\n"
+        "    return helper(x) == 0.5\n"
+    )
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-qm", "seed")
+
+    # The committed violation in caller.py is invisible to --changed...
+    assert main(["--root", str(root), "--changed"]) == 0
+    capsys.readouterr()
+
+    # ...until its helper is touched: the clean edit re-lints callers.
+    (root / "helper.py").write_text("def helper(x):\n    return x + 2\n")
+    assert main(["--root", str(root), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "caller.py" in out and "FLOAT-EQ" in out
+    assert "mod.py" not in out
+
+
+PRAGMA_STALE = (
+    "def f(x):\n"
+    "    return x == 0.5  "
+    "# repro: allow[FLOAT-EQ] -- pinned by tests/test_gone.py\n"
+)
+
+
+def test_project_flag_catches_stale_pragma_citations(tmp_path, capsys):
+    root = _repo(tmp_path, PRAGMA_STALE)
+    # Lexically the pragma suppresses FLOAT-EQ and the gate passes...
+    assert main(["--root", str(root)]) == 0
+    capsys.readouterr()
+    # ...but the project pass notices the cited test does not exist.
+    assert main(["--root", str(root), "--project"]) == 1
+    assert "PRAGMA-STALE" in capsys.readouterr().out
+
+
+def test_project_stats_land_in_the_json_artifact(tmp_path, capsys):
+    root = _repo(tmp_path, CLEAN)
+    artifact = tmp_path / "out" / "report.json"
+    code = main(
+        [
+            "--root",
+            str(root),
+            "--project",
+            "--format",
+            "json",
+            "--json-output",
+            str(artifact),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    payload = json.loads(artifact.read_text())
+    assert payload["version"] == 2
+    assert payload["project"]["modules"] == 1
+    assert (
+        payload["project"]["cache_hits"]
+        + payload["project"]["cache_misses"]
+        == 1
+    )

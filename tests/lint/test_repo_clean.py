@@ -17,9 +17,16 @@ def test_shipped_tree_lints_clean():
     config = load_config(REPO_ROOT)
     baseline = Baseline.load(REPO_ROOT / config.baseline_path)
     result = run_lint(
-        [REPO_ROOT / root for root in config.roots], config, baseline
+        [REPO_ROOT / root for root in config.roots],
+        config,
+        baseline,
+        project=True,
     )
     assert result.files_scanned > 100, "expected to scan the whole tree"
+    assert result.project is not None
+    assert result.project["call_edges"] > 1000, (
+        "the call graph should resolve most of the tree"
+    )
     assert result.stale_baseline == [], (
         "baseline entries no longer match the tree; prune with "
         "scripts/lint.py --update-baseline"

@@ -35,10 +35,12 @@ def test_json_report_top_level_schema_is_pinned(tmp_path):
         "baselined",
         "stale_baseline",
         "summary",
+        "project",
     }
     assert payload["schema"] == REPORT_SCHEMA == "repro-lint-report"
-    assert payload["version"] == REPORT_VERSION == 1
+    assert payload["version"] == REPORT_VERSION == 2
     assert payload["ok"] is False
+    assert payload["project"] is None  # project pass did not run
     assert set(payload["summary"]) == {"new", "baselined", "stale", "by_rule"}
     assert payload["summary"]["by_rule"] == {"FLOAT-EQ": 1}
 
@@ -79,6 +81,23 @@ def test_human_report_names_rule_and_location(tmp_path):
 def test_human_report_clean_summary(tmp_path):
     result = _result(tmp_path, "def f(x):\n    return x <= 0.5\n")
     assert "0 findings in 1 file(s)" in render_human(result)
+
+
+def test_project_stats_render_in_both_formats(tmp_path):
+    (tmp_path / "mod.py").write_text("def f(x):\n    return x <= 0.5\n")
+    config = permissive_config(tmp_path)
+    config.roots = ["."]
+    result = run_lint([tmp_path], config, project=True)
+    payload = json.loads(render_json(result))
+    assert set(payload["project"]) == {
+        "modules",
+        "functions",
+        "call_edges",
+        "cache_hits",
+        "cache_misses",
+    }
+    assert payload["project"]["modules"] == 1
+    assert "project pass:" in render_human(result)
 
 
 def test_rule_list_mentions_every_rule():

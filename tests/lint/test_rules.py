@@ -34,7 +34,10 @@ CORPUS = {
 
 
 def test_corpus_covers_every_registered_rule():
-    assert set(CORPUS) == set(RULES), (
+    from tests.lint.test_project import PROJECT_CORPUS
+
+    assert not set(CORPUS) & set(PROJECT_CORPUS)
+    assert set(CORPUS) | set(PROJECT_CORPUS) == set(RULES), (
         "every rule needs a bad+good fixture pair (and every fixture "
         "pair a registered rule)"
     )

@@ -1,0 +1,94 @@
+"""Randomized differential parity for the batched SAX primitives.
+
+The shape-signature qualifier runs its SAX stage through the batched
+forms, so each must be bitwise identical to n scalar calls:
+
+* :func:`znormalize_batch` vs row-wise :func:`znormalize` (including
+  the flat-series zeroing rule);
+* :func:`paa_batch` vs row-wise :func:`paa`, on both the contiguous
+  reshape path (segments | length) and the fractional-frame path;
+* :meth:`SaxEncoder.symbols_batch` / :meth:`SaxEncoder.encode_batch`
+  vs the scalar encoder.
+
+Fuzzed batches mix smooth signals, noise, constant rows and
+near-flat rows at randomized lengths and alphabet sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sax.paa import paa, paa_batch, znormalize, znormalize_batch
+from repro.sax.sax import SaxEncoder
+from tests.support.fuzz import assert_arrays_bitwise_equal, differential_cases
+
+
+def _random_series_batch(rng: np.random.Generator) -> np.ndarray:
+    """``(n, m)`` series mixing smooth, noisy and degenerate rows."""
+    n = int(rng.integers(1, 9))
+    m = int(rng.choice([48, 64, 100, 128, 200]))
+    t = np.linspace(0.0, 2.0 * np.pi, m)
+    rows = []
+    for _ in range(n):
+        kind = int(rng.integers(5))
+        if kind <= 1:  # smooth periodic signal (the realistic path)
+            rows.append(
+                np.sin(t * float(rng.integers(1, 5)))
+                + 0.1 * rng.normal(size=m)
+            )
+        elif kind == 2:  # pure noise
+            rows.append(rng.normal(size=m))
+        elif kind == 3:  # constant: the flat-series rule must trigger
+            rows.append(np.full(m, float(rng.uniform(-2.0, 2.0))))
+        else:  # near-flat: tiny sub-threshold wiggle
+            rows.append(
+                float(rng.uniform(-1.0, 1.0)) + 1e-10 * rng.normal(size=m)
+            )
+    return np.stack(rows)
+
+
+@pytest.mark.parametrize("rng", differential_cases(8, root_seed=271828))
+def test_znormalize_batch_matches_scalar(rng):
+    series = _random_series_batch(rng)
+    got = znormalize_batch(series)
+    for i, row in enumerate(series):
+        assert_arrays_bitwise_equal(
+            got[i], znormalize(row), f"row {i} of {series.shape}"
+        )
+
+
+@pytest.mark.parametrize("rng", differential_cases(8, root_seed=161803))
+def test_paa_batch_matches_scalar(rng):
+    series = _random_series_batch(rng)
+    m = series.shape[1]
+    divisors = [s for s in (4, 8, 16, 25) if m % s == 0]
+    fractional = [s for s in (7, 13, 24) if m % s != 0]
+    for segments in divisors + fractional:
+        got = paa_batch(series, segments)
+        for i, row in enumerate(series):
+            assert_arrays_bitwise_equal(
+                got[i],
+                paa(row, segments),
+                f"row {i}, segments={segments}, length={m}",
+            )
+
+
+@pytest.mark.parametrize("rng", differential_cases(8, root_seed=141421))
+def test_sax_encoder_batch_matches_scalar(rng):
+    series = _random_series_batch(rng)
+    encoder = SaxEncoder(
+        word_length=int(rng.choice([8, 12, 16])),
+        alphabet_size=int(rng.choice([4, 6, 8, 16])),
+        normalize=bool(rng.random() < 0.9),
+    )
+    got_symbols = encoder.symbols_batch(series)
+    for i, row in enumerate(series):
+        assert_arrays_bitwise_equal(
+            got_symbols[i],
+            encoder.symbols(row),
+            f"row {i} of {series.shape}",
+        )
+    assert encoder.encode_batch(series) == [
+        encoder.encode(row) for row in series
+    ]

@@ -12,6 +12,11 @@ whose outputs must equal their scalar references exactly:
 
 Fuzzed masks cover empty, full, single-pixel, sparse-fragment and
 dense-blob geometries at random rectangle sizes.
+
+The frontend batch forms (grayscale, correlation, Sobel, edge maps,
+labelling, dilation) carry the same contract and are fuzzed here
+against their scalar references on mixed rendered/noise/degenerate
+image batches.
 """
 
 from __future__ import annotations
@@ -21,11 +26,27 @@ import pytest
 
 from repro.vision.contours import (
     label_components,
+    label_components_batch,
     largest_component,
     largest_component_batch,
     trace_boundary,
     trace_boundary_batch,
 )
+from repro.vision.edges import (
+    edge_map,
+    edge_map_batch,
+    sobel_edges,
+    sobel_edges_batch,
+    to_grayscale,
+    to_grayscale_batch,
+)
+from repro.vision.filters import (
+    correlate2d,
+    correlate2d_batch,
+    gradient_magnitude,
+    gradient_magnitude_batch,
+)
+from repro.vision.morphology import binary_dilate, binary_dilate_batch
 from repro.vision.series import (
     centroid_distance_series,
     centroid_distance_series_batch,
@@ -33,6 +54,7 @@ from repro.vision.series import (
 from tests.support.fuzz import (
     assert_arrays_bitwise_equal,
     differential_cases,
+    random_image_batch,
     random_mask_batch,
 )
 
@@ -74,6 +96,49 @@ def test_vision_primitives_match_scalar_references(rng):
                 centroid_distance_series(points, n_samples=n_samples),
                 f"series {j}",
             )
+
+
+@pytest.mark.parametrize("rng", differential_cases(8, root_seed=628318))
+def test_vision_frontend_batches_match_scalar_references(rng):
+    images = random_image_batch(rng)
+    kernel = rng.normal(size=(3, 3))
+    iterations = int(rng.integers(0, 3))
+    threshold = float(rng.uniform(0.05, 0.5))
+
+    gray = to_grayscale_batch(images)
+    corr = correlate2d_batch(gray, kernel)
+    magnitude = gradient_magnitude_batch(gray)
+    edges = sobel_edges_batch(images)
+    masks_default = edge_map_batch(images)
+    masks_fixed = edge_map_batch(images, threshold=threshold)
+    labels, counts = label_components_batch(masks_default)
+    dilated = binary_dilate_batch(masks_default, iterations=iterations)
+
+    for i, image in enumerate(images):
+        context = f"image {i} of {images.shape}"
+        want_gray = to_grayscale(image)
+        assert_arrays_bitwise_equal(gray[i], want_gray, context)
+        assert_arrays_bitwise_equal(
+            corr[i], correlate2d(want_gray, kernel), context
+        )
+        assert_arrays_bitwise_equal(
+            magnitude[i], gradient_magnitude(want_gray), context
+        )
+        assert_arrays_bitwise_equal(edges[i], sobel_edges(image), context)
+        assert_arrays_bitwise_equal(
+            masks_default[i], edge_map(image), context
+        )
+        assert_arrays_bitwise_equal(
+            masks_fixed[i], edge_map(image, threshold=threshold), context
+        )
+        want_labels, want_count = label_components(masks_default[i])
+        assert counts[i] == want_count, context
+        assert_arrays_bitwise_equal(labels[i], want_labels, context)
+        assert_arrays_bitwise_equal(
+            dilated[i],
+            binary_dilate(masks_default[i], iterations=iterations),
+            context,
+        )
 
 
 def test_series_batch_rejects_degenerate_contours():
