@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Queryable catalog of timing and campaign artifacts.
+
+Thin launcher for :mod:`repro.catalog.cli` (also reachable as
+``python -m repro.catalog``).  Examples:
+
+    # File every shipped timing artifact (idempotent):
+    scripts/catalog.py ingest benchmarks/artifacts
+
+    # What's catalogued?
+    scripts/catalog.py list
+
+    # The speedup trajectory across all catalogued benches:
+    scripts/catalog.py trend --metric speedup
+
+    # Everything about one artifact:
+    scripts/catalog.py show serving_throughput_timing --json
+
+See docs/catalog.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout: scripts/catalog.py.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.catalog.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

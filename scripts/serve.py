@@ -16,6 +16,9 @@ Examples:
     scripts/serve.py --requests 1000 --clients 32 \\
         --queue-capacity 32 --overflow reject
 
+    # Skewed traffic against the response cache (hit-rate reported):
+    scripts/serve.py --cache lru --zipf 1.1 --requests 2000
+
     # Compare against the serial per-request loop and emit JSON:
     scripts/serve.py --compare-serial --json
 
@@ -66,6 +69,17 @@ def build_args() -> argparse.ArgumentParser:
     parser.add_argument("--queue-capacity", type=int, default=256)
     parser.add_argument("--overflow", default="block",
                         choices=["block", "reject"])
+    parser.add_argument("--cache", default="off",
+                        choices=["off", "lru"],
+                        help="content-addressed response cache "
+                             "(default off)")
+    parser.add_argument("--cache-max-entries", type=int, default=1024,
+                        help="LRU capacity under --cache lru")
+    parser.add_argument("--zipf", type=float, default=None,
+                        metavar="S",
+                        help="draw each request's image Zipf(S) over "
+                             "the corpus (skewed traffic; default: "
+                             "round-robin)")
     parser.add_argument("--jitter-ms", type=float, default=0.2,
                         help="mean per-client inter-request delay")
     parser.add_argument("--seed", type=int, default=0)
@@ -105,7 +119,13 @@ def main(argv: list[str] | None = None) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_capacity=max(args.queue_capacity, args.max_batch),
         overflow=args.overflow,
+        cache=args.cache,
+        cache_max_entries=args.cache_max_entries,
     )
+    if args.zipf is not None:
+        ranks = np.arange(1, len(images) + 1, dtype=np.float64)
+        weights = ranks ** -args.zipf
+        zipf_p = weights / weights.sum()
     flagged = []
     counters = {"served": 0, "rejected": 0}
     lock = threading.Lock()
@@ -118,8 +138,12 @@ def main(argv: list[str] | None = None) -> int:
                 time.sleep(
                     client_rng.exponential(args.jitter_ms / 1e3)
                 )
+            if args.zipf is not None:
+                image = images[client_rng.choice(len(images), p=zipf_p)]
+            else:
+                image = images[i % len(images)]
             try:
-                pending = server.submit(images[i % len(images)])
+                pending = server.submit(image)
                 pending.result(timeout=120)
                 with lock:
                     counters["served"] += 1
@@ -147,6 +171,14 @@ def main(argv: list[str] | None = None) -> int:
         "client_served": counters["served"],
         "client_rejected": counters["rejected"],
         "degraded_routed": len(flagged),
+        # Server-side accounting, surfaced top-level so downstream
+        # tooling need not dig through "stats": backpressure rejects,
+        # qualifier-flagged results, and abandoned requests.
+        "rejected": stats.rejected,
+        "degraded": stats.degraded,
+        "cancelled": stats.cancelled,
+        "cache": args.cache,
+        "cache_hit_rate": stats.cache_hit_rate,
         "stats": stats.to_dict(),
     }
 
@@ -176,7 +208,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"completed/failed  {stats.completed}/{stats.failed}")
     print(f"rejected          {stats.rejected} "
           f"(policy {config.overflow!r}, queue {config.queue_capacity})")
-    print(f"degraded routed   {len(flagged)} qualifier-flagged results")
+    print(f"cancelled         {stats.cancelled}")
+    print(f"degraded          {stats.degraded} qualifier-flagged "
+          f"({len(flagged)} routed to the hook)")
+    if args.cache != "off":
+        print(f"cache             {stats.cache_hits} hits + "
+              f"{stats.coalesced_joins} joins / {stats.cache_misses} "
+              f"misses (hit-rate {stats.cache_hit_rate:.2f}, "
+              f"{stats.cache_entries} entries, "
+              f"{stats.cache_evictions} evictions)")
     if "speedup_vs_serial" in summary:
         print(f"serial baseline   {summary['serial_rps']:.0f} req/s "
               f"-> {summary['speedup_vs_serial']:.2f}x with batching")

@@ -22,4 +22,14 @@ timeout "${TEST_TIMEOUT}" python -m pytest -x -q -m "not slow"
 echo "== examples/quickstart.py (timeout ${EXAMPLE_TIMEOUT}s) =="
 timeout "${EXAMPLE_TIMEOUT}" python examples/quickstart.py
 
+echo "== catalog ingest + trend round-trip =="
+# The durable catalog must file every shipped timing artifact and
+# reproduce the speedup trajectory from SQLite (idempotent: a stale
+# smoke DB from a previous run is removed first).
+SMOKE_CATALOG_DB="$(mktemp -d)/catalog.sqlite"
+python scripts/catalog.py --db "${SMOKE_CATALOG_DB}" \
+    ingest benchmarks/artifacts
+python scripts/catalog.py --db "${SMOKE_CATALOG_DB}" trend
+rm -rf "$(dirname "${SMOKE_CATALOG_DB}")"
+
 echo "smoke: OK"

@@ -11,6 +11,8 @@ to its weights.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, fields
 
 from repro.core.partition import HybridPartition
@@ -170,6 +172,12 @@ class PartitionConfig:
 #: Backpressure policies of the serving queue.
 SERVING_OVERFLOW_POLICIES = ("block", "reject")
 
+#: Response-cache modes of the serving layer (see
+#: :mod:`repro.serving.cache`): ``"off"`` disables caching entirely,
+#: ``"lru"`` enables the content-addressed LRU result store with
+#: in-flight coalescing.
+SERVING_CACHE_MODES = ("off", "lru")
+
 
 @dataclass(frozen=True, kw_only=True)
 class ServingConfig:
@@ -203,6 +211,18 @@ class ServingConfig:
         How many recent completions feed the p50/p99 latency
         percentiles of :meth:`~repro.serving.server.PipelineServer.
         stats`.
+    cache:
+        Response-cache mode (:data:`SERVING_CACHE_MODES`).  ``"off"``
+        (default) serves every request through the batcher; ``"lru"``
+        puts a content-addressed result store in front of it, keyed by
+        ``(sha256(image storage bytes + shape + dtype),
+        PipelineConfig.content_hash())``, with single-flight in-flight
+        coalescing -- safe because results are bitwise-deterministic
+        per key (see ``docs/serving.md``).  Individual submissions may
+        opt out via ``submit(..., use_cache=False)``.
+    cache_max_entries:
+        Bound of the LRU result store (ignored under ``cache="off"``).
+        Least-recently-used entries evict beyond it.
     """
 
     max_batch: int = 32
@@ -211,6 +231,8 @@ class ServingConfig:
     overflow: str = "block"
     submit_timeout_s: float | None = None
     latency_window: int = 2048
+    cache: str = "off"
+    cache_max_entries: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -232,6 +254,13 @@ class ServingConfig:
             raise ValueError("submit_timeout_s must be non-negative")
         if self.latency_window <= 0:
             raise ValueError("latency_window must be positive")
+        if self.cache not in SERVING_CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {self.cache!r}; choose one of "
+                f"{SERVING_CACHE_MODES}"
+            )
+        if self.cache_max_entries <= 0:
+            raise ValueError("cache_max_entries must be positive")
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -314,3 +343,19 @@ class PipelineConfig:
         if "partition" in data and isinstance(data["partition"], dict):
             data["partition"] = PartitionConfig.from_dict(data["partition"])
         return cls(**data)
+
+    def content_hash(self) -> str:
+        """Stable digest of the pipeline's wiring (the campaign-spec
+        hashing scheme: canonical JSON of :meth:`to_dict`).
+
+        Two pipelines with the same hash are wired identically, so --
+        by the repo's end-to-end bitwise-determinism guarantee -- they
+        produce word-identical results for word-identical inputs.
+        That is the safety premise of the serving response cache,
+        which keys entries by ``(image digest, content_hash)``; see
+        :mod:`repro.serving.cache`.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()

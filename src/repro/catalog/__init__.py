@@ -1,0 +1,30 @@
+"""``repro.catalog`` -- queryable catalog of perf/campaign artifacts.
+
+Benchmarks emit schema-validated timing JSONs and fault campaigns
+emit report JSONs; this package ingests both into one
+content-addressed SQLite file so performance trajectories are
+machine-queryable across PRs.  See ``docs/catalog.md`` and
+``scripts/catalog.py`` (the CLI: ``ingest`` / ``list`` / ``show`` /
+``trend``).
+
+>>> from repro.catalog import CatalogStore
+>>> with CatalogStore("benchmarks/artifacts/catalog.sqlite") as store:
+...     store.ingest_file("benchmarks/artifacts/serving_timing.json")
+...     store.trend(metric="speedup")
+"""
+
+from repro.catalog.store import (
+    ArtifactRecord,
+    CatalogError,
+    CatalogStore,
+    classify_payload,
+    content_hash_of,
+)
+
+__all__ = [
+    "ArtifactRecord",
+    "CatalogError",
+    "CatalogStore",
+    "classify_payload",
+    "content_hash_of",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.catalog`` -- alias for ``scripts/catalog.py``."""
+
+from repro.catalog.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

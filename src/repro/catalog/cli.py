@@ -1,0 +1,267 @@
+"""``scripts/catalog.py`` / ``python -m repro.catalog`` -- the
+catalog's command-line face.
+
+Four subcommands over one SQLite file (default
+``benchmarks/artifacts/catalog.sqlite``, override with ``--db``):
+
+* ``ingest PATH...`` -- file timing artifacts and campaign reports
+  (JSON files, or directories scanned for ``*.json``); idempotent.
+* ``list [--kind timing|campaign]`` -- one line per artifact.
+* ``show REF`` -- full payload + exploded metrics for one artifact
+  (by id, name, or content-hash prefix).
+* ``trend [--metric speedup] [--bench NAME]`` -- a metric family's
+  trajectory across every catalogued artifact.
+
+Every subcommand prints human-readable text by default and strict
+JSON under ``--json`` (the form the smoke script and tests consume).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.catalog.store import CatalogError, CatalogStore
+
+DEFAULT_DB = "benchmarks/artifacts/catalog.sqlite"
+
+
+def _iter_json_files(paths: list[str]) -> list[Path]:
+    """Expand arguments into JSON files: files pass through,
+    directories contribute their ``*.json`` children (sorted, one
+    level -- artifact directories are flat)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def _cmd_ingest(store: CatalogStore, opts) -> dict:
+    ingested, unchanged, failed = [], [], []
+    for path in _iter_json_files(opts.paths):
+        try:
+            artifact_id, created = store.ingest_file(path)
+        except CatalogError as error:
+            if opts.strict:
+                raise
+            failed.append({"path": str(path), "error": str(error)})
+            continue
+        entry = {"path": str(path), "id": artifact_id}
+        (ingested if created else unchanged).append(entry)
+    return {
+        "db": store.path,
+        "ingested": ingested,
+        "unchanged": unchanged,
+        "failed": failed,
+        "artifacts_total": len(store),
+    }
+
+
+def _render_ingest(summary: dict) -> str:
+    lines = [
+        f"catalog {summary['db']}: "
+        f"{len(summary['ingested'])} new, "
+        f"{len(summary['unchanged'])} unchanged, "
+        f"{len(summary['failed'])} failed "
+        f"({summary['artifacts_total']} total)"
+    ]
+    for entry in summary["ingested"]:
+        lines.append(f"  + [{entry['id']}] {entry['path']}")
+    for entry in summary["unchanged"]:
+        lines.append(f"  = [{entry['id']}] {entry['path']}")
+    for entry in summary["failed"]:
+        lines.append(f"  ! {entry['path']}: {entry['error']}")
+    return "\n".join(lines)
+
+
+def _cmd_list(store: CatalogStore, opts) -> dict:
+    records = store.artifacts(kind=opts.kind)
+    return {
+        "db": store.path,
+        "artifacts": [
+            {
+                "id": record.id,
+                "kind": record.kind,
+                "name": record.name,
+                "bench": record.bench,
+                "batch": record.batch,
+                "content_hash": record.content_hash[:12],
+            }
+            for record in records
+        ],
+    }
+
+
+def _render_list(summary: dict) -> str:
+    rows = summary["artifacts"]
+    if not rows:
+        return f"catalog {summary['db']}: empty"
+    lines = [f"catalog {summary['db']}: {len(rows)} artifact(s)"]
+    for row in rows:
+        batch = "-" if row["batch"] is None else row["batch"]
+        lines.append(
+            f"  [{row['id']:>3}] {row['kind']:<8} {row['name']:<42} "
+            f"bench={row['bench']} batch={batch} "
+            f"hash={row['content_hash']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_show(store: CatalogStore, opts) -> dict:
+    record = store.get(opts.ref)
+    return {
+        "id": record.id,
+        "kind": record.kind,
+        "name": record.name,
+        "bench": record.bench,
+        "batch": record.batch,
+        "content_hash": record.content_hash,
+        "source": record.source,
+        "metrics": store.metrics_for(record.id),
+        "payload": record.payload,
+    }
+
+
+def _render_show(summary: dict) -> str:
+    lines = [
+        f"[{summary['id']}] {summary['kind']} {summary['name']}",
+        f"  bench:  {summary['bench']}  batch: {summary['batch']}",
+        f"  hash:   {summary['content_hash']}",
+        f"  source: {summary['source'] or '(none)'}",
+        "  metrics:",
+    ]
+    for key, value in summary["metrics"].items():
+        lines.append(f"    {key:<32} {value:.6g}")
+    lines.append("  payload:")
+    payload = json.dumps(summary["payload"], indent=2, sort_keys=True)
+    lines.extend("    " + line for line in payload.splitlines())
+    return "\n".join(lines)
+
+
+def _cmd_trend(store: CatalogStore, opts) -> dict:
+    rows = store.trend(metric=opts.metric, bench=opts.bench)
+    return {
+        "db": store.path,
+        "metric": opts.metric,
+        "rows": [
+            {
+                "name": name,
+                "bench": bench,
+                "batch": batch,
+                "key": key,
+                "value": value,
+            }
+            for name, bench, batch, key, value in rows
+        ],
+    }
+
+
+def _render_trend(summary: dict) -> str:
+    rows = summary["rows"]
+    if not rows:
+        return f"no '{summary['metric']}' metrics catalogued"
+    lines = [f"{summary['metric']} trajectory ({len(rows)} rows)"]
+    for row in rows:
+        batch = "-" if row["batch"] is None else row["batch"]
+        lines.append(
+            f"  {row['name']:<42} batch={batch!s:<5} "
+            f"{row['key']:<28} {row['value']:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "ingest": (_cmd_ingest, _render_ingest),
+    "list": (_cmd_list, _render_list),
+    "show": (_cmd_show, _render_show),
+    "trend": (_cmd_trend, _render_trend),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="catalog",
+        description="Queryable catalog of timing and campaign artifacts",
+    )
+    parser.add_argument(
+        "--db",
+        default=DEFAULT_DB,
+        help=f"catalog SQLite file (default: {DEFAULT_DB})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser(
+        "ingest", help="file timing/campaign JSONs (idempotent)"
+    )
+    ingest.add_argument(
+        "paths", nargs="+",
+        help="JSON files or directories holding them",
+    )
+    ingest.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail the run on the first invalid artifact",
+    )
+
+    list_cmd = sub.add_parser("list", help="one line per artifact")
+    list_cmd.add_argument(
+        "--kind", choices=("timing", "campaign"), default=None
+    )
+
+    show = sub.add_parser("show", help="full record for one artifact")
+    show.add_argument(
+        "ref", help="artifact id, name, or content-hash prefix"
+    )
+
+    trend = sub.add_parser(
+        "trend", help="a metric family across all artifacts"
+    )
+    trend.add_argument(
+        "--metric",
+        default="speedup",
+        help="metric key or family prefix (default: speedup, which "
+        "also matches speedup_vs_*)",
+    )
+    trend.add_argument(
+        "--bench", default=None, help="restrict to one bench name"
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    opts = build_parser().parse_args(argv)
+    command, render = _COMMANDS[opts.command]
+    try:
+        with CatalogStore(opts.db) as store:
+            summary = command(store, opts)
+    except (CatalogError, KeyError) as error:
+        message = (
+            str(error.args[0])
+            if isinstance(error, KeyError) and error.args
+            else str(error)
+        )
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    if opts.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render(summary))
+    if opts.command == "ingest" and summary["failed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ interleave into batches.  See ``docs/serving.md``.
 ...     results = [p.result() for p in pending]
 """
 
+from repro.serving.cache import ResponseCache, response_digest
 from repro.serving.server import (
     PendingResult,
     PipelineServer,
@@ -25,8 +26,10 @@ from repro.serving.stats import ServerStats
 __all__ = [
     "PipelineServer",
     "PendingResult",
+    "ResponseCache",
     "ServerStats",
     "ServerError",
     "ServerClosed",
     "ServerOverloaded",
+    "response_digest",
 ]

@@ -1,0 +1,183 @@
+"""Content-addressed response cache with in-flight coalescing.
+
+At production traffic, repeat and near-duplicate images dominate the
+request mix.  The repo's end-to-end bitwise-determinism guarantee
+(every served result is word-identical to a serial ``infer()`` call)
+makes response caching *trivially safe*: two requests whose inputs
+have identical storage bits, served by pipelines with the same
+:meth:`~repro.api.config.PipelineConfig.content_hash`, are guaranteed
+word-identical answers -- so handing the second caller the first
+caller's result changes nothing observable, bit for bit.
+
+Keying rule
+-----------
+
+A cache key is ``(digest, pipeline_content_hash)`` where ``digest`` is
+:func:`response_digest`: sha256 over the submitted image's **storage
+bytes, shape and dtype** (and the qualifier view's, when one is
+present).  Digesting storage words rather than numeric values is the
+same word-view discipline the redundancy comparators use
+(:mod:`repro.reliable.bits`): ``+0.0`` and ``-0.0`` key distinctly,
+NaNs key by payload, and dtype-differing renderings of the same values
+key distinctly -- the cache can only ever *under*-share, never
+conflate two inputs the pipeline could treat differently.
+
+Single-flight in-flight coalescing
+----------------------------------
+
+Concurrent submissions of the same key do not each enter the batch
+queue.  The first becomes the *leader* and is enqueued; every
+concurrent duplicate *joins* the leader's in-flight entry and is
+completed -- with the leader's result object -- the moment the leader's
+micro-batch flushes.  A hot key therefore costs **one inference
+regardless of fan-in**.  Errors are never cached: a failed leader
+fails its joiners and the next submission of the key leads again.
+
+The store itself is a bounded LRU guarded by one lock; the
+:class:`~repro.serving.server.PipelineServer` owns all bookkeeping
+(hit/miss/join/eviction counters live in its
+:class:`~repro.serving.stats.StatsRecorder`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResponseCache", "response_digest"]
+
+
+def response_digest(
+    image: np.ndarray, qualifier_view: np.ndarray | None = None
+) -> str:
+    """Content digest of one request's inputs.
+
+    sha256 over each array's dtype, shape and storage bytes (in a
+    fixed order, with an explicit marker for an absent view, so field
+    boundaries can never alias).  Arrays are normalised to C order
+    first: logically identical values digest identically whatever
+    their memory layout, while any storage-bit difference -- a sign
+    flip on zero, a NaN payload, a one-ULP nudge, a different dtype --
+    produces a different key.
+    """
+    digest = hashlib.sha256()
+    for array in (image, qualifier_view):
+        if array is None:
+            digest.update(b"|none|")
+            continue
+        contiguous = np.ascontiguousarray(array)
+        digest.update(
+            f"|{contiguous.dtype.str}|{contiguous.shape}|".encode()
+        )
+        digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+class ResponseCache:
+    """Bounded LRU result store with single-flight coalescing.
+
+    Three states per key, all transitions under one lock:
+
+    * **absent** -- :meth:`lookup_or_join` returns ``("lead", None)``
+      and opens an in-flight entry; the caller must eventually
+      :meth:`publish` or :meth:`abort` the key (the server does so on
+      every completion path, crash handler included).
+    * **in flight** -- ``lookup_or_join`` appends the caller's pending
+      handle to the entry and returns ``("joined", None)``.
+    * **stored** -- ``lookup_or_join`` returns ``("hit", result)`` and
+      refreshes the key's recency.
+
+    The cache holds completed results only; it never holds errors
+    (an aborted key simply becomes absent again).
+    """
+
+    #: Thread-safety contract, machine-checked by the LOCK-GUARD lint
+    #: rule: both maps are read and written only under ``_lock``
+    #: (submit threads and the batcher thread race on every one).
+    _guarded_by = {"_lock": ("_store", "_inflight")}
+
+    def __init__(self, max_entries: int, config_hash: str = "") -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.config_hash = config_hash
+        self._lock = threading.Lock()
+        self._store: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._inflight: dict[tuple[str, str], list] = {}
+
+    # -- keying ----------------------------------------------------------
+    def key_for(
+        self,
+        image: np.ndarray,
+        qualifier_view: np.ndarray | None = None,
+    ) -> tuple[str, str]:
+        """The full cache key for one request's inputs."""
+        return (response_digest(image, qualifier_view), self.config_hash)
+
+    # -- the three-state transition --------------------------------------
+    def lookup_or_join(self, key: tuple[str, str], pending):
+        """Resolve ``key`` to a cached result, an in-flight join, or a
+        leadership grant.
+
+        Returns ``("hit", result)``, ``("joined", None)`` (``pending``
+        is now attached to the leader's entry), or ``("lead", None)``
+        (the caller owns the key's single flight).
+        """
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                return "hit", self._store[key]
+            waiters = self._inflight.get(key)
+            if waiters is not None:
+                waiters.append(pending)
+                return "joined", None
+            self._inflight[key] = []
+            return "lead", None
+
+    def publish(self, key: tuple[str, str], result):
+        """Store a leader's result and close its flight.
+
+        Returns ``(followers, evicted)``: the pending handles that
+        joined while the key was in flight (the caller completes them
+        with ``result``), and how many LRU entries the insert evicted.
+        """
+        with self._lock:
+            followers = self._inflight.pop(key, [])
+            self._store[key] = result
+            self._store.move_to_end(key)
+            evicted = 0
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                evicted += 1
+            return followers, evicted
+
+    def abort(self, key: tuple[str, str]) -> list:
+        """Close a flight without storing anything (failed or
+        cancelled leader).  Returns the joined pending handles; the
+        caller fails them, and the key is absent again (the next
+        submission recomputes)."""
+        with self._lock:
+            return self._inflight.pop(key, [])
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Stored keys, least- to most-recently used (a snapshot)."""
+        with self._lock:
+            return list(self._store)
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def clear(self) -> None:
+        """Drop every stored result (in-flight entries are untouched:
+        their leaders still owe their followers a completion)."""
+        with self._lock:
+            self._store.clear()

@@ -37,6 +37,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.api.config import ServingConfig
+from repro.serving.cache import ResponseCache
 from repro.serving.stats import ServerStats, StatsRecorder
 
 
@@ -111,7 +112,7 @@ class PendingResult:
 
 
 class _Request:
-    __slots__ = ("image", "qualifier_view", "pending")
+    __slots__ = ("image", "qualifier_view", "pending", "cache_key")
 
     def __init__(
         self,
@@ -122,6 +123,12 @@ class _Request:
         self.image = image
         self.qualifier_view = qualifier_view
         self.pending = pending
+        #: Set only on a cache *leader*: the key whose single flight
+        #: this request carries.  Every completion path (flush,
+        #: failure demux, cancel, batcher crash) must close the flight
+        #: -- publish on success, abort otherwise -- so joined
+        #: followers never hang.
+        self.cache_key: tuple[str, str] | None = None
 
 
 class PipelineServer:
@@ -186,6 +193,24 @@ class PipelineServer:
             maxsize=self.config.queue_capacity
         )
         self._recorder = StatsRecorder(self.config.latency_window)
+        #: Content-addressed response cache (None under cache="off").
+        #: Safe because served results are bitwise-deterministic per
+        #: (input digest, pipeline content hash) -- see
+        #: repro.serving.cache.  Duck-typed pipelines without a
+        #: PipelineConfig hash as "" (the cache is private to this
+        #: server instance, so an empty hash cannot collide across
+        #: differently-wired pipelines).
+        self._cache: ResponseCache | None = None
+        if self.config.cache == "lru":
+            pipeline_config = getattr(pipeline, "config", None)
+            content_hash = (
+                pipeline_config.content_hash()
+                if hasattr(pipeline_config, "content_hash")
+                else ""
+            )
+            self._cache = ResponseCache(
+                self.config.cache_max_entries, config_hash=content_hash
+            )
         self._thread: threading.Thread | None = None
         self._accepting = False
         self._draining = True
@@ -275,6 +300,7 @@ class PipelineServer:
         self,
         image: np.ndarray,
         qualifier_view: np.ndarray | None = None,
+        use_cache: bool = True,
     ) -> PendingResult:
         """Enqueue one image; returns immediately with the pending
         handle (unless backpressure applies -- see below).
@@ -284,6 +310,17 @@ class PipelineServer:
         ``pipeline.infer(image, qualifier_view=...)`` would; requests
         with and without views may be freely mixed (the batcher groups
         compatible requests, see :meth:`_flush`).
+
+        Response cache (``config.cache="lru"``): the request's inputs
+        are digested (:func:`~repro.serving.cache.response_digest`)
+        before any dtype cast, and the cache resolves the key -- a
+        stored result completes the handle immediately (in the
+        submitting thread, degradation routing included), a duplicate
+        of an in-flight request coalesces onto that single flight, and
+        only a genuinely new key enters the batch queue.
+        ``use_cache=False`` opts this one submission out entirely: it
+        is neither answered from, nor joined to, nor published into
+        the cache.
 
         Backpressure (``config.overflow``): with ``"block"`` a full
         queue blocks the caller up to ``submit_timeout_s`` (forever
@@ -297,13 +334,41 @@ class PipelineServer:
         # the lock here would buy nothing but submit-path contention.
         if not self._accepting:
             raise ServerClosed("server is not accepting submissions")
+        raw_image = np.asarray(image)
+        raw_view = (
+            None if qualifier_view is None else np.asarray(qualifier_view)
+        )
         request = _Request(
-            np.asarray(image, dtype=np.float32),
+            np.asarray(raw_image, dtype=np.float32),
             None
-            if qualifier_view is None
-            else np.asarray(qualifier_view, dtype=np.float32),
+            if raw_view is None
+            else np.asarray(raw_view, dtype=np.float32),
             PendingResult(),
         )
+        if self._cache is not None and use_cache:
+            # Key over the *submitted* storage words (pre-cast): any
+            # bit difference in what the caller handed us keys
+            # distinctly, so the cache can only under-share.
+            key = self._cache.key_for(raw_image, raw_view)
+            outcome, cached = self._cache.lookup_or_join(
+                key, request.pending
+            )
+            if outcome == "hit":
+                self._recorder.record_submitted()
+                flagged = bool(getattr(cached, "flagged", False))
+                if flagged:
+                    self._route_degraded(cached)
+                request.pending._complete(cached)
+                self._recorder.record_cache_hit(
+                    request.pending.latency_seconds, degraded=flagged
+                )
+                return request.pending
+            if outcome == "joined":
+                self._recorder.record_submitted()
+                self._recorder.record_coalesced_join()
+                return request.pending
+            request.cache_key = key
+            self._recorder.record_cache_miss()
         try:
             if self.config.overflow == "reject":
                 self._queue.put_nowait(request)
@@ -313,6 +378,19 @@ class PipelineServer:
                 )
         except queue.Full:
             self._recorder.record_rejected()
+            # A refused leader must close its flight: followers that
+            # joined during the enqueue attempt fail with it.  They
+            # were already counted submitted, so they are accounted as
+            # cancelled (accepted but abandoned), not rejected.
+            refused = self._abort_cached_flight(
+                request,
+                ServerOverloaded(
+                    "coalesced onto a submission that backpressure "
+                    "refused"
+                ),
+            )
+            if refused:
+                self._recorder.record_cancelled(refused)
             raise ServerOverloaded(
                 f"queue at capacity ({self.config.queue_capacity}); "
                 f"overflow policy {self.config.overflow!r}"
@@ -330,7 +408,12 @@ class PipelineServer:
     # -- metrics ---------------------------------------------------------
     def stats(self) -> ServerStats:
         """A consistent snapshot of the server's counters."""
-        return self._recorder.snapshot(self._queue.qsize())
+        return self._recorder.snapshot(
+            self._queue.qsize(),
+            cache_entries=(
+                len(self._cache) if self._cache is not None else 0
+            ),
+        )
 
     # -- batcher ---------------------------------------------------------
     def _serve_loop(self) -> None:
@@ -349,6 +432,9 @@ class PipelineServer:
                 if not request.pending.done():
                     request.pending._fail(failure)
                     self._recorder.record_cancelled()
+                joined = self._abort_cached_flight(request, failure)
+                if joined:
+                    self._recorder.record_cancelled(joined)
             while True:
                 try:
                     item = self._queue.get_nowait()
@@ -357,6 +443,9 @@ class PipelineServer:
                 if item is not None:
                     item.pending._fail(failure)
                     self._recorder.record_cancelled()
+                    joined = self._abort_cached_flight(item, failure)
+                    if joined:
+                        self._recorder.record_cancelled(joined)
             with self._state_lock:
                 self._accepting = False
 
@@ -382,12 +471,14 @@ class PipelineServer:
                     self._drain_remaining()
                 else:
                     if item is not None:
-                        item.pending._fail(
-                            ServerClosed(
-                                "server stopped without draining"
-                            )
+                        closed = ServerClosed(
+                            "server stopped without draining"
                         )
+                        item.pending._fail(closed)
                         self._recorder.record_cancelled()
+                        joined = self._abort_cached_flight(item, closed)
+                        if joined:
+                            self._recorder.record_cancelled(joined)
                     self._cancel_remaining()
                 break
             batch = [item]
@@ -454,10 +545,12 @@ class PipelineServer:
                 break
             if item is None:
                 continue
-            item.pending._fail(
-                ServerClosed("server stopped without draining")
-            )
+            closed = ServerClosed("server stopped without draining")
+            item.pending._fail(closed)
             cancelled += 1
+            # A cancelled leader closes its flight: joiners were
+            # counted submitted, so they count as cancelled too.
+            cancelled += self._abort_cached_flight(item, closed)
         if cancelled:
             self._recorder.record_cancelled(cancelled)
 
@@ -508,19 +601,75 @@ class PipelineServer:
                 for request in requests:
                     request.pending._fail(error)
                     failures += 1
+                    # Errors are never cached: close the flight so the
+                    # key recomputes next time, and fail its joiners.
+                    joined = self._abort_cached_flight(request, error)
+                    if joined:
+                        self._recorder.record_followers_failed(joined)
                 continue
             for request, result in zip(requests, results):
-                if getattr(result, "flagged", False):
+                flagged = bool(getattr(result, "flagged", False))
+                if flagged:
                     degraded += 1
-                    if self.on_degraded is not None:
-                        try:
-                            self.on_degraded(result)
-                        except Exception:  # noqa: BLE001 -- supervisory
-                            pass
+                    self._route_degraded(result)
                 request.pending._complete(result)
                 latency = request.pending.latency_seconds
                 if latency is not None:
                     latencies.append(latency)
+                self._publish_cached_result(request, result, flagged)
         self._recorder.record_batch(
             len(batch), latencies, failures=failures, degraded=degraded
         )
+
+    def _route_degraded(self, result) -> None:
+        """Fire the degradation hook for one qualifier-flagged logical
+        request (delivery is unaffected; hook errors are swallowed).
+        Cached and coalesced deliveries route here too -- once per
+        logical request, not once per inference."""
+        if self.on_degraded is not None:
+            try:
+                self.on_degraded(result)
+            except Exception:  # noqa: BLE001 -- supervisory
+                pass
+
+    def _publish_cached_result(
+        self, request: _Request, result, flagged: bool
+    ) -> None:
+        """Store a leader's result and complete its joined followers
+        with the *same object* -- bitwise-identical delivery by
+        construction."""
+        if request.cache_key is None or self._cache is None:
+            return
+        followers, evicted = self._cache.publish(
+            request.cache_key, result
+        )
+        if evicted:
+            self._recorder.record_cache_evictions(evicted)
+        if not followers:
+            return
+        follower_latencies: list[float] = []
+        follower_degraded = 0
+        for pending in followers:
+            if flagged:
+                follower_degraded += 1
+                self._route_degraded(result)
+            pending._complete(result)
+            latency = pending.latency_seconds
+            if latency is not None:
+                follower_latencies.append(latency)
+        self._recorder.record_followers_completed(
+            follower_latencies, degraded=follower_degraded
+        )
+
+    def _abort_cached_flight(
+        self, request: _Request, error: BaseException
+    ) -> int:
+        """Close a leader's flight without caching; fail its joined
+        followers with ``error``.  Returns how many were failed."""
+        if request.cache_key is None or self._cache is None:
+            return 0
+        followers = self._cache.abort(request.cache_key)
+        for pending in followers:
+            if not pending.done():
+                pending._fail(error)
+        return len(followers)

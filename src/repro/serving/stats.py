@@ -49,6 +49,30 @@ class ServerStats:
         Wall time since ``start()`` (frozen at ``stop()``).
     queue_depth:
         Requests waiting in the queue at snapshot time.
+    cache_hits, cache_misses, coalesced_joins:
+        Response-cache outcomes (all zero under ``cache="off"`` or
+        per-submit opt-out): submissions answered from the completed
+        store, submissions that became a key's single-flight leader
+        (and therefore cost one inference), and submissions that
+        attached to an in-flight leader.  See
+        :mod:`repro.serving.cache`.
+    cache_evictions:
+        LRU entries dropped because the store exceeded
+        ``cache_max_entries``.
+    cache_entries:
+        Results held in the store at snapshot time.
+    cache_hit_rate:
+        ``(cache_hits + coalesced_joins) / (cache_hits + cache_misses
+        + coalesced_joins)`` -- the fraction of cache-eligible
+        submissions that did *not* cost a dedicated inference (0.0
+        before any lookup).
+    p50_cached_latency_ms, p99_cached_latency_ms:
+        Latency percentiles over cached deliveries only (store hits
+        and coalesced joins) -- what repeat traffic experiences.
+    p50_computed_latency_ms, p99_computed_latency_ms:
+        Latency percentiles over computed deliveries only (requests
+        that went through a micro-batch flush) -- what unique traffic
+        experiences.  The overall ``p50/p99_latency_ms`` mix both.
     """
 
     submitted: int
@@ -64,6 +88,16 @@ class ServerStats:
     p99_latency_ms: float
     uptime_seconds: float
     queue_depth: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced_joins: int = 0
+    cache_evictions: int = 0
+    cache_entries: int = 0
+    cache_hit_rate: float = 0.0
+    p50_cached_latency_ms: float = 0.0
+    p99_cached_latency_ms: float = 0.0
+    p50_computed_latency_ms: float = 0.0
+    p99_computed_latency_ms: float = 0.0
 
     def to_dict(self) -> dict:
         from dataclasses import asdict
@@ -96,16 +130,26 @@ class StatsRecorder:
             "cancelled",
             "degraded",
             "batches",
+            "cache_hits",
+            "cache_misses",
+            "coalesced_joins",
+            "cache_evictions",
             "_batched_requests",
             "_started_at",
             "_stopped_at",
             "_latencies",
+            "_cached_latencies",
+            "_computed_latencies",
         ),
     }
 
     def __init__(self, latency_window: int = 2048) -> None:
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._cached_latencies: deque[float] = deque(maxlen=latency_window)
+        self._computed_latencies: deque[float] = deque(
+            maxlen=latency_window
+        )
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -113,6 +157,10 @@ class StatsRecorder:
         self.cancelled = 0
         self.degraded = 0
         self.batches = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced_joins = 0
+        self.cache_evictions = 0
         self._batched_requests = 0
         self._started_at: float | None = None
         self._stopped_at: float | None = None
@@ -141,6 +189,49 @@ class StatsRecorder:
         with self._lock:
             self.cancelled += count
 
+    # -- response-cache events --------------------------------------------
+    def record_cache_hit(
+        self, latency_s: float | None, degraded: bool = False
+    ) -> None:
+        """One submission answered from the completed store."""
+        with self._lock:
+            self.cache_hits += 1
+            self.completed += 1
+            if degraded:
+                self.degraded += 1
+            if latency_s is not None:
+                self._latencies.append(latency_s)
+                self._cached_latencies.append(latency_s)
+
+    def record_cache_miss(self) -> None:
+        """One submission granted a key's single-flight leadership."""
+        with self._lock:
+            self.cache_misses += 1
+
+    def record_coalesced_join(self) -> None:
+        """One submission attached to an in-flight leader."""
+        with self._lock:
+            self.coalesced_joins += 1
+
+    def record_followers_completed(
+        self, latencies_s: list[float], degraded: int = 0
+    ) -> None:
+        """Joined requests completed by their leader's flush."""
+        with self._lock:
+            self.completed += len(latencies_s)
+            self.degraded += degraded
+            self._latencies.extend(latencies_s)
+            self._cached_latencies.extend(latencies_s)
+
+    def record_followers_failed(self, count: int) -> None:
+        """Joined requests failed by their leader's failure."""
+        with self._lock:
+            self.failed += count
+
+    def record_cache_evictions(self, count: int) -> None:
+        with self._lock:
+            self.cache_evictions += count
+
     # repro: allow[PARITY-ORPHAN] -- a metrics accumulator, not a
     # vectorized/scalar parity pair; counter correctness is covered by
     # tests/serving/test_server.py and result parity by
@@ -156,9 +247,12 @@ class StatsRecorder:
             self.failed += failures
             self.degraded += degraded
             self._latencies.extend(latencies_s)
+            self._computed_latencies.extend(latencies_s)
 
     # -- snapshot --------------------------------------------------------
-    def snapshot(self, queue_depth: int) -> ServerStats:
+    def snapshot(
+        self, queue_depth: int, cache_entries: int = 0
+    ) -> ServerStats:
         with self._lock:
             if self._started_at is None:
                 uptime = 0.0
@@ -168,6 +262,11 @@ class StatsRecorder:
                     end = time.perf_counter()
                 uptime = end - self._started_at
             ordered = sorted(self._latencies)
+            cached = sorted(self._cached_latencies)
+            computed = sorted(self._computed_latencies)
+            lookups = (
+                self.cache_hits + self.cache_misses + self.coalesced_joins
+            )
             return ServerStats(
                 submitted=self.submitted,
                 completed=self.completed,
@@ -188,4 +287,18 @@ class StatsRecorder:
                 p99_latency_ms=1e3 * _percentile(ordered, 0.99),
                 uptime_seconds=uptime,
                 queue_depth=queue_depth,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                coalesced_joins=self.coalesced_joins,
+                cache_evictions=self.cache_evictions,
+                cache_entries=cache_entries,
+                cache_hit_rate=(
+                    (self.cache_hits + self.coalesced_joins) / lookups
+                    if lookups
+                    else 0.0
+                ),
+                p50_cached_latency_ms=1e3 * _percentile(cached, 0.50),
+                p99_cached_latency_ms=1e3 * _percentile(cached, 0.99),
+                p50_computed_latency_ms=1e3 * _percentile(computed, 0.50),
+                p99_computed_latency_ms=1e3 * _percentile(computed, 0.99),
             )

@@ -120,6 +120,10 @@ def test_benches_cover_the_uploaded_artifacts():
             "test_serving_throughput.py",
         "integrated_infer_batch_timing.json":
             "test_serving_throughput.py",
+        "cache_throughput_timing.json":
+            "test_cache_throughput.py",
+        "integrated_cache_throughput_timing.json":
+            "test_cache_throughput.py",
     }
     for artifact, bench in expected.items():
         source = (BENCH_DIR / bench).read_text()

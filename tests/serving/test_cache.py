@@ -1,0 +1,344 @@
+"""Response-cache unit semantics: LRU order, single-flight
+coalescing, opt-out, error paths, digest distinctness, stats
+snapshot immutability.
+
+End-to-end cache behaviour against the real pipeline lives in
+``test_fuzz_cache_parity.py`` and ``benchmarks/
+test_cache_throughput.py``; these tests pin the mechanism itself,
+mostly against stub pipelines whose timing the test controls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ServingConfig
+from repro.core.hybrid import Decision, HybridResult
+from repro.core.qualifier import QualifierVerdict
+from repro.serving import PipelineServer, ResponseCache, response_digest
+
+# ---------------------------------------------------------------------------
+# Stubs
+# ---------------------------------------------------------------------------
+
+
+class StubPipeline:
+    """One fabricated result per image; optional gate the test holds
+    closed to keep the batcher blocked mid-inference, and optional
+    one-shot failure."""
+
+    def __init__(self, decision=Decision.NOT_SAFETY_CRITICAL):
+        self.decision = decision
+        self.gate: threading.Event | None = None
+        self.entered = threading.Event()
+        self.fail_next = False
+        self.batches: list[int] = []
+        self.lock = threading.Lock()
+
+    def infer_batch(self, images, qualifier_views=None):
+        with self.lock:
+            self.batches.append(len(images))
+        self.entered.set()
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        if self.fail_next:
+            self.fail_next = False
+            raise RuntimeError("synthetic pipeline failure")
+        return [
+            HybridResult(
+                probabilities=np.array(
+                    [float(image.sum()), 1.0], dtype=np.float64
+                ),
+                predicted_class=0,
+                verdict=QualifierVerdict(),
+                decision=self.decision,
+            )
+            for image in images
+        ]
+
+    @property
+    def inferences(self) -> int:
+        with self.lock:
+            return sum(self.batches)
+
+
+def _image(value: float = 1.0, size: int = 4) -> np.ndarray:
+    return np.full((3, size, size), value, dtype=np.float32)
+
+
+def _config(**overrides) -> ServingConfig:
+    defaults = dict(
+        max_batch=8, max_wait_ms=5.0, cache="lru", cache_max_entries=8
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# ResponseCache mechanism
+# ---------------------------------------------------------------------------
+
+
+def test_lru_eviction_order():
+    cache = ResponseCache(max_entries=3)
+    keys = [(f"digest{i}", "cfg") for i in range(5)]
+    for key in keys[:3]:
+        assert cache.lookup_or_join(key, None) == ("lead", None)
+        cache.publish(key, f"result-{key[0]}")
+    assert cache.keys() == keys[:3]
+
+    # A hit refreshes recency: key 0 moves to MRU...
+    outcome, result = cache.lookup_or_join(keys[0], None)
+    assert (outcome, result) == ("hit", "result-digest0")
+    assert cache.keys() == [keys[1], keys[2], keys[0]]
+
+    # ...so the next two inserts evict keys 1 and 2, never key 0.
+    for key in keys[3:]:
+        cache.lookup_or_join(key, None)
+        _, evicted = cache.publish(key, "x")
+        assert evicted == 1
+    assert cache.keys() == [keys[0], keys[3], keys[4]]
+    assert cache.lookup_or_join(keys[1], None) == ("lead", None)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResponseCache(max_entries=0)
+
+
+def test_publish_returns_followers_and_abort_clears_flight():
+    cache = ResponseCache(max_entries=4)
+    key = ("digest", "cfg")
+    assert cache.lookup_or_join(key, "leader")[0] == "lead"
+    assert cache.lookup_or_join(key, "f1")[0] == "joined"
+    assert cache.lookup_or_join(key, "f2")[0] == "joined"
+    assert cache.inflight_count() == 1
+
+    followers, evicted = cache.publish(key, "result")
+    assert followers == ["f1", "f2"]
+    assert evicted == 0
+    assert cache.inflight_count() == 0
+    assert cache.lookup_or_join(key, None) == ("hit", "result")
+
+    other = ("other", "cfg")
+    cache.lookup_or_join(other, "leader")
+    cache.lookup_or_join(other, "f3")
+    assert cache.abort(other) == ["f3"]
+    # The aborted key is absent again: the next submission leads.
+    assert cache.lookup_or_join(other, None)[0] == "lead"
+
+
+# ---------------------------------------------------------------------------
+# Digest keying
+# ---------------------------------------------------------------------------
+
+
+def test_digest_distinguishes_storage_bits():
+    base = _image(0.5)
+
+    negzero = base.copy()
+    negzero[0, 0, 0] = np.float32(-0.0)
+    poszero = negzero.copy()
+    poszero[0, 0, 0] = np.float32(0.0)
+    assert np.array_equal(negzero, poszero)  # equal as values...
+    assert response_digest(negzero) != response_digest(poszero)
+
+    nan_a = base.copy()
+    nan_a.view(np.uint32)[0, 0, 1] = np.uint32(0x7FC00001)
+    nan_b = base.copy()
+    nan_b.view(np.uint32)[0, 0, 1] = np.uint32(0x7FC00002)
+    assert response_digest(nan_a) != response_digest(base)
+    assert response_digest(nan_a) != response_digest(nan_b)
+
+    assert response_digest(base.astype(np.float64)) != (
+        response_digest(base)
+    )
+    assert response_digest(base.reshape(3, -1)) != response_digest(base)
+
+
+def test_digest_is_layout_invariant_and_view_sensitive():
+    base = np.arange(48, dtype=np.float32).reshape(3, 4, 4)
+    fortran = np.asfortranarray(base)
+    assert not fortran.flags["C_CONTIGUOUS"]
+    assert response_digest(fortran) == response_digest(base)
+
+    view = _image(0.25)
+    assert response_digest(base, view) != response_digest(base)
+    assert response_digest(base, view) != response_digest(base, base)
+
+
+def test_config_hash_partitions_keys():
+    image = _image()
+    cache_a = ResponseCache(4, config_hash="aaa")
+    cache_b = ResponseCache(4, config_hash="bbb")
+    assert cache_a.key_for(image) != cache_b.key_for(image)
+    assert cache_a.key_for(image)[0] == cache_b.key_for(image)[0]
+
+
+# ---------------------------------------------------------------------------
+# Server integration: coalescing, opt-out, errors, stats
+# ---------------------------------------------------------------------------
+
+
+def test_coalescing_under_blocked_batcher():
+    """Duplicates submitted while the leader is mid-inference attach
+    to its flight: one inference total, one shared result object."""
+    stub = StubPipeline()
+    stub.gate = threading.Event()
+    with PipelineServer(stub, _config(max_batch=1)) as server:
+        leader = server.submit(_image())
+        assert stub.entered.wait(timeout=10)  # batcher is now blocked
+        followers = [server.submit(_image()) for _ in range(3)]
+        assert not leader.done()
+        assert not any(p.done() for p in followers)
+        stub.gate.set()
+        result = leader.result(timeout=10)
+        for pending in followers:
+            assert pending.result(timeout=10) is result
+        stats = server.stats()
+    assert stub.inferences == 1
+    assert stats.cache_misses == 1
+    assert stats.coalesced_joins == 3
+    assert stats.cache_hits == 0
+    assert stats.completed == 4
+
+
+def test_hits_after_flight_completes():
+    stub = StubPipeline()
+    with PipelineServer(stub, _config()) as server:
+        first = server.submit(_image()).result(timeout=10)
+        again = server.submit(_image()).result(timeout=10)
+        assert again is first
+        stats = server.stats()
+    assert stub.inferences == 1
+    assert stats.cache_hits == 1
+    assert stats.cache_misses == 1
+    assert stats.cache_entries == 1
+
+
+def test_per_submit_opt_out():
+    """``use_cache=False`` bypasses the cache entirely: not answered
+    from it, not joined to a flight, not published into it."""
+    stub = StubPipeline()
+    with PipelineServer(stub, _config()) as server:
+        server.submit(_image(), use_cache=False).result(timeout=10)
+        server.submit(_image(), use_cache=False).result(timeout=10)
+        assert stub.inferences == 2  # no sharing happened
+        stats = server.stats()
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+        assert stats.cache_entries == 0
+
+        # An opted-out submission also never *seeds* the cache: the
+        # first cached submission of the same image is a miss.
+        server.submit(_image()).result(timeout=10)
+        assert server.stats().cache_misses == 1
+    assert stub.inferences == 3
+
+
+def test_errors_are_never_cached():
+    """A failed leader fails its joiners and leaves the key absent:
+    the next submission recomputes and can succeed."""
+    stub = StubPipeline()
+    stub.gate = threading.Event()
+    stub.fail_next = True
+    with PipelineServer(stub, _config(max_batch=1)) as server:
+        leader = server.submit(_image())
+        assert stub.entered.wait(timeout=10)
+        follower = server.submit(_image())
+        stub.gate.set()
+        with pytest.raises(RuntimeError, match="synthetic"):
+            leader.result(timeout=10)
+        with pytest.raises(RuntimeError, match="synthetic"):
+            follower.result(timeout=10)
+
+        stub.gate = None
+        retry = server.submit(_image())
+        assert retry.result(timeout=10) is not None
+        stats = server.stats()
+    assert stats.cache_misses == 2  # retry led a fresh flight
+    assert stats.failed == 2
+    assert stats.completed == 1
+    assert stats.cache_entries == 1
+
+
+def test_eviction_counted_in_stats():
+    stub = StubPipeline()
+    with PipelineServer(stub, _config(cache_max_entries=2)) as server:
+        for value in (1.0, 2.0, 3.0):
+            server.submit(_image(value)).result(timeout=10)
+        stats = server.stats()
+    assert stats.cache_evictions == 1
+    assert stats.cache_entries == 2
+
+
+def test_degraded_hook_fires_per_logical_request():
+    """Hits and joins route to the degradation hook exactly like
+    computed requests: once per logical request."""
+    stub = StubPipeline(decision=Decision.REJECTED_BY_QUALIFIER)
+    routed = []
+    with PipelineServer(
+        stub, _config(), on_degraded=routed.append
+    ) as server:
+        first = server.submit(_image()).result(timeout=10)
+        server.submit(_image()).result(timeout=10)  # cache hit
+        stats = server.stats()
+    assert len(routed) == 2
+    assert routed[0] is first and routed[1] is first
+    assert stats.degraded == 2
+
+
+def test_stats_snapshot_is_immutable():
+    stub = StubPipeline()
+    with PipelineServer(stub, _config()) as server:
+        server.submit(_image()).result(timeout=10)
+        before = server.stats()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            before.cache_hits = 99
+        # More traffic must not retroactively change an old snapshot.
+        server.submit(_image()).result(timeout=10)
+        server.submit(_image(2.0)).result(timeout=10)
+        after = server.stats()
+    assert before.cache_hits == 0
+    assert before.completed == 1
+    assert after.cache_hits == 1
+    assert after.completed == 3
+
+
+def test_cached_latencies_split_from_computed():
+    stub = StubPipeline()
+    stub.gate = threading.Event()
+
+    def release_soon():
+        time.sleep(0.05)
+        stub.gate.set()
+
+    with PipelineServer(stub, _config(max_batch=1)) as server:
+        threading.Thread(target=release_soon).start()
+        server.submit(_image()).result(timeout=10)  # computed, >=50ms
+        stub.gate = None
+        server.submit(_image()).result(timeout=10)  # hit, ~instant
+        stats = server.stats()
+    assert stats.p50_computed_latency_ms >= 40.0
+    assert 0.0 < stats.p50_cached_latency_ms < (
+        stats.p50_computed_latency_ms
+    )
+
+
+def test_cache_off_leaves_counters_dark():
+    stub = StubPipeline()
+    with PipelineServer(stub, _config(cache="off")) as server:
+        server.submit(_image()).result(timeout=10)
+        server.submit(_image()).result(timeout=10)
+        stats = server.stats()
+    assert stub.inferences == 2
+    assert stats.cache_hits == 0
+    assert stats.cache_misses == 0
+    assert stats.coalesced_joins == 0
+    assert stats.cache_hit_rate == 0.0
+    assert stats.cache_entries == 0

@@ -1,0 +1,167 @@
+"""Cached-vs-uncached differential fuzzing: the response cache must
+be *observationally invisible*.
+
+Randomized multi-thread interleavings of duplicate-heavy traffic --
+exact copies, one-bit-different, signed-zero, NaN-payload and
+dtype-differing near-duplicates (``tests.support.fuzz.
+duplicate_heavy_traffic``) -- are driven through a ``cache="lru"``
+server and a ``cache="off"`` server, both architectures.  Every
+per-request result must be storage-bit identical between the two:
+probabilities, verdict bits, decisions, execution reports.  This is
+the cache's whole safety argument exercised end to end: bitwise
+determinism means a cached response and a recomputed response cannot
+be told apart, even for adversarial near-duplicates whose storage
+words differ by a single bit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import ServingConfig
+from repro.serving.cache import response_digest
+from tests.serving.conftest import IMAGE_SIZE, make_pipeline
+from tests.support.fuzz import (
+    assert_reports_equal,
+    assert_verdicts_bitwise_equal,
+    case_rng,
+    differential_cases,
+    duplicate_heavy_traffic,
+    near_duplicate_images,
+)
+
+N_THREADS = 6
+
+
+@pytest.fixture(scope="module", params=["parallel", "integrated"])
+def arch_pipeline(request):
+    return request.param, make_pipeline(architecture=request.param)
+
+
+def _serve_traffic(pipeline, traffic, seed: int, cache: str) -> list:
+    """Submit every traffic item from worker threads in a randomized
+    interleaving; returns results indexed like ``traffic``."""
+    rng = np.random.default_rng(seed)
+    shards = [
+        np.arange(len(traffic))[i::N_THREADS] for i in range(N_THREADS)
+    ]
+    pendings: list = [None] * len(traffic)
+    errors: list = []
+    config = ServingConfig(
+        max_batch=int(rng.integers(2, 9)),
+        max_wait_ms=float(rng.choice([0.0, 1.0, 5.0])),
+        queue_capacity=len(traffic) + N_THREADS,
+        cache=cache,
+        cache_max_entries=max(4, int(rng.integers(4, 32))),
+    )
+    with pipeline.serve(config) as server:
+        barrier = threading.Barrier(N_THREADS)
+
+        def client(shard, delays):
+            try:
+                barrier.wait(timeout=30)
+                for index, delay in zip(shard, delays):
+                    if delay:
+                        threading.Event().wait(delay)
+                    pendings[index] = server.submit(traffic[index][1])
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = []
+        for shard in shards:
+            delays = rng.choice(
+                [0.0, 0.0, 0.001, 0.004], size=len(shard)
+            )
+            thread = threading.Thread(
+                target=client, args=(shard, delays)
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        results = [p.result(timeout=60) for p in pendings]
+        stats = server.stats()
+    return results, stats
+
+
+def _assert_result_parity(got, want, context: str) -> None:
+    assert got.probabilities.tobytes() == (
+        want.probabilities.tobytes()
+    ), f"{context}: probabilities diverged between lru and off"
+    assert got.predicted_class == want.predicted_class, context
+    assert got.decision == want.decision, context
+    assert_verdicts_bitwise_equal(got.verdict, want.verdict, context)
+    assert (got.reliable_report is None) == (
+        want.reliable_report is None
+    ), context
+    if got.reliable_report is not None:
+        assert_reports_equal(
+            got.reliable_report, want.reliable_report, context
+        )
+
+
+@pytest.mark.parametrize("rng", differential_cases(6))
+def test_cached_matches_uncached_bitwise(arch_pipeline, rng):
+    arch, pipeline = arch_pipeline
+    traffic = duplicate_heavy_traffic(
+        rng, n_requests=40, size=IMAGE_SIZE
+    )
+    seed = int(rng.integers(2**31))
+
+    uncached, _ = _serve_traffic(pipeline, traffic, seed, cache="off")
+    cached, stats = _serve_traffic(pipeline, traffic, seed, cache="lru")
+
+    for i, (got, want) in enumerate(zip(cached, uncached)):
+        label = traffic[i][0]
+        _assert_result_parity(
+            got, want, f"arch={arch} request={i} variant={label}"
+        )
+
+    # The traffic is duplicate-heavy by construction, so the cache
+    # must actually have been exercised -- a silently disabled cache
+    # would pass the parity half vacuously.
+    assert stats.cache_hits + stats.coalesced_joins > 0, (
+        "duplicate-heavy traffic produced no cache hits or joins"
+    )
+    assert stats.completed == len(traffic)
+
+
+def test_near_duplicates_key_distinctly():
+    """The digest draws exactly the storage-word distinctions the
+    comparators draw: copies share a key; one-bit, signed-zero,
+    NaN-payload and dtype variants each key apart (same fuzz
+    generator the differential test serves)."""
+    for index in range(8):
+        variants = dict(near_duplicate_images(case_rng(index)))
+        digests = {
+            label: response_digest(image)
+            for label, image in variants.items()
+        }
+        assert digests["base"] == digests["dup"], (
+            f"case{index}: bitwise-equal copies must share a key"
+        )
+        distinct = {
+            label: digest
+            for label, digest in digests.items()
+            if label != "dup"
+        }
+        assert len(set(distinct.values())) == len(distinct), (
+            f"case{index}: near-duplicate variants conflated: "
+            f"{sorted(distinct)}"
+        )
+        # The ±0.0 pair differs only in one zero's sign bit -- equal
+        # as *values*, distinct as *storage words*.
+        negzero = variants["negzero"]
+        poszero = variants["poszero"]
+        # repro: allow[FLOAT-APPROX] -- value-level equality is the
+        # *point* here: the pair must be equal as values yet distinct
+        # as storage words, proving the digest keys on bits.
+        assert np.array_equal(negzero, poszero), (
+            "fuzz generator drifted: ±0.0 variants should be "
+            "value-equal"
+        )
+        assert digests["negzero"] != digests["poszero"]

@@ -117,6 +117,79 @@ def random_image_batch(rng: np.random.Generator) -> np.ndarray:
     return np.stack(images)
 
 
+def near_duplicate_images(
+    rng: np.random.Generator, size: int | None = None
+) -> list[tuple[str, np.ndarray]]:
+    """A base image plus its near-duplicates, labelled by how they
+    relate to the base at storage-bit granularity.
+
+    The content-addressed response cache keys requests by storage
+    words (``repro.serving.cache.response_digest``), so its sharing
+    decisions must track *exactly* the distinctions the word-view
+    comparators make: an exact copy shares, while a one-bit nudge, a
+    signed-zero flip, a NaN payload, or a dtype change must key -- and
+    therefore compute -- separately.  Labels: ``base`` / ``dup``
+    (bitwise equal to base) and ``onebit`` / ``negzero`` / ``nan*`` /
+    ``f64`` (each distinct from base and from each other).  ``size``
+    pins the resolution (serving tests must match their model's input
+    size); None randomizes it.
+    """
+    if size is None:
+        size = int(rng.choice([16, 24, 32]))
+    base = render_sign(
+        int(rng.integers(8)),
+        size=size,
+        rotation=float(rng.uniform(-np.pi, np.pi)),
+    ).astype(np.float32)
+    row = int(rng.integers(size))
+    col = int(rng.integers(size))
+
+    onebit = base.copy()
+    words = onebit.view(np.uint32)
+    words[0, row, col] ^= np.uint32(1)  # one ULP in one pixel
+
+    negzero = base.copy()
+    negzero[1, row, col] = np.float32(-0.0)
+    poszero = negzero.copy()
+    poszero[1, row, col] = np.float32(0.0)  # same *values* as negzero
+
+    nan_a = base.copy()
+    nan_a.view(np.uint32)[2, row, col] = np.uint32(0x7FC00001)
+    nan_b = base.copy()
+    nan_b.view(np.uint32)[2, row, col] = np.uint32(0x7FC00002)
+
+    return [
+        ("base", base),
+        ("dup", base.copy()),
+        ("onebit", onebit),
+        ("negzero", negzero),
+        ("poszero", poszero),
+        ("nan-payload-a", nan_a),
+        ("nan-payload-b", nan_b),
+        ("f64", base.astype(np.float64)),
+    ]
+
+
+def duplicate_heavy_traffic(
+    rng: np.random.Generator,
+    n_requests: int = 48,
+    size: int | None = None,
+) -> list[tuple[str, np.ndarray]]:
+    """A request schedule dominated by duplicates: every
+    near-duplicate variant appears at least once, the remainder are
+    repeat draws -- the traffic shape that exercises cache hits,
+    in-flight coalescing, and near-miss key distinctness all at once.
+    Returns ``(label, image)`` pairs; equal labels mean bitwise-equal
+    images (``base`` and ``dup`` are bitwise equal across labels)."""
+    variants = near_duplicate_images(rng, size=size)
+    traffic = list(variants)
+    while len(traffic) < n_requests:
+        label, image = variants[int(rng.integers(len(variants)))]
+        traffic.append((label, image))
+    order = rng.permutation(len(traffic))
+    return [traffic[int(i)] for i in order]
+
+
 def random_feature_map_batch(rng: np.random.Generator) -> np.ndarray:
     """A random reliable-feature-map batch for the integrated path:
     ``(n, h, w)``, ``(n, 1, h, w)`` or ``(n, 2, h, w)``, with some
