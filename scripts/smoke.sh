@@ -22,6 +22,11 @@ timeout "${TEST_TIMEOUT}" python -m pytest -x -q -m "not slow"
 echo "== examples/quickstart.py (timeout ${EXAMPLE_TIMEOUT}s) =="
 timeout "${EXAMPLE_TIMEOUT}" python examples/quickstart.py
 
+echo "== serving chaos scenario (seeded, invariants gate) =="
+CHAOS_TIMEOUT="${SMOKE_CHAOS_TIMEOUT:-120}"
+timeout "${CHAOS_TIMEOUT}" python scripts/chaos.py run \
+    --fault storm --trials 1 --requests 8 --seed 0
+
 echo "== catalog ingest + trend round-trip =="
 # The durable catalog must file every shipped timing artifact and
 # reproduce the speedup trajectory from SQLite (idempotent: a stale

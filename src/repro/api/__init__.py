@@ -38,6 +38,7 @@ See ``docs/api-reference.md`` for the complete symbol reference.
 from repro.api.config import (
     DEFAULT_SAFETY_CLASS,
     Architecture,
+    ChaosConfig,
     PartitionConfig,
     PipelineConfig,
     QualifierConfig,
@@ -76,6 +77,7 @@ __all__ = [
     "QualifierConfig",
     "PartitionConfig",
     "ServingConfig",
+    "ChaosConfig",
     "Registry",
     "RegistryError",
     "ARCHITECTURES",

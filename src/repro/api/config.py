@@ -272,6 +272,120 @@ class ServingConfig:
 
 
 @dataclass(frozen=True, kw_only=True)
+class ChaosConfig:
+    """Planned service-level fault load for one chaos experiment
+    (see :mod:`repro.chaos`).
+
+    Each count is the number of fault events of that type the
+    :class:`~repro.chaos.faults.ServiceFaultInjector` schedules; the
+    schedule itself (event order, delays, corrupted request indices,
+    flipped bits) is drawn deterministically from the experiment's
+    explicit random stream, never from ambient state.
+
+    Attributes
+    ----------
+    latency_spikes:
+        Server-side flushes delayed by roughly ``latency_ms`` (the
+        exact delay per spike is drawn from the stream) -- absorbable:
+        results are unaffected, only latency moves.
+    latency_ms:
+        Nominal latency-spike magnitude in milliseconds.
+    timeouts:
+        Server-side flushes that fail with
+        :class:`~repro.chaos.faults.ChaosTimeout` (a hung dependency
+        surfacing as an explicit timeout) -- every request in the
+        flush group completes with the error.
+    batcher_crashes:
+        Server-side flushes that raise
+        :class:`~repro.serving.server.BatcherCrash`, killing the
+        batcher thread; the experiment driver restarts the server and
+        carries on (the restart-accounting path under test).
+    queue_exhaustion_bursts:
+        Client-side burst phases that deterministically fill the
+        bounded queue while the batcher is held mid-flush, then submit
+        ``burst_overflow`` more -- each burst must produce exactly
+        ``burst_overflow`` explicit rejections (requires
+        ``overflow="reject"``).
+    burst_overflow:
+        Submissions past queue capacity per exhaustion burst; also the
+        exact expected rejection count per burst.
+    corrupt_payloads:
+        Requests whose image payload gets ``corrupt_bits`` random
+        storage-bit flips *before* submission.  Parity is then judged
+        against a serial ``infer()`` of the corrupted payload -- the
+        server must serve what it was given, bit-for-bit.
+    corrupt_bits:
+        Storage bits flipped per corrupted payload.
+    stall_timeout_s:
+        Upper bound on any injector-held stall (exhaustion bursts park
+        the batcher inside a flush); the gate self-releases after this
+        long so an orphaned experiment can never hang the server.
+    """
+
+    latency_spikes: int = 0
+    latency_ms: float = 5.0
+    timeouts: int = 0
+    batcher_crashes: int = 0
+    queue_exhaustion_bursts: int = 0
+    burst_overflow: int = 3
+    corrupt_payloads: int = 0
+    corrupt_bits: int = 1
+    stall_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "latency_spikes",
+            "timeouts",
+            "batcher_crashes",
+            "queue_exhaustion_bursts",
+            "corrupt_payloads",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        if self.burst_overflow < 1:
+            raise ValueError("burst_overflow must be at least 1")
+        if self.corrupt_bits < 1:
+            raise ValueError("corrupt_bits must be at least 1")
+        if self.stall_timeout_s <= 0:
+            raise ValueError("stall_timeout_s must be positive")
+
+    @property
+    def server_events(self) -> int:
+        """Planned server-side (per-flush) fault events."""
+        return self.latency_spikes + self.timeouts + self.batcher_crashes
+
+    @property
+    def total_events(self) -> int:
+        """All planned fault events across both seams."""
+        return (
+            self.server_events
+            + self.queue_exhaustion_bursts
+            + self.corrupt_payloads
+        )
+
+    @property
+    def disruptive_events(self) -> int:
+        """Events expected to surface as explicit request failures or
+        rejections (everything except absorbable latency spikes and
+        payload corruption)."""
+        return (
+            self.timeouts
+            + self.batcher_crashes
+            + self.queue_exhaustion_bursts
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ChaosConfig:
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True, kw_only=True)
 class PipelineConfig:
     """Everything :func:`repro.api.build_pipeline` needs to wire a
     hybrid around a trained model.

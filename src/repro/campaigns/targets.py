@@ -26,6 +26,11 @@ Built-ins:
     A DMR checkpointed segment
     (:class:`repro.reliable.checkpoint.CheckpointedSegment`) --
     rollback-distance cost simulation.
+``serving_chaos``
+    A service-level chaos experiment: a live
+    :class:`~repro.serving.server.PipelineServer` under a seeded
+    fault storm (:mod:`repro.chaos`), with the serving invariants
+    checked as postconditions.
 """
 
 from __future__ import annotations
@@ -413,3 +418,16 @@ def run_checkpoint_segment_trial(ctx: TrialContext) -> TrialRecord:
             "completed_ops": float(segment_size),
         },
     )
+
+
+@CAMPAIGN_TARGETS.register("serving_chaos")
+def run_serving_chaos(ctx: TrialContext) -> TrialRecord:
+    """One service-level chaos experiment against a live
+    :class:`~repro.serving.server.PipelineServer` -- seeded fault
+    storms with machine-checked serving invariants.  The
+    implementation lives in :mod:`repro.chaos.campaign` (imported
+    lazily so campaign workers resolve it without the serving stack
+    on their import path at registry-load time)."""
+    from repro.chaos.campaign import run_serving_chaos_trial
+
+    return run_serving_chaos_trial(ctx)

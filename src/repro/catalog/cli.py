@@ -4,9 +4,10 @@ catalog's command-line face.
 Four subcommands over one SQLite file (default
 ``benchmarks/artifacts/catalog.sqlite``, override with ``--db``):
 
-* ``ingest PATH...`` -- file timing artifacts and campaign reports
+* ``ingest PATH...`` -- file timing artifacts, campaign reports
+  and chaos summaries
   (JSON files, or directories scanned for ``*.json``); idempotent.
-* ``list [--kind timing|campaign]`` -- one line per artifact.
+* ``list [--kind timing|campaign|chaos]`` -- one line per artifact.
 * ``show REF`` -- full payload + exploded metrics for one artifact
   (by id, name, or content-hash prefix).
 * ``trend [--metric speedup] [--bench NAME]`` -- a metric family's
@@ -187,7 +188,7 @@ _COMMANDS = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="catalog",
-        description="Queryable catalog of timing and campaign artifacts",
+        description="Queryable catalog of timing, campaign and chaos artifacts",
     )
     parser.add_argument(
         "--db",
@@ -202,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     ingest = sub.add_parser(
-        "ingest", help="file timing/campaign JSONs (idempotent)"
+        "ingest", help="file timing/campaign/chaos JSONs (idempotent)"
     )
     ingest.add_argument(
         "paths", nargs="+",
@@ -216,7 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_cmd = sub.add_parser("list", help="one line per artifact")
     list_cmd.add_argument(
-        "--kind", choices=("timing", "campaign"), default=None
+        "--kind", choices=("timing", "campaign", "chaos"), default=None
     )
 
     show = sub.add_parser("show", help="full record for one artifact")

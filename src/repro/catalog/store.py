@@ -2,11 +2,13 @@
 
 The repo's benches write schema-validated timing JSONs
 (``benchmarks/timing_schema.py``) and the fault-injection engine
-writes campaign reports (``repro.campaigns.artifacts.CampaignStore``).
-Both are flat files that CI uploads and humans eyeball; neither is
-*queryable* -- "how did the serving speedup move over the last five
-PRs?" means opening five JSON files by hand.  :class:`CatalogStore`
-closes that gap: it ingests both artifact kinds into one SQLite file
+writes campaign reports (``repro.campaigns.artifacts.CampaignStore``);
+the chaos layer writes campaign summaries of serving-invariant runs
+(``repro.chaos.campaign.chaos_summary``).  All are flat files that CI
+uploads and humans eyeball; none is *queryable* -- "how did the
+serving speedup move over the last five PRs?" means opening five JSON
+files by hand.  :class:`CatalogStore`
+closes that gap: it ingests every artifact kind into one SQLite file
 with their numeric metrics exploded into an indexed table, so perf
 trajectories become one SQL (or ``scripts/catalog.py trend``) query.
 
@@ -174,14 +176,50 @@ def _validate_campaign(payload: dict) -> list[str]:
     return errors
 
 
+def _validate_chaos(payload: dict) -> list[str]:
+    """Structural checks for a ``chaos_summary`` payload."""
+    errors: list[str] = []
+    for key in ("chaos_campaign", "target", "spec_hash", "fingerprint"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            errors.append(f"{key!r} must be a non-empty string")
+    for key in ("trials", "invariants_held_trials"):
+        value = payload.get(key)
+        if (
+            not isinstance(value, int)
+            or isinstance(value, bool)
+            or value < 0
+        ):
+            errors.append(f"{key!r} must be a non-negative int")
+    outcomes = payload.get("outcomes")
+    if not isinstance(outcomes, dict):
+        errors.append("'outcomes' must be a dict of outcome counts")
+    else:
+        for label, count in outcomes.items():
+            if (
+                not isinstance(count, int)
+                or isinstance(count, bool)
+                or count < 0
+            ):
+                errors.append(
+                    f"outcome {label!r} must be a non-negative int, "
+                    f"got {count!r}"
+                )
+    return errors
+
+
 def classify_payload(payload: dict) -> str:
-    """``"timing"`` or ``"campaign"``, by structural sniffing.
+    """``"timing"``, ``"campaign"`` or ``"chaos"``, by structural
+    sniffing.
 
     A timing artifact has a ``bench`` name and wall-time keys; a
-    campaign report has a ``spec_hash`` and per-cell results.  A
-    payload that is neither raises :class:`CatalogError` (the catalog
+    campaign report has a ``spec_hash`` and per-cell results; a chaos
+    summary has a ``chaos_campaign`` name and an ``outcomes`` table
+    (checked first -- it also carries a ``spec_hash``).  A payload
+    that is none of these raises :class:`CatalogError` (the catalog
     never files something it cannot validate).
     """
+    if "chaos_campaign" in payload and "outcomes" in payload:
+        return "chaos"
     if "bench" in payload and any(
         key.endswith("_seconds") for key in payload
     ):
@@ -189,8 +227,9 @@ def classify_payload(payload: dict) -> str:
     if "spec_hash" in payload and "cells" in payload:
         return "campaign"
     raise CatalogError(
-        "payload is neither a timing artifact (bench + *_seconds) nor "
-        "a campaign report (spec_hash + cells)"
+        "payload is neither a timing artifact (bench + *_seconds), a "
+        "campaign report (spec_hash + cells), nor a chaos summary "
+        "(chaos_campaign + outcomes)"
     )
 
 
@@ -217,6 +256,16 @@ def _campaign_metrics(payload: dict) -> dict[str, float]:
     )
     metrics["trials"] = float(trials)
     metrics["cells"] = float(len(cells))
+    return metrics
+
+
+def _chaos_metrics(payload: dict) -> dict[str, float]:
+    """Top-level numerics plus the outcome table exploded as
+    ``outcome_<label>`` -- so silent-corruption counts are one
+    ``scripts/catalog.py trend`` query away."""
+    metrics = _numeric_metrics(payload)
+    for label, count in payload.get("outcomes", {}).items():
+        metrics[f"outcome_{label}"] = float(count)
     return metrics
 
 
@@ -275,11 +324,12 @@ class CatalogStore:
         re-ingest; the existing row wins, including its name).
         """
         kind = classify_payload(payload)
-        errors = (
-            _validate_timing(payload)
-            if kind == "timing"
-            else _validate_campaign(payload)
-        )
+        validators = {
+            "timing": _validate_timing,
+            "campaign": _validate_campaign,
+            "chaos": _validate_chaos,
+        }
+        errors = validators[kind](payload)
         if errors:
             raise CatalogError(
                 f"invalid {kind} artifact {name!r}:\n- "
@@ -295,6 +345,10 @@ class CatalogStore:
             bench = payload["bench"]
             batch = payload["batch"]
             metrics = _numeric_metrics(payload)
+        elif kind == "chaos":
+            bench = payload["chaos_campaign"]
+            batch = None
+            metrics = _chaos_metrics(payload)
         else:
             bench = payload["spec_name"]
             batch = None

@@ -1,0 +1,62 @@
+"""``repro.chaos`` -- service-level chaos engineering for the
+serving layer.
+
+The dependable-arithmetic campaigns (:mod:`repro.faults`,
+:mod:`repro.campaigns`) stress the paper's *execution* story; this
+package stresses the *serving* story the same way: seeded,
+deterministic fault injection at the server seams, with every run's
+invariants machine-checked as postconditions.  See ``docs/chaos.md``.
+
+Layers:
+
+* :class:`FaultType` / :class:`ServiceFaultInjector` -- the fault
+  registry and seeded scheduler (:mod:`repro.chaos.faults`).
+* :class:`ChaosPipelineProxy` -- the injecting wrapper a
+  :class:`~repro.serving.server.PipelineServer` is pointed at
+  (:mod:`repro.chaos.proxy`).
+* :class:`ChaosExperiment` / :class:`ChaosReport` -- one declarative
+  scenario with invariant postconditions
+  (:mod:`repro.chaos.experiment`).
+* ``serving_chaos`` campaign target + :func:`chaos_campaign_spec` /
+  :func:`chaos_summary` -- chaos at campaign scale through the
+  existing engine (:mod:`repro.chaos.campaign`).
+"""
+
+from repro.chaos.faults import (
+    ABSORBABLE_FAULTS,
+    CLIENT_SIDE_FAULTS,
+    SERVER_SIDE_FAULTS,
+    ChaosError,
+    ChaosPlan,
+    ChaosTimeout,
+    FaultEvent,
+    FaultType,
+    ServiceFaultInjector,
+)
+from repro.chaos.proxy import ChaosPipelineProxy
+from repro.chaos.experiment import ChaosExperiment, ChaosReport
+from repro.chaos.campaign import (
+    PRESETS,
+    chaos_campaign_spec,
+    chaos_summary,
+    run_serving_chaos_trial,
+)
+
+__all__ = [
+    "FaultType",
+    "FaultEvent",
+    "ChaosPlan",
+    "ChaosError",
+    "ChaosTimeout",
+    "ServiceFaultInjector",
+    "SERVER_SIDE_FAULTS",
+    "CLIENT_SIDE_FAULTS",
+    "ABSORBABLE_FAULTS",
+    "ChaosPipelineProxy",
+    "ChaosExperiment",
+    "ChaosReport",
+    "PRESETS",
+    "run_serving_chaos_trial",
+    "chaos_campaign_spec",
+    "chaos_summary",
+]

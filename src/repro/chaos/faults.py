@@ -1,0 +1,342 @@
+"""Service-fault vocabulary and the seeded fault injector.
+
+The unit-level campaigns (:mod:`repro.faults`) flip bits inside
+arithmetic; this module injects the failure modes that live a level
+up, at the serving seams: latency spikes, timeouts and crashes inside
+the batcher's ``infer_batch`` flush, queue exhaustion and corrupted
+payloads at ``submit``.  Following the ``FaultInjector`` /
+``FaultType`` design of the aumai-chaos reference, faults are a small
+closed registry of types plus a scheduler -- but with this repo's
+determinism discipline layered on: the *entire* fault schedule (a
+:class:`ChaosPlan`) is drawn up-front from one explicit
+``numpy`` Generator, so a trial's planned fault load -- and therefore
+its campaign record -- is a pure function of ``(seed, cell, trial)``
+no matter how server threads interleave at run time.
+
+Two seams, two firing models:
+
+* **Pipeline seam** (:class:`~repro.chaos.proxy.ChaosPipelineProxy`):
+  armed events fire exactly once each, one per ``infer_batch`` flush,
+  in plan order.  LATENCY_SPIKE sleeps, TIMEOUT raises
+  :class:`ChaosTimeout`, BATCHER_CRASH raises
+  :class:`~repro.serving.server.BatcherCrash` (the serve loop's death
+  path).
+* **Traffic seam** (the experiment driver): PAYLOAD_CORRUPTION flips
+  storage bits in a request's image *before* submission;
+  QUEUE_EXHAUSTION stalls the batcher mid-flush (a bounded gate) and
+  deterministically overfills the bounded queue.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.config import ChaosConfig
+from repro.serving.server import BatcherCrash
+
+
+class FaultType(str, enum.Enum):
+    """The built-in service-level fault registry."""
+
+    #: A flush takes abnormally long (GC pause, noisy neighbour).
+    #: Absorbable: results are unaffected, only latency moves.
+    LATENCY_SPIKE = "latency_spike"
+    #: A flush's downstream dependency hangs and surfaces as an
+    #: explicit timeout error; every request in the flush group
+    #: completes with :class:`ChaosTimeout`.
+    TIMEOUT = "timeout"
+    #: The batcher thread dies mid-flush
+    #: (:class:`~repro.serving.server.BatcherCrash`); the server must
+    #: fail everything in flight with full accounting and survive a
+    #: restart.
+    BATCHER_CRASH = "batcher_crash"
+    #: Traffic overfills the bounded queue; backpressure must refuse
+    #: the overflow explicitly (never silently drop or hang it).
+    QUEUE_EXHAUSTION = "queue_exhaustion"
+    #: A request arrives with corrupted image storage bits; the server
+    #: must serve the corrupted payload bit-for-bit like serial
+    #: ``infer()`` would.
+    PAYLOAD_CORRUPTION = "payload_corruption"
+
+
+#: Fault types fired at the pipeline seam, one per flush.
+SERVER_SIDE_FAULTS: tuple[FaultType, ...] = (
+    FaultType.LATENCY_SPIKE,
+    FaultType.TIMEOUT,
+    FaultType.BATCHER_CRASH,
+)
+
+#: Fault types applied at the traffic seam around ``submit``.
+CLIENT_SIDE_FAULTS: tuple[FaultType, ...] = (
+    FaultType.QUEUE_EXHAUSTION,
+    FaultType.PAYLOAD_CORRUPTION,
+)
+
+#: Faults the serving layer absorbs without failing any request:
+#: every submission still delivers a result with bitwise serial
+#: parity.  The rest must surface as *explicit* errors or rejections.
+ABSORBABLE_FAULTS: frozenset[FaultType] = frozenset(
+    {FaultType.LATENCY_SPIKE, FaultType.PAYLOAD_CORRUPTION}
+)
+
+
+class ChaosError(RuntimeError):
+    """Chaos-layer misuse or a broken experiment precondition."""
+
+
+class ChaosTimeout(ChaosError):
+    """The injected flush timeout (what requests in the faulted flush
+    group fail with)."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault occurrence.
+
+    ``request_index`` anchors client-side events to a request in the
+    experiment's traffic schedule; server-side events leave it None
+    (they fire positionally, one per flush).  ``bits`` lists
+    ``(flat_word_index, bit)`` storage-bit flips for
+    PAYLOAD_CORRUPTION.
+    """
+
+    fault: FaultType
+    request_index: int | None = None
+    delay_s: float = 0.0
+    bits: tuple[tuple[int, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "fault": self.fault.value,
+            "request_index": self.request_index,
+            "delay_s": self.delay_s,
+            "bits": [list(pair) for pair in self.bits],
+        }
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The complete, deterministic fault schedule for one experiment.
+
+    A pure function of ``(ChaosConfig, rng state, n_requests,
+    payload_words)``: everything a trial record fingerprints comes
+    from here, never from run-time thread timing.
+    """
+
+    n_requests: int
+    server_events: tuple[FaultEvent, ...]
+    corruptions: tuple[FaultEvent, ...]
+    bursts: int
+    #: Exact rejections each burst must produce (``burst_overflow``
+    #: submissions past a queue deterministically held at capacity).
+    expected_rejections: int
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def disruptive_events(self) -> int:
+        return sum(
+            count
+            for fault, count in self.counts.items()
+            if FaultType(fault) not in ABSORBABLE_FAULTS
+        )
+
+    def to_metrics(self) -> dict[str, float]:
+        """Deterministic numeric view for campaign trial records."""
+        metrics = {
+            f"planned_{fault}": float(count)
+            for fault, count in sorted(self.counts.items())
+        }
+        metrics["n_requests"] = float(self.n_requests)
+        metrics["expected_rejections"] = float(self.expected_rejections)
+        return metrics
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "server_events": [e.to_dict() for e in self.server_events],
+            "corruptions": [e.to_dict() for e in self.corruptions],
+            "bursts": self.bursts,
+            "expected_rejections": self.expected_rejections,
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+
+class ServiceFaultInjector:
+    """Seeded scheduler and runtime firing point for service faults.
+
+    :meth:`plan` consumes the injector's explicit random stream once
+    to draw the full schedule; at run time the driver :meth:`arm`\\ s
+    server-side events and the pipeline proxy calls :meth:`on_flush`
+    from the batcher thread, firing armed events in order, exactly
+    once each.  The stall gate (queue-exhaustion bursts) is bounded by
+    ``config.stall_timeout_s`` so an orphaned experiment can never
+    park a batcher forever.
+    """
+
+    #: Thread-safety contract (LOCK-GUARD): the armed queue and stall
+    #: flag are touched from driver threads and the batcher thread.
+    _guarded_by = {"_lock": ("_stall_pending",)}
+
+    def __init__(
+        self, config: ChaosConfig, rng: np.random.Generator
+    ) -> None:
+        if rng is None:
+            raise ChaosError(
+                "ServiceFaultInjector requires an explicit Generator; "
+                "chaos schedules are campaign-seeded, never ambient"
+            )
+        self.config = config
+        self._rng = rng
+        self._lock = threading.Lock()
+        self._armed: deque[FaultEvent] = deque()
+        self._stall_pending = False
+        self._stalled = threading.Event()
+        self._release = threading.Event()
+
+    # -- planning --------------------------------------------------------
+    def plan(self, n_requests: int, payload_words: int) -> ChaosPlan:
+        """Draw the full fault schedule for ``n_requests`` requests of
+        ``payload_words`` float32 storage words each.
+
+        Consumes the injector's stream; call once per experiment.
+        """
+        if n_requests < 1:
+            raise ChaosError("plan needs at least one request")
+        if payload_words < 1:
+            raise ChaosError("payload_words must be positive")
+        cfg = self.config
+        rng = self._rng
+        events: list[FaultEvent] = []
+        for _ in range(cfg.latency_spikes):
+            # Spike magnitude jitters around the nominal value so a
+            # multi-spike plan exercises distinct delays.
+            events.append(
+                FaultEvent(
+                    FaultType.LATENCY_SPIKE,
+                    delay_s=cfg.latency_ms * 1e-3 * (0.5 + rng.random()),
+                )
+            )
+        events.extend(
+            FaultEvent(FaultType.TIMEOUT) for _ in range(cfg.timeouts)
+        )
+        events.extend(
+            FaultEvent(FaultType.BATCHER_CRASH)
+            for _ in range(cfg.batcher_crashes)
+        )
+        if len(events) > 1:
+            order = rng.permutation(len(events))
+            events = [events[i] for i in order]
+
+        corruptions: list[FaultEvent] = []
+        n_corrupt = min(cfg.corrupt_payloads, n_requests)
+        if n_corrupt:
+            indices = sorted(
+                int(i)
+                for i in rng.choice(
+                    n_requests, size=n_corrupt, replace=False
+                )
+            )
+            for index in indices:
+                words = rng.integers(0, payload_words, size=cfg.corrupt_bits)
+                bits = rng.integers(0, 32, size=cfg.corrupt_bits)
+                corruptions.append(
+                    FaultEvent(
+                        FaultType.PAYLOAD_CORRUPTION,
+                        request_index=index,
+                        bits=tuple(
+                            (int(w), int(b)) for w, b in zip(words, bits)
+                        ),
+                    )
+                )
+
+        counts = {
+            FaultType.LATENCY_SPIKE.value: cfg.latency_spikes,
+            FaultType.TIMEOUT.value: cfg.timeouts,
+            FaultType.BATCHER_CRASH.value: cfg.batcher_crashes,
+            FaultType.QUEUE_EXHAUSTION.value: cfg.queue_exhaustion_bursts,
+            FaultType.PAYLOAD_CORRUPTION.value: n_corrupt,
+        }
+        return ChaosPlan(
+            n_requests=n_requests,
+            server_events=tuple(events),
+            corruptions=tuple(corruptions),
+            bursts=cfg.queue_exhaustion_bursts,
+            expected_rejections=(
+                cfg.queue_exhaustion_bursts * cfg.burst_overflow
+            ),
+            counts=counts,
+        )
+
+    # -- pipeline-seam firing (batcher thread) ---------------------------
+    def arm(self, event: FaultEvent) -> None:
+        """Queue one server-side event; the next flush fires it."""
+        if event.fault not in SERVER_SIDE_FAULTS:
+            raise ChaosError(
+                f"{event.fault.value} is a traffic-seam fault; only "
+                "latency_spike/timeout/batcher_crash can be armed"
+            )
+        with self._lock:
+            self._armed.append(event)
+
+    def armed_count(self) -> int:
+        with self._lock:
+            return len(self._armed)
+
+    def on_flush(self) -> None:
+        """The pipeline proxy's hook: serve a pending stall, then fire
+        at most one armed event.  Raises for TIMEOUT/BATCHER_CRASH."""
+        self._serve_stall()
+        with self._lock:
+            event = self._armed.popleft() if self._armed else None
+        if event is None:
+            return
+        if event.fault is FaultType.LATENCY_SPIKE:
+            time.sleep(event.delay_s)
+        elif event.fault is FaultType.TIMEOUT:
+            raise ChaosTimeout(
+                "injected flush timeout (chaos TIMEOUT fault)"
+            )
+        elif event.fault is FaultType.BATCHER_CRASH:
+            raise BatcherCrash("injected batcher crash (chaos fault)")
+
+    # -- stall gate (queue-exhaustion bursts) ----------------------------
+    def request_stall(self) -> None:
+        """Arm the stall: the *next* flush parks (bounded) until
+        :meth:`release_stall`, signalling :meth:`wait_stalled`."""
+        self._stalled.clear()
+        self._release.clear()
+        with self._lock:
+            self._stall_pending = True
+
+    def _serve_stall(self) -> None:
+        with self._lock:
+            pending = self._stall_pending
+            self._stall_pending = False
+        if pending:
+            self._stalled.set()
+            # Bounded: a driver that dies mid-burst cannot park the
+            # batcher forever.
+            self._release.wait(self.config.stall_timeout_s)
+
+    def wait_stalled(self, timeout: float) -> bool:
+        """Block until a flush is parked on the stall gate."""
+        return self._stalled.wait(timeout)
+
+    def release_stall(self) -> None:
+        self._release.set()
+
+    def release_all(self) -> None:
+        """Open every gate (experiment teardown safety net)."""
+        with self._lock:
+            self._stall_pending = False
+        self._release.set()

@@ -1,0 +1,69 @@
+"""Fault-injecting pipeline proxy -- the chaos layer's server seam.
+
+The :class:`~repro.serving.server.PipelineServer` never learns it is
+under test: it is handed a :class:`ChaosPipelineProxy` instead of the
+real :class:`~repro.api.pipeline.HybridPipeline`, and every
+micro-batch flush first passes through the injector's
+:meth:`~repro.chaos.faults.ServiceFaultInjector.on_flush` firing
+point.  The serial ``infer`` path is deliberately left untouched: it
+is the parity oracle the experiment compares delivered results
+against, so it must stay fault-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos.faults import ServiceFaultInjector
+
+
+class ChaosPipelineProxy:
+    """Wraps a pipeline so each ``infer_batch`` flush fires at most
+    one armed fault before delegating.
+
+    Duck-typed against the surface the server actually uses:
+    ``infer_batch`` (the flush path), ``infer`` (the parity oracle --
+    never faulted) and ``config`` (response-cache content hashing).
+    Delegation preserves the wrapped pipeline's bitwise determinism:
+    an absorbed fault (latency spike) changes timing only, never
+    results -- pinned by ``tests/chaos/test_determinism.py``.
+    """
+
+    def __init__(self, pipeline, injector: ServiceFaultInjector) -> None:
+        self.pipeline = pipeline
+        self.injector = injector
+
+    @property
+    def config(self):
+        """The wrapped pipeline's config (cache keying, introspection)."""
+        return getattr(self.pipeline, "config", None)
+
+    def infer(
+        self,
+        image: np.ndarray,
+        qualifier_view: np.ndarray | None = None,
+    ):
+        """Serial oracle path: delegates with no injection."""
+        if qualifier_view is not None:
+            return self.pipeline.infer(image, qualifier_view=qualifier_view)
+        return self.pipeline.infer(image)
+
+    def infer_batch(
+        self,
+        images: np.ndarray,
+        qualifier_views: np.ndarray | None = None,
+    ):
+        """Flush path: fire at most one armed fault, then delegate.
+
+        ``on_flush`` may sleep (LATENCY_SPIKE), raise
+        :class:`~repro.chaos.faults.ChaosTimeout` (TIMEOUT -- demuxed
+        by the server as a per-request failure) or raise
+        :class:`~repro.serving.server.BatcherCrash` (BATCHER_CRASH --
+        escapes to the serve loop's death handler).
+        """
+        self.injector.on_flush()
+        if qualifier_views is not None:
+            return self.pipeline.infer_batch(
+                images, qualifier_views=qualifier_views
+            )
+        return self.pipeline.infer_batch(images)

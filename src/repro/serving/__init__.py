@@ -15,6 +15,7 @@ interleave into batches.  See ``docs/serving.md``.
 
 from repro.serving.cache import ResponseCache, response_digest
 from repro.serving.server import (
+    BatcherCrash,
     PendingResult,
     PipelineServer,
     ServerClosed,
@@ -24,6 +25,7 @@ from repro.serving.server import (
 from repro.serving.stats import ServerStats
 
 __all__ = [
+    "BatcherCrash",
     "PipelineServer",
     "PendingResult",
     "ResponseCache",

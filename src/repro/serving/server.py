@@ -53,6 +53,21 @@ class ServerOverloaded(ServerError):
     """Backpressure refused a submission (bounded queue at capacity)."""
 
 
+class BatcherCrash(BaseException):
+    """Kills the batcher thread from inside a flush -- the crash seam
+    the chaos layer's BATCHER_CRASH fault injects (see
+    :mod:`repro.chaos`).
+
+    Deliberately derives from ``BaseException``: ``_flush`` absorbs
+    ``Exception``-level pipeline failures into per-request errors, but
+    a crash must escape that demux so it exercises the serve loop's
+    death handler -- which fails every in-flight and queued request
+    with full accounting, the behaviour a real batcher death (OOM,
+    interpreter shutdown) gets.  Anything that raises this from a
+    pipeline receives the same accounted-crash semantics.
+    """
+
+
 class PendingResult:
     """Future-like handle for one submitted request.
 
@@ -503,6 +518,25 @@ class PipelineServer:
                 if extra is None:
                     stopping = True
                     break
+                # A non-draining stop whose sentinel was refused by a
+                # full queue (see _close_intake) has no sentinel for
+                # this sweep to trip over: re-check the gates after
+                # every pop, or the sweep keeps coalescing -- and
+                # flushing -- requests the stop already promised to
+                # fail with ServerClosed.
+                # repro: allow[LOCK-GUARD] -- batcher-side flag read
+                # (see the poll-loop justification above).
+                if not self._accepting and not self._draining:
+                    closed = ServerClosed(
+                        "server stopped without draining"
+                    )
+                    extra.pending._fail(closed)
+                    self._recorder.record_cancelled()
+                    joined = self._abort_cached_flight(extra, closed)
+                    if joined:
+                        self._recorder.record_cancelled(joined)
+                    stopping = True
+                    break
                 batch.append(extra)
             self._flush(batch)
             self._inflight = []
@@ -575,51 +609,70 @@ class PipelineServer:
             groups.setdefault(key, []).append(request)
         degraded = 0
         failures = 0
+        completed = 0
         latencies: list[float] = []
-        for (image_shape, view_shape), requests in groups.items():
-            try:
-                images = np.stack([r.image for r in requests])
-                views = (
-                    None
-                    if view_shape is None
-                    else np.stack([r.qualifier_view for r in requests])
-                )
-                if views is None:
-                    results = list(self.pipeline.infer_batch(images))
-                else:
-                    results = list(
-                        self.pipeline.infer_batch(
-                            images, qualifier_views=views
+        # The ledger entry is written in a finally so a flush that
+        # dies mid-way (BatcherCrash below, MemoryError while
+        # stacking) still accounts for the groups it already demuxed;
+        # the serve loop's crash handler then accounts for the rest --
+        # without this, completions delivered before the crash would
+        # vanish from the books.
+        try:
+            for (image_shape, view_shape), requests in groups.items():
+                try:
+                    images = np.stack([r.image for r in requests])
+                    views = (
+                        None
+                        if view_shape is None
+                        else np.stack(
+                            [r.qualifier_view for r in requests]
                         )
                     )
-                if len(results) != len(requests):
-                    raise ServerError(
-                        f"pipeline returned {len(results)} results for "
-                        f"{len(requests)} requests"
-                    )
-            except BaseException as error:  # noqa: BLE001 -- demuxed
-                for request in requests:
-                    request.pending._fail(error)
-                    failures += 1
-                    # Errors are never cached: close the flight so the
-                    # key recomputes next time, and fail its joiners.
-                    joined = self._abort_cached_flight(request, error)
-                    if joined:
-                        self._recorder.record_followers_failed(joined)
-                continue
-            for request, result in zip(requests, results):
-                flagged = bool(getattr(result, "flagged", False))
-                if flagged:
-                    degraded += 1
-                    self._route_degraded(result)
-                request.pending._complete(result)
-                latency = request.pending.latency_seconds
-                if latency is not None:
-                    latencies.append(latency)
-                self._publish_cached_result(request, result, flagged)
-        self._recorder.record_batch(
-            len(batch), latencies, failures=failures, degraded=degraded
-        )
+                    if views is None:
+                        results = list(self.pipeline.infer_batch(images))
+                    else:
+                        results = list(
+                            self.pipeline.infer_batch(
+                                images, qualifier_views=views
+                            )
+                        )
+                    if len(results) != len(requests):
+                        raise ServerError(
+                            f"pipeline returned {len(results)} results "
+                            f"for {len(requests)} requests"
+                        )
+                except BatcherCrash:
+                    # The deliberate crash seam: escape the demux so
+                    # the serve loop's death handler fails this group
+                    # (and everything queued) with full accounting.
+                    raise
+                except BaseException as error:  # noqa: BLE001 -- demuxed
+                    for request in requests:
+                        request.pending._fail(error)
+                        failures += 1
+                        # Errors are never cached: close the flight so
+                        # the key recomputes next time, and fail its
+                        # joiners.
+                        joined = self._abort_cached_flight(request, error)
+                        if joined:
+                            self._recorder.record_followers_failed(joined)
+                    continue
+                for request, result in zip(requests, results):
+                    flagged = bool(getattr(result, "flagged", False))
+                    if flagged:
+                        degraded += 1
+                        self._route_degraded(result)
+                    request.pending._complete(result)
+                    completed += 1
+                    latency = request.pending.latency_seconds
+                    if latency is not None:
+                        latencies.append(latency)
+                    self._publish_cached_result(request, result, flagged)
+        finally:
+            self._recorder.record_batch(
+                len(batch), latencies, completed=completed,
+                failures=failures, degraded=degraded,
+            )
 
     def _route_degraded(self, result) -> None:
         """Fire the degradation hook for one qualifier-flagged logical

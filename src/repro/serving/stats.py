@@ -41,12 +41,17 @@ class ServerStats:
         batches); the adaptivity figure of merit -- 1.0 means the
         batcher never coalesced anything.
     throughput_rps:
-        Completed requests per second of server uptime.
+        Completed requests per second of server uptime.  Uptime (and
+        therefore this rate) spans *every* running period of the
+        server's life, matching the counters, which also persist
+        across stop/start cycles -- a restart never inflates the rate
+        by dividing all-time completions by only the latest run.
     p50_latency_ms, p99_latency_ms:
         Submit-to-completion latency percentiles over the most recent
         ``latency_window`` completions (0.0 before any completion).
     uptime_seconds:
-        Wall time since ``start()`` (frozen at ``stop()``).
+        Total wall time the server has spent running, accumulated
+        across stop/start cycles (frozen while stopped).
     queue_depth:
         Requests waiting in the queue at snapshot time.
     cache_hits, cache_misses, coalesced_joins:
@@ -137,6 +142,7 @@ class StatsRecorder:
             "_batched_requests",
             "_started_at",
             "_stopped_at",
+            "_uptime_before",
             "_latencies",
             "_cached_latencies",
             "_computed_latencies",
@@ -164,10 +170,20 @@ class StatsRecorder:
         self._batched_requests = 0
         self._started_at: float | None = None
         self._stopped_at: float | None = None
+        #: Uptime banked from completed running periods.  Counters
+        #: survive a stop/start cycle, so uptime must too: dividing
+        #: all-time completions by only the latest run's elapsed time
+        #: would inflate ``throughput_rps`` on every restart.
+        self._uptime_before = 0.0
 
     # -- lifecycle -------------------------------------------------------
     def mark_started(self) -> None:
         with self._lock:
+            if self._started_at is not None and self._stopped_at is not None:
+                # Bank the previous running period before starting the
+                # next one; counters are cumulative across restarts,
+                # so the uptime they are divided by must be as well.
+                self._uptime_before += self._stopped_at - self._started_at
             self._started_at = time.perf_counter()
             self._stopped_at = None
 
@@ -237,13 +253,18 @@ class StatsRecorder:
     # tests/serving/test_server.py and result parity by
     # tests/serving/test_determinism.py.
     def record_batch(
-        self, size: int, latencies_s: list[float], failures: int = 0,
-        degraded: int = 0,
+        self, size: int, latencies_s: list[float], completed: int,
+        failures: int = 0, degraded: int = 0,
     ) -> None:
+        """One flush's ledger entry.  ``completed`` is explicit rather
+        than inferred as ``size - failures``: a flush that dies mid-way
+        (deliberate chaos crash, MemoryError) has demuxed only part of
+        the batch, and the crash handler accounts for the remainder --
+        inferring would double- or under-count exactly then."""
         with self._lock:
             self.batches += 1
             self._batched_requests += size
-            self.completed += size - failures
+            self.completed += completed
             self.failed += failures
             self.degraded += degraded
             self._latencies.extend(latencies_s)
@@ -255,12 +276,12 @@ class StatsRecorder:
     ) -> ServerStats:
         with self._lock:
             if self._started_at is None:
-                uptime = 0.0
+                uptime = self._uptime_before
             else:
                 end = self._stopped_at
                 if end is None:
                     end = time.perf_counter()
-                uptime = end - self._started_at
+                uptime = self._uptime_before + (end - self._started_at)
             ordered = sorted(self._latencies)
             cached = sorted(self._cached_latencies)
             computed = sorted(self._computed_latencies)

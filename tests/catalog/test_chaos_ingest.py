@@ -1,0 +1,97 @@
+"""Catalog ingestion of chaos campaign summaries (the third kind).
+
+A ``chaos_summary`` payload classifies as ``"chaos"`` (before the
+campaign sniff -- it carries a ``spec_hash`` too), validates its
+outcome table, and lands with outcome counts exploded into queryable
+metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import CatalogError, CatalogStore, classify_payload
+
+
+def chaos_payload(**overrides) -> dict:
+    payload = {
+        "chaos_campaign": "serving-chaos",
+        "target": "serving_chaos",
+        "spec_hash": "b" * 64,
+        "trials": 14,
+        "invariants_held_trials": 14,
+        "outcomes": {
+            "clean": 2,
+            "masked": 4,
+            "detected_recovered": 8,
+            "detected_aborted": 0,
+            "silent_corruption": 0,
+        },
+        "fingerprint": "c" * 64,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_chaos_summary_classifies_before_campaign():
+    # Carries spec_hash like a campaign report; the chaos_campaign +
+    # outcomes shape must win.
+    assert classify_payload(chaos_payload()) == "chaos"
+
+
+def test_chaos_ingest_round_trip_and_metrics():
+    with CatalogStore() as store:
+        artifact_id, created = store.ingest(chaos_payload(), "run.json")
+        assert created
+        record = store.get(artifact_id)
+        assert record.kind == "chaos"
+        assert record.bench == "serving-chaos"
+        assert record.batch is None
+        assert record.payload["outcomes"]["detected_recovered"] == 8
+        metrics = store.metrics_for(artifact_id)
+        assert metrics["trials"] == 14.0
+        assert metrics["invariants_held_trials"] == 14.0
+        assert metrics["outcome_silent_corruption"] == 0.0
+        assert metrics["outcome_detected_recovered"] == 8.0
+
+
+def test_chaos_ingest_is_idempotent():
+    with CatalogStore() as store:
+        first, created_first = store.ingest(chaos_payload(), "a.json")
+        second, created_second = store.ingest(chaos_payload(), "b.json")
+        assert created_first and not created_second
+        assert first == second
+
+
+@pytest.mark.parametrize(
+    "overrides, fragment",
+    [
+        ({"chaos_campaign": ""}, "chaos_campaign"),
+        ({"fingerprint": 12}, "fingerprint"),
+        ({"trials": -1}, "trials"),
+        ({"invariants_held_trials": True}, "invariants_held_trials"),
+        ({"outcomes": [1, 2]}, "outcomes"),
+        ({"outcomes": {"clean": -3}}, "clean"),
+    ],
+)
+def test_invalid_chaos_summaries_rejected(overrides, fragment):
+    with CatalogStore() as store:
+        with pytest.raises(CatalogError, match=fragment):
+            store.ingest(chaos_payload(**overrides), "bad.json")
+
+
+def test_real_chaos_summary_ingests(tmp_path):
+    """End to end: run a minimal serving_chaos campaign, summarize,
+    ingest -- the exact CI smoke path."""
+    from repro.campaigns.engine import run_campaign
+    from repro.chaos.campaign import chaos_campaign_spec, chaos_summary
+
+    spec = chaos_campaign_spec(
+        faults=("none", "timeout"), trials=1, seed=5, n_requests=6
+    )
+    summary = chaos_summary(run_campaign(spec, workers=1))
+    with CatalogStore(tmp_path / "cat.db") as store:
+        artifact_id, created = store.ingest(summary, "smoke.json")
+        assert created
+        assert store.get(artifact_id).kind == "chaos"
+        assert store.metrics_for(artifact_id)["outcome_silent_corruption"] == 0.0

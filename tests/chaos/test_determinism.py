@@ -1,0 +1,117 @@
+"""Chaos-layer determinism: the properties campaigns rely on.
+
+1. The :class:`~repro.chaos.proxy.ChaosPipelineProxy` is transparent:
+   with no armed faults, ``infer_batch`` and ``infer`` through the
+   proxy are bitwise identical to the bare pipeline (the serving
+   parity contract survives wrapping).
+2. A ``serving_chaos`` campaign is bitwise reproducible: same spec,
+   same fingerprint -- across runs *and* across worker counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ChaosConfig
+from repro.chaos import ChaosPipelineProxy, ServiceFaultInjector
+from repro.chaos.campaign import chaos_campaign_spec, chaos_summary
+from repro.campaigns.engine import run_campaign
+from repro.data import render_sign
+
+from tests.chaos.conftest import IMAGE_SIZE
+
+
+def _proxy(pipeline) -> ChaosPipelineProxy:
+    injector = ServiceFaultInjector(
+        ChaosConfig(), np.random.default_rng(0)
+    )
+    return ChaosPipelineProxy(pipeline, injector)
+
+
+def test_proxy_infer_batch_bitwise_equals_bare_pipeline(
+    parallel_pipeline,
+):
+    images = np.stack(
+        [
+            render_sign(i % 8, size=IMAGE_SIZE, rotation=0.05 * i)
+            for i in range(6)
+        ]
+    ).astype(np.float32)
+    proxy = _proxy(parallel_pipeline)
+    wrapped = list(proxy.infer_batch(images))
+    bare = list(parallel_pipeline.infer_batch(images))
+    assert len(wrapped) == len(bare) == 6
+    for w, b in zip(wrapped, bare):
+        assert (
+            np.asarray(w.probabilities).tobytes()
+            == np.asarray(b.probabilities).tobytes()
+        )
+        assert w.predicted_class == b.predicted_class
+        assert w.decision == b.decision
+        assert w.verdict.matches == b.verdict.matches
+
+
+def test_proxy_serial_infer_is_never_faulted(parallel_pipeline):
+    """The serial oracle path must stay clean even with faults armed:
+    arming affects only flushes."""
+    from repro.chaos import FaultEvent, FaultType
+
+    proxy = _proxy(parallel_pipeline)
+    proxy.injector.arm(FaultEvent(FaultType.TIMEOUT))
+    image = render_sign(3, size=IMAGE_SIZE)
+    result = proxy.infer(image)  # does not raise
+    bare = parallel_pipeline.infer(image)
+    assert (
+        np.asarray(result.probabilities).tobytes()
+        == np.asarray(bare.probabilities).tobytes()
+    )
+    # The armed event is still pending for the next flush.
+    assert proxy.injector.armed_count() == 1
+
+
+def test_proxy_forwards_config(parallel_pipeline):
+    proxy = _proxy(parallel_pipeline)
+    assert proxy.config is parallel_pipeline.config
+
+
+@pytest.fixture(scope="module")
+def smoke_spec():
+    return chaos_campaign_spec(
+        faults=("none", "timeout", "batcher_crash"),
+        trials=1,
+        seed=13,
+        n_requests=6,
+        shard_size=2,
+    )
+
+
+def test_campaign_fingerprint_reproducible(smoke_spec):
+    a = run_campaign(smoke_spec, workers=1)
+    b = run_campaign(smoke_spec, workers=1)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.deterministic_dict() == b.deterministic_dict()
+
+
+def test_campaign_fingerprint_worker_count_invariant(smoke_spec):
+    serial = run_campaign(smoke_spec, workers=1)
+    parallel = run_campaign(smoke_spec, workers=2)
+    assert serial.fingerprint() == parallel.fingerprint()
+    assert chaos_summary(serial) == chaos_summary(parallel)
+
+
+def test_campaign_outcomes_per_preset(smoke_spec):
+    report = run_campaign(smoke_spec, workers=1)
+    # Cells enumerate the grid axis values in the order given.
+    by_cell = {cell.index: cell.counts for cell in report.cells.values()}
+    presets = ("none", "timeout", "batcher_crash")
+    expectations = {
+        "none": "clean",
+        "timeout": "detected_recovered",
+        "batcher_crash": "detected_recovered",
+    }
+    for index, preset in enumerate(presets):
+        counts = by_cell[index]
+        assert counts[expectations[preset]] == 1, (preset, counts)
+        assert counts["silent_corruption"] == 0
+        assert counts["detected_aborted"] == 0
